@@ -1,0 +1,31 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Each benchmark times the experiment with pytest-benchmark (single round —
+the runs are deterministic simulations, not microbenchmarks), prints the
+regenerated figure rows, and archives them under ``benchmarks/results/``
+so EXPERIMENTS.md can reference the exact numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.bench.harness import FigureData
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def report(fig: FigureData, stem: str) -> FigureData:
+    """Print a figure's table and archive it to results/<stem>.txt."""
+    text = fig.render()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{stem}.txt").write_text(text + "\n")
+    return fig
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

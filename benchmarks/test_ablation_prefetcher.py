@@ -1,0 +1,19 @@
+"""Extension E: permutation-aware prefetching applied to the apps
+(paper IV-C3's mitigation, measured end to end)."""
+
+from _common import report, run_once
+
+from repro.bench import ablation_prefetcher
+
+
+def test_ablation_prefetcher(benchmark):
+    fig = run_once(benchmark, ablation_prefetcher)
+    report(fig, "ablation_prefetcher")
+    for app, plain, prefetched, reordered in fig.rows:
+        assert prefetched < plain, app
+        # the prefetcher pulls time-to-precise close to baseline
+        assert prefetched < 1.3, app
+        # in-memory reordering removes the penalty entirely, at the
+        # price of one streaming pass
+        assert reordered < prefetched, app
+        assert 1.0 <= reordered < 1.1, app

@@ -1,0 +1,21 @@
+"""Ablation A (paper IV-C1): multi-threaded sampling splits.
+
+Cyclic division of a deterministic permutation keeps the global sample
+prefix complete after each worker processed k elements; blocked
+division does not (it destroys the progressive-resolution property).
+"""
+
+from _common import report, run_once
+
+from repro.bench import ablation_threads
+
+
+def test_ablation_threads(benchmark):
+    fig = run_once(benchmark, ablation_threads)
+    report(fig, "ablation_threads")
+    for perm, workers, split, k, ok in fig.rows:
+        if split == "cyclic":
+            assert ok, f"cyclic split must preserve coverage ({perm})"
+        else:
+            assert not ok, \
+                f"blocked split should break prefix coverage ({perm})"

@@ -1,0 +1,22 @@
+"""Extension G: contract vs interruptible execution at known deadlines
+(paper II-B's dichotomy, quantified on dwt53)."""
+
+import math
+
+from _common import report, run_once
+
+from repro.bench import extension_contract
+
+
+def test_extension_contract(benchmark):
+    fig = run_once(benchmark, extension_contract)
+    report(fig, "extension_contract")
+    for deadline, inter_snr, contract_snr in fig.rows:
+        # knowing the deadline never hurts
+        assert contract_snr >= inter_snr - 1e-9, deadline
+    # with a generous deadline both reach the precise output
+    last = fig.rows[-1]
+    assert math.isinf(last[1]) and math.isinf(last[2])
+    # at some mid deadline the contract run is strictly better
+    assert any(c > i for _, i, c in fig.rows
+               if not (math.isinf(c) and math.isinf(i)))

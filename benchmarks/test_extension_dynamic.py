@@ -1,0 +1,20 @@
+"""Extension H: dynamic core reallocation (paper IV-C2 future work).
+
+Generalized processor sharing lets idle stages donate cores; the apps
+with non-anytime or blocking stages reach the precise output much
+earlier, with bit-identical results.
+"""
+
+from _common import report, run_once
+
+from repro.bench import extension_dynamic_shares
+
+
+def test_extension_dynamic_shares(benchmark):
+    fig = run_once(benchmark, extension_dynamic_shares)
+    report(fig, "extension_dynamic_shares")
+    for app, static, dynamic in fig.rows:
+        assert dynamic < static, app
+    rows = {r[0]: r for r in fig.rows}
+    # histeq benefits hugely: the apply stage inherits the machine
+    assert rows["histeq"][2] < 0.75 * rows["histeq"][1]

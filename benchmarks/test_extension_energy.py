@@ -1,0 +1,22 @@
+"""Extension I: energy fraction to reach target acceptability levels
+("hold-the-power-button computing", quantified)."""
+
+import math
+
+from _common import report, run_once
+
+from repro.bench import extension_energy
+
+
+def test_extension_energy(benchmark):
+    fig = run_once(benchmark, extension_energy)
+    report(fig, "extension_energy")
+    for app, mid, high in fig.rows:
+        assert 0.0 < mid <= 1.0, app
+        if not math.isnan(high):
+            assert mid <= high, \
+                f"{app}: higher quality cannot cost less energy"
+    # the single-stage diffusive apps hit 15 dB on a small energy slice
+    rows = {r[0]: r for r in fig.rows}
+    assert rows["2dconv"][1] < 0.35
+    assert rows["debayer"][1] < 0.35

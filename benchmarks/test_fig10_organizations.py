@@ -1,0 +1,27 @@
+"""Figure 10: runtime of the five automaton organizations.
+
+Expected ordering (the paper's summary example): the synchronous
+pipeline finishes before the baseline; the diffusive asynchronous
+pipeline matches the baseline; iterative organizations pay the
+redundant-work tax, mitigated (but not erased) by pipelining.
+"""
+
+from _common import report, run_once
+
+from repro.bench import fig10_organizations
+
+
+def test_fig10_organizations(benchmark):
+    fig = run_once(benchmark, fig10_organizations, m=64)
+    report(fig, "fig10_organizations")
+    runtime = {row[0]: row[1] for row in fig.rows}
+    assert runtime["sync"] < runtime["baseline"]
+    assert abs(runtime["diffusive-async"] - runtime["baseline"]) < 0.05
+    assert runtime["baseline"] < runtime["iterative-async"]
+    assert runtime["iterative-async"] < runtime["iterative"]
+    # Every pipelined organization delivers a first (approximate)
+    # whole-application output before the baseline's only output.
+    first = {row[0]: row[2] for row in fig.rows}
+    for org in ("iterative", "iterative-async", "diffusive-async",
+                "sync"):
+        assert first[org] < runtime["baseline"]

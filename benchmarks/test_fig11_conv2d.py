@@ -1,0 +1,32 @@
+"""Figure 11: 2dconv runtime-accuracy profile.
+
+Paper shape: the single diffusive stage yields high accuracy early
+(~15.8 dB at 21% runtime) and reaches the precise output at ~2x the
+baseline (non-sequential sampling costs locality).
+"""
+
+import math
+
+from _common import report, run_once
+
+from repro.bench import fig11_conv2d
+
+
+def test_fig11_conv2d(benchmark):
+    fig = run_once(benchmark, fig11_conv2d)
+    report(fig, "fig11_conv2d")
+    runtimes = [r[0] for r in fig.rows]
+    snrs = [r[1] for r in fig.rows]
+    assert runtimes == sorted(runtimes)
+    # monotone accuracy (the anytime guarantee), small tolerance for
+    # measurement noise at tiny samples
+    best = -math.inf
+    for s in snrs:
+        assert s >= best - 1.0
+        best = max(best, s)
+    assert math.isinf(snrs[-1]), "precise output eventually reached"
+    # early availability: double-digit SNR in the first third of baseline
+    early = [s for t, s in fig.rows if t <= 0.35]
+    assert early and max(early) > 10.0
+    # precise between 1x and 3x baseline (paper: ~2x)
+    assert 1.0 <= runtimes[-1] <= 3.0

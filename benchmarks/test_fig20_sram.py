@@ -1,0 +1,26 @@
+"""Figure 20: 2dconv sample-size-accuracy under SRAM read upsets.
+
+Paper shape: the nominal curve reaches inf; higher upset probabilities
+cap the final SNR but still give acceptable outputs; the curves line up
+at small sample sizes since bit flips scale with elements processed.
+"""
+
+import math
+
+from _common import report, run_once
+
+from repro.bench import fig20_sram
+
+
+def test_fig20_sram(benchmark):
+    fig = run_once(benchmark, fig20_sram)
+    report(fig, "fig20_sram")
+    series = {}
+    for label, frac, snr in fig.rows:
+        series.setdefault(label, []).append((frac, snr))
+    assert math.isinf(series["0%"][-1][1])
+    assert not math.isinf(series["0.001%"][-1][1])
+    assert series["0.00001%"][-1][1] > series["0.001%"][-1][1] > 20.0
+    # overlay at the smallest sample size (flips ~ elements processed)
+    smallest = {label: pts[0][1] for label, pts in series.items()}
+    assert abs(smallest["0%"] - smallest["0.001%"]) < 1.0

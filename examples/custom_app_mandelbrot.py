@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Build your own anytime application: a Mandelbrot renderer.
+
+This example uses only the public API to turn a *new* computation — one
+the paper never mentions — into an anytime automaton, demonstrating the
+recipe from docs/TUTORIAL.md:
+
+1. write the pure per-element kernel (escape-time iteration counts);
+2. wrap it in a MapStage with a tree permutation (pixels are an ordered
+   2-D data set, so progressive resolution is the right sampling);
+3. hand the stage to AnytimeAutomaton and run.
+
+The fractal renders coarse-to-fine exactly like the paper's image
+outputs; interrupt whenever it looks good.
+
+Run:  python examples/custom_app_mandelbrot.py
+"""
+
+import pathlib
+
+import numpy as np
+
+from repro.anytime import TreeFill, TreePermutation
+from repro.core import AnytimeAutomaton, MapStage, VersionedBuffer
+from repro.data import write_pnm
+from repro.metrics import snr_db
+
+SIZE = 256
+MAX_ITER = 64
+VIEW = (-2.2, 0.8, -1.5, 1.5)       # re_min, re_max, im_min, im_max
+
+OUT_DIR = pathlib.Path(__file__).parent / "output" / "mandelbrot"
+
+
+def escape_counts(indices: np.ndarray, params: np.ndarray) -> np.ndarray:
+    """Escape-time iteration counts for the given flat pixel indices.
+
+    Pure function of (indices, params) — Property 1 — and vectorized,
+    which is all a MapStage kernel needs to be.
+    """
+    re_min, re_max, im_min, im_max = params
+    rows = indices // SIZE
+    cols = indices % SIZE
+    c = ((re_min + (re_max - re_min) * cols / (SIZE - 1))
+         + 1j * (im_min + (im_max - im_min) * rows / (SIZE - 1)))
+    z = np.zeros_like(c)
+    counts = np.zeros(len(indices), dtype=np.int64)
+    alive = np.ones(len(indices), dtype=bool)
+    for _ in range(MAX_ITER):
+        z[alive] = z[alive] * z[alive] + c[alive]
+        escaped = alive & (np.abs(z) > 2.0)
+        alive &= ~escaped
+        counts[alive] += 1
+    return (counts * (255 // MAX_ITER)).astype(np.uint8)
+
+
+def build_mandelbrot_automaton() -> AnytimeAutomaton:
+    b_params = VersionedBuffer("view")
+    b_image = VersionedBuffer("fractal")
+    stage = MapStage(
+        "mandelbrot", b_image, (b_params,), escape_counts,
+        shape=(SIZE, SIZE), dtype=np.uint8,
+        permutation=TreePermutation(), fill=TreeFill(spatial_ndim=2),
+        chunks=24, chunk_schedule="geometric",
+        cost_per_element=float(MAX_ITER))
+    return AnytimeAutomaton([stage], name="mandelbrot",
+                            external={"view": np.array(VIEW)})
+
+
+def main() -> None:
+    automaton = build_mandelbrot_automaton()
+    reference = automaton.precise_output()
+    result = automaton.run_simulated(total_cores=32)
+    profile = automaton.profile(result)
+
+    print("anytime Mandelbrot: a brand-new app on the public API\n")
+    print(profile.format_table(max_rows=10))
+
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    records = result.output_records("fractal")
+    for pick in (len(records) // 2, 3 * len(records) // 4, -1):
+        rec = records[pick]
+        name = f"v{rec.version:03d}.pgm"
+        write_pnm(OUT_DIR / name, rec.value)
+        quality = snr_db(rec.value, reference)
+        print(f"saved {name}  "
+              f"({'exact' if rec.final else f'{quality:.1f} dB'})")
+    print(f"\nimages in {OUT_DIR} — the fractal sharpens "
+          "coarse-to-fine, versions arrive early (geometric chunks)")
+    print("note the flat early SNR: a fractal boundary has no spatial "
+          "smoothness,\nso block fills mispredict until sampling gets "
+          "dense — anytime guarantees\nstill hold, but the profile "
+          "shape is content-dependent")
+
+
+if __name__ == "__main__":
+    main()

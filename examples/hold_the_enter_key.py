@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: anytime search.
+
+"Imagine typing a search engine query and instead of pressing the enter
+key, you hold it based on the desired amount of precision in the search."
+
+This example runs an anytime top-10 search over a synthetic corpus and
+prints the result set as it sharpens — each row is a complete, valid
+answer; holding longer only improves recall, and releasing at any moment
+costs nothing.
+
+Run:  python examples/hold_the_enter_key.py
+"""
+
+import numpy as np
+
+from repro.apps.search import (build_search_automaton, make_corpus,
+                               recall_at_k, search_precise)
+
+N_DOCS = 8192
+K = 10
+
+
+def main() -> None:
+    corpus = make_corpus(n_docs=N_DOCS, n_terms=64, seed=0)
+    rng = np.random.default_rng(42)
+    query = rng.dirichlet(np.ones(corpus.n_terms) * 0.3)
+    reference = search_precise(corpus, query, k=K)
+
+    automaton = build_search_automaton(corpus, query, k=K, chunks=16)
+    result = automaton.run_simulated(total_cores=32)
+    baseline = automaton.baseline_duration(32)
+
+    print(f"query over {N_DOCS} documents, top-{K}; "
+          f"LFSR-sampled anytime reduction\n")
+    print(f"{'held for':>9} {'docs seen':>10} {'recall':>7}  top hits")
+    records = result.output_records("hits")
+    for i, rec in enumerate(records):
+        docs_seen = (i + 1) * N_DOCS // len(records)
+        recall = recall_at_k(rec.value, reference)
+        ids = rec.value[:4, 0].astype(int).tolist()
+        more = "..." if len(rec.value) > 4 else ""
+        print(f"{rec.time / baseline:>8.2f}x {docs_seen:>10} "
+              f"{recall:>6.0%}  {ids}{more}")
+    print("\nevery row is a complete result set; the final one is the "
+          "exact top-10")
+    print("release the key whenever the hits look right — no cleanup, "
+          "no re-run")
+
+
+if __name__ == "__main__":
+    main()

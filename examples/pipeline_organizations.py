@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""The five automaton organizations of the paper's Figure 10, plus the
+string-capitalization synchronous-pipeline demo of Figures 8 and 9.
+
+Shows how the same application (sensor matrix -> dot product) behaves
+under: baseline, fused iterative re-execution, iterative + asynchronous
+pipeline, diffusive + asynchronous pipeline, and the synchronous pipeline
+that streams updates to a distributive consumer.
+
+Run:  python examples/pipeline_organizations.py
+"""
+
+from repro import ORGANIZATIONS, build_organization
+from repro.core.scheduling import equal_shares
+
+
+def figure10() -> None:
+    print("=== Figure 10: five organizations, one core per stage ===\n")
+    baseline_time = None
+    print(f"{'organization':>18} {'to precise':>12} {'first output':>14}")
+    for org in ORGANIZATIONS:
+        automaton = build_organization(org, m=64)
+        result = automaton.run_simulated(
+            total_cores=float(len(automaton.graph.stages)),
+            schedule=equal_shares)
+        records = result.output_records(automaton.terminal_buffer_name)
+        final_t, first_t = records[-1].time, records[0].time
+        if baseline_time is None:
+            baseline_time = final_t
+        print(f"{org:>18} {final_t / baseline_time:>11.2f}x "
+              f"{first_t / baseline_time:>13.2f}x")
+    print("\nthe synchronous pipeline beats the baseline to the precise "
+          "output:\nno stage repeats work, and the stages overlap")
+
+
+def figures8and9() -> None:
+    print("\n=== Figures 8-9: distributive g over a diffusive f ===\n")
+    import numpy as np
+
+    from repro.anytime.permutations import SequentialPermutation
+    from repro.core import (AnytimeAutomaton, SynchronousStage,
+                            UpdateChannel, VersionedBuffer)
+    from repro.core.diffusive import DiffusiveStage
+
+    word = "hello"
+    work_done = {"async": 0, "sync": 0}
+
+    class Letters(DiffusiveStage):
+        def __init__(self, out, emit_to=None):
+            super().__init__("f", out, (), shape=len(word),
+                             permutation=SequentialPermutation(),
+                             chunks=len(word), cost_per_element=1.0,
+                             emit_to=emit_to)
+
+        def init_state(self, values):
+            return {"s": ""}
+
+        def process_chunk(self, state, indices, values):
+            piece = "".join(word[i] for i in indices.tolist())
+            state["s"] += piece
+            return piece
+
+        def materialize(self, state, count, values):
+            return state["s"]
+
+        def precise(self, input_values):
+            return word
+
+    # asynchronous: g re-capitalizes the whole prefix per version
+    from repro.core.stage import PreciseStage
+
+    b_f, b_g = VersionedBuffer("F"), VersionedBuffer("G")
+
+    def cap_all(s):
+        work_done["async"] += len(s)
+        return s.upper()
+
+    auto = AnytimeAutomaton(
+        [Letters(b_f), PreciseStage("g", b_g, (b_f,), cap_all,
+                                    cost=len(word))])
+    auto.run_simulated(total_cores=2.0)
+
+    # synchronous: g capitalizes each new letter exactly once
+    b_f2, b_g2 = VersionedBuffer("F"), VersionedBuffer("G")
+    channel = UpdateChannel("F")
+
+    def cap_update(acc, piece):
+        work_done["sync"] += len(piece)
+        return acc + piece.upper()
+
+    auto = AnytimeAutomaton(
+        [Letters(b_f2, emit_to=channel),
+         SynchronousStage("g", b_g2, channel, initial_fn=lambda: "",
+                          update_fn=cap_update,
+                          update_cost=lambda x: float(len(x)),
+                          precise_fn=lambda fv: fv.upper(),
+                          precise_cost=float(len(word)))])
+    result = auto.run_simulated(total_cores=2.0)
+
+    print(f"word: {word!r} -> "
+          f"{result.timeline.final_record('G').value!r}")
+    print(f"letters capitalized, asynchronous pipeline: "
+          f"{work_done['async']} (re-processes the growing prefix)")
+    print(f"letters capitalized, synchronous pipeline:  "
+          f"{work_done['sync']} (each letter exactly once)")
+
+
+if __name__ == "__main__":
+    figure10()
+    figures8and9()

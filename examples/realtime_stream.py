@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Real-time stream processing with a hard per-frame budget.
+
+The model is "valuable in real-time environments where absolute
+time/energy constraints need to be met."  This example simulates a
+camera pipeline: a stream of frames must each be demosaiced within a
+fixed per-frame time budget.  Every frame makes its deadline by
+construction — the automaton is interrupted at the budget, and whatever
+the output buffer holds is shipped; frame content only changes *quality*,
+never timing.  A second pass shows the per-frame budget a target quality
+would need (the planner view).
+
+Run:  python examples/realtime_stream.py
+"""
+
+from repro import bayer_mosaic
+from repro.apps.debayer import build_debayer_automaton, debayer_precise
+from repro.core import DeadlineStop
+from repro.metrics.planning import DeadlinePlanner
+from repro.metrics.snr import snr_db
+
+FRAMES = 8
+SIZE = 128
+CORES = 32.0
+FRAME_BUDGET = 0.45       # x baseline runtime, per frame
+
+
+def main() -> None:
+    print(f"streaming {FRAMES} frames, per-frame budget "
+          f"{FRAME_BUDGET:.0%} of the precise runtime\n")
+    print(f"{'frame':>5} {'versions':>9} {'shipped SNR':>12} "
+          f"{'deadline met':>13}")
+    planner = DeadlinePlanner(margin=1.25)
+    for frame in range(FRAMES):
+        mosaic = bayer_mosaic(SIZE, seed=100 + frame)
+        reference = debayer_precise(mosaic)
+        automaton = build_debayer_automaton(mosaic, chunks=64)
+        deadline = automaton.baseline_duration(CORES) * FRAME_BUDGET
+        result = automaton.run_simulated(
+            total_cores=CORES, stop=DeadlineStop(deadline))
+        records = result.output_records("rgb")
+        quality = snr_db(records[-1].value, reference)
+        met = result.duration <= deadline + 1e-9
+        print(f"{frame:>5} {len(records):>9} {quality:>10.1f} dB "
+              f"{'yes' if met else 'NO':>13}")
+        # feed a full profile of the first frame to the planner
+        if frame == 0:
+            probe = build_debayer_automaton(mosaic, chunks=64)
+            full = probe.run_simulated(total_cores=CORES)
+            planner.calibrate(probe.profile(full, total_cores=CORES))
+
+    print("\nplanner view (calibrated on frame 0): per-frame budget "
+          "needed for a target quality")
+    for target in (15.0, 20.0, 25.0):
+        print(f"  {target:.0f} dB -> "
+              f"{planner.budget_for(target):.2f}x baseline per frame")
+    print("\nevery frame shipped a complete image at the deadline; "
+          "harder frames ship at lower SNR instead of arriving late")
+
+
+if __name__ == "__main__":
+    main()

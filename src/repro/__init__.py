@@ -1,0 +1,61 @@
+"""The Anytime Automaton — reproduction of San Miguel & Enright Jerger,
+"The Anytime Automaton", ISCA 2016.
+
+A computation model that executes an approximate application as a
+parallel pipeline of anytime computation stages: approximate versions of
+the whole application output appear early and improve monotonically until
+the precise output is reached, and execution can be interrupted at any
+moment with a valid result.
+
+Quick tour::
+
+    from repro import build_conv2d_automaton, scene_image
+
+    image = scene_image(256)
+    automaton = build_conv2d_automaton(image)
+    result = automaton.run_simulated(total_cores=32)
+    profile = automaton.profile(result)       # runtime vs SNR curve
+    print(profile.format_table(max_rows=10))
+
+Packages:
+
+- :mod:`repro.core` — the model: stages, buffers, pipelines, executors.
+- :mod:`repro.anytime` — the transformation toolkit: permutations,
+  operators, fills, perforation, reduced precision.
+- :mod:`repro.hw` — simulated hardware substrates: approximate SRAM and
+  DRAM, fixed point, cache + prefetcher, energy.
+- :mod:`repro.apps` — the evaluation applications (2dconv, histeq,
+  dwt53, debayer, kmeans, and the Figure 10 organization demo).
+- :mod:`repro.data` — deterministic synthetic inputs.
+- :mod:`repro.metrics` — SNR and runtime-accuracy profiles.
+- :mod:`repro.bench` — the experiment harness regenerating every figure.
+"""
+
+from .anytime import (LfsrPermutation, SequentialPermutation,
+                      StrideSchedule, TreePermutation)
+from .apps import (build_conv2d_automaton, build_debayer_automaton,
+                   build_dwt53_automaton, build_histeq_automaton,
+                   build_kmeans_automaton)
+from .apps.pipeline_demo import ORGANIZATIONS, build_organization
+from .core import (AccuracyTarget, AnytimeAutomaton, DeadlineStop,
+                   EnergyBudget, ManualStop, SimulatedExecutor,
+                   ThreadedExecutor, VersionedBuffer)
+from .data import bayer_mosaic, clustered_image, scene_image
+from .metrics import RuntimeAccuracyProfile, snr_db
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LfsrPermutation", "SequentialPermutation", "StrideSchedule",
+    "TreePermutation",
+    "build_conv2d_automaton", "build_debayer_automaton",
+    "build_dwt53_automaton", "build_histeq_automaton",
+    "build_kmeans_automaton",
+    "ORGANIZATIONS", "build_organization",
+    "AccuracyTarget", "AnytimeAutomaton", "DeadlineStop", "EnergyBudget",
+    "ManualStop", "SimulatedExecutor", "ThreadedExecutor",
+    "VersionedBuffer",
+    "bayer_mosaic", "clustered_image", "scene_image",
+    "RuntimeAccuracyProfile", "snr_db",
+    "__version__",
+]

@@ -1,0 +1,240 @@
+"""Fill policies for output sampling.
+
+An output-sampled map stage (paper Section III-B2, "Output Sampling") has
+computed only a prefix of its output elements at any instant.  The output
+buffer must nonetheless always hold a *valid, whole* approximation of the
+output (that is the entire point of the model), so the unsampled elements
+are filled from the sampled ones.
+
+For the tree permutation the natural fill is **progressive resolution**
+(paper Figure 5): after ``4**k`` samples of a 2-D output, each sample owns
+a ``(rows / 2**k) x (cols / 2**k)`` block and the output looks like a
+``2**k x 2**k`` image upscaled — exactly the visualization the paper shows.
+:class:`TreeFill` implements this block-replication fill.
+
+For unordered (pseudo-random) sampling, :class:`NearestFill` fills each
+missing element from its nearest computed neighbour, and
+:class:`ConstantFill` / :class:`MeanFill` provide cheap alternatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FillPolicy", "TreeFill", "NearestFill", "ConstantFill",
+           "MeanFill", "sample_levels"]
+
+
+class FillPolicy:
+    """Strategy for completing a partially sampled output.
+
+    Subclasses implement :meth:`fill`.
+
+    Parameters common to :meth:`fill`:
+
+    - ``dense`` — the stage's internal output array (full shape); entries at
+      ``order[:count]`` (flat indices into the leading ``spatial_ndim``
+      axes) hold computed values, the rest are stale/uninitialized.
+    - ``order`` — the sampling permutation (flat indices).
+    - ``count`` — how many samples have been computed so far.
+
+    ``fill`` returns a new array of the same shape with every element
+    holding a valid approximation.  It must not modify ``dense``.
+    """
+
+    #: how many leading axes of ``dense`` the permutation indexes
+    spatial_ndim: int | None = None
+
+    def fill(self, dense: np.ndarray, order: np.ndarray,
+             count: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+def _spatial_shape(dense: np.ndarray, order: np.ndarray,
+                   spatial_ndim: int | None) -> tuple[int, ...]:
+    """Infer which leading axes of ``dense`` the flat ``order`` indexes."""
+    if spatial_ndim is not None:
+        shape = dense.shape[:spatial_ndim]
+    else:
+        shape = dense.shape
+    n = int(np.prod(shape)) if shape else 1
+    if n != len(order):
+        raise ValueError(
+            f"order length {len(order)} does not match spatial shape "
+            f"{shape} of dense array {dense.shape}")
+    return shape
+
+
+def sample_levels(order: np.ndarray,
+                  shape: tuple[int, ...]) -> np.ndarray:
+    """Return the tree level of each sample in visit order.
+
+    The level of a coordinate is determined by its trailing zero bits: a
+    coordinate that is a multiple of ``2**(width - k)`` in every dimension
+    first appears at level ``k``.  For a tree permutation, levels are
+    non-decreasing along the visit order.
+    """
+    coords = np.unravel_index(np.asarray(order, dtype=np.int64), shape)
+    levels = np.zeros(len(order), dtype=np.int64)
+    for d, extent in enumerate(shape):
+        width = max(1, int(np.ceil(np.log2(extent)))) if extent > 1 else 0
+        if width == 0:
+            continue
+        c = coords[d].astype(np.int64)
+        # trailing zeros, with tz(0) = width
+        tz = np.full(len(order), width, dtype=np.int64)
+        nonzero = c != 0
+        cc = c[nonzero]
+        t = np.zeros(len(cc), dtype=np.int64)
+        rem = cc.copy()
+        while True:
+            even = (rem & 1) == 0
+            if not even.any():
+                break
+            t[even] += 1
+            rem[even] >>= 1
+        tz[nonzero] = t
+        levels = np.maximum(levels, width - tz)
+    return levels
+
+
+class TreeFill(FillPolicy):
+    """Progressive-resolution block fill for tree-sampled outputs.
+
+    Each computed sample paints the block of output elements it owns at its
+    level; finer levels overwrite coarser ones, so the filled output is the
+    paper's progressively-sharpening image.  Works for any number of
+    spatial dimensions; ``spatial_ndim`` selects how many leading axes the
+    permutation indexes (e.g. 2 for an RGB image sampled per pixel).
+    """
+
+    def __init__(self, spatial_ndim: int | None = None) -> None:
+        self.spatial_ndim = spatial_ndim
+        self._level_cache: dict[tuple[int, tuple[int, ...]], np.ndarray] = {}
+
+    def _levels(self, order: np.ndarray,
+                shape: tuple[int, ...]) -> np.ndarray:
+        key = (len(order), shape)
+        if key not in self._level_cache:
+            self._level_cache[key] = sample_levels(order, shape)
+        return self._level_cache[key]
+
+    def fill(self, dense: np.ndarray, order: np.ndarray,
+             count: int) -> np.ndarray:
+        shape = _spatial_shape(dense, order, self.spatial_ndim)
+        out = np.zeros_like(dense)
+        if count <= 0:
+            return out
+        count = min(count, len(order))
+        levels = self._levels(order, shape)
+        prefix_levels = levels[:count]
+        widths = [max(1, int(np.ceil(np.log2(s)))) if s > 1 else 0
+                  for s in shape]
+        max_level = max(widths) if widths else 0
+        # The finest fully complete level's blocks tile the whole output,
+        # so coarser levels cannot show through and are skipped.
+        complete = 0
+        for k in range(max_level + 1):
+            if (levels <= k).sum() <= count:
+                complete = k
+            else:
+                break
+        coords = np.unravel_index(order[:count], shape)
+        flat_dense = dense.reshape((int(np.prod(shape)),) + dense.shape[
+            len(shape):])
+        for k in range(complete, max_level + 1):
+            sel = prefix_levels == k if k > complete else prefix_levels <= k
+            if not sel.any():
+                continue
+            values = flat_dense[order[:count][sel]]
+            block = [1 << max(w - k, 0) for w in widths]
+            if all(b == 1 for b in block):
+                idx = tuple(c[sel] for c in coords)
+                out[idx] = values
+                continue
+            # Scatter each sample's value over its owned block.  Index
+            # arrays broadcast (samples, b0, b1, ...); edge blocks of
+            # non-power-of-two outputs clip to the boundary.
+            idx = []
+            for d, b in enumerate(block):
+                offs = np.arange(b, dtype=np.int64)
+                ix = coords[d][sel].reshape(
+                    (-1,) + (1,) * len(block))
+                offs = offs.reshape(
+                    tuple(b if dd == d else 1
+                          for dd in range(len(block))))
+                idx.append(np.minimum(ix + offs, shape[d] - 1))
+            out[tuple(idx)] = values.reshape(
+                (values.shape[0],) + (1,) * len(block) + values.shape[1:])
+        return out
+
+
+class NearestFill(FillPolicy):
+    """Fill each missing element from its nearest computed element.
+
+    Uses a Euclidean distance transform over the computed mask; suited to
+    pseudo-random (LFSR) output sampling where no block structure exists.
+    """
+
+    def __init__(self, spatial_ndim: int | None = None) -> None:
+        self.spatial_ndim = spatial_ndim
+
+    def fill(self, dense: np.ndarray, order: np.ndarray,
+             count: int) -> np.ndarray:
+        from scipy import ndimage
+
+        shape = _spatial_shape(dense, order, self.spatial_ndim)
+        if count <= 0:
+            return np.zeros_like(dense)
+        count = min(count, len(order))
+        mask = np.zeros(shape, dtype=bool)
+        mask.reshape(-1)[order[:count]] = True
+        if mask.all():
+            return dense.copy()
+        nearest = ndimage.distance_transform_edt(
+            ~mask, return_distances=False, return_indices=True)
+        idx = tuple(nearest[d] for d in range(len(shape)))
+        return dense[idx]
+
+
+class ConstantFill(FillPolicy):
+    """Fill missing elements with a constant (default 0)."""
+
+    def __init__(self, value: float = 0.0,
+                 spatial_ndim: int | None = None) -> None:
+        self.value = value
+        self.spatial_ndim = spatial_ndim
+
+    def fill(self, dense: np.ndarray, order: np.ndarray,
+             count: int) -> np.ndarray:
+        shape = _spatial_shape(dense, order, self.spatial_ndim)
+        out = np.full_like(dense, self.value)
+        if count > 0:
+            count = min(count, len(order))
+            flat_out = out.reshape((int(np.prod(shape)),) + out.shape[
+                len(shape):])
+            flat_dense = dense.reshape(flat_out.shape)
+            flat_out[order[:count]] = flat_dense[order[:count]]
+        return out
+
+
+class MeanFill(FillPolicy):
+    """Fill missing elements with the mean of the computed ones."""
+
+    def __init__(self, spatial_ndim: int | None = None) -> None:
+        self.spatial_ndim = spatial_ndim
+
+    def fill(self, dense: np.ndarray, order: np.ndarray,
+             count: int) -> np.ndarray:
+        shape = _spatial_shape(dense, order, self.spatial_ndim)
+        if count <= 0:
+            return np.zeros_like(dense)
+        count = min(count, len(order))
+        flat_dense = dense.reshape((int(np.prod(shape)),) + dense.shape[
+            len(shape):])
+        computed = flat_dense[order[:count]]
+        mean = computed.mean(axis=0)
+        out = np.broadcast_to(mean, dense.shape).astype(
+            dense.dtype, copy=True).reshape(flat_dense.shape)
+        out[order[:count]] = computed
+        return out.reshape(dense.shape)

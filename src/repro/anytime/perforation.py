@@ -1,0 +1,111 @@
+"""Loop perforation as an iterative anytime technique (paper III-B1).
+
+Loop perforation skips loop iterations with a fixed stride, trading output
+accuracy for runtime.  Made anytime, the perforated computation is
+re-executed with progressively smaller strides ``s_1 > s_2 > ... > s_n = 1``
+so accuracy increases over time, and the final pass (stride 1) is the
+precise computation.
+
+The paper points out that this *iterative* construction performs redundant
+work: iterations at common multiples of the strides execute multiple times,
+and the final precise pass re-executes everything.  This module provides
+the stride-schedule machinery plus an audit of exactly how much work is
+redundant — used by the Figure 13 benchmark (dwt53's "steep" curve) and
+the redundancy ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StrideSchedule", "perforated_indices", "geometric_strides"]
+
+
+def perforated_indices(n: int, stride: int, offset: int = 0) -> np.ndarray:
+    """Indices executed by one perforated pass over ``range(n)``."""
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    if not 0 <= offset < stride:
+        raise ValueError(f"offset must be in [0, stride), got {offset}")
+    return np.arange(offset, n, stride, dtype=np.int64)
+
+
+def geometric_strides(start: int, factor: int = 2) -> tuple[int, ...]:
+    """A stride ladder ``start, start/factor, ..., 1``.
+
+    ``start`` must be a power of ``factor`` so the ladder lands exactly on
+    stride 1 (the precise pass).
+    """
+    if start < 1:
+        raise ValueError(f"start must be >= 1, got {start}")
+    if factor < 2:
+        raise ValueError(f"factor must be >= 2, got {factor}")
+    strides = []
+    s = start
+    while s > 1:
+        strides.append(s)
+        if s % factor != 0:
+            raise ValueError(
+                f"start {start} is not a power of factor {factor}")
+        s //= factor
+    strides.append(1)
+    return tuple(strides)
+
+
+@dataclass(frozen=True)
+class StrideSchedule:
+    """An anytime loop-perforation schedule.
+
+    The schedule validates the paper's requirements: strides strictly
+    decrease (accuracy strictly increases) and the final stride is 1 (the
+    last intermediate computation is the precise one).
+    """
+
+    strides: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.strides:
+            raise ValueError("schedule needs at least one stride")
+        for a, b in zip(self.strides, self.strides[1:]):
+            if b >= a:
+                raise ValueError(
+                    f"strides must strictly decrease, got {self.strides}")
+        if self.strides[-1] != 1:
+            raise ValueError(
+                f"final stride must be 1 (precise), got {self.strides}")
+
+    @property
+    def levels(self) -> int:
+        """Number of intermediate computations ``n``."""
+        return len(self.strides)
+
+    def indices(self, n: int, level: int) -> np.ndarray:
+        """Loop iterations executed by intermediate computation ``level``
+        (0-based)."""
+        return perforated_indices(n, self.strides[level])
+
+    def work(self, n: int, level: int) -> int:
+        """Iterations executed at ``level`` for a loop of ``n``."""
+        return len(self.indices(n, level))
+
+    def total_work(self, n: int) -> int:
+        """Iterations executed across all levels (including redundancy)."""
+        return sum(self.work(n, lv) for lv in range(self.levels))
+
+    def redundant_work(self, n: int) -> int:
+        """Iterations executed more than once, counted with multiplicity.
+
+        The precise loop needs ``n`` iterations; everything beyond that is
+        the price of the iterative construction (paper III-B1: "this
+        approach yields redundant work for loop iterations that are common
+        multiples of the selected strides", plus the full final pass).
+        """
+        return self.total_work(n) - n
+
+    def redundancy_ratio(self, n: int) -> float:
+        """Total work divided by precise work (>= 1)."""
+        if n <= 0:
+            return 1.0
+        return self.total_work(n) / n

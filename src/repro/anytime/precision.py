@@ -1,0 +1,146 @@
+"""Reduced fixed-point precision as a diffusive anytime technique.
+
+Paper Section III-B2, "Reduced Fixed-Point Precision": the binary
+representation of an integer is a sum of powers of two, and addition is
+commutative, so computing with one more bit plane at a time is *input
+sampling over bits* with a sequential permutation (most-significant bits
+first).  Crucially this is diffusive: the partial result accumulated from
+the top ``k`` bit planes is reused, not recomputed, when plane ``k+1``
+arrives — no work beyond the baseline multiply-accumulate is performed
+(Figure 6).
+
+This module provides bit-plane decomposition of integer arrays and anytime
+(bit-serial) dot products / convolutions built on it, plus plain
+truncation-based quantization used by the Figure 19 precision sweep.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = [
+    "bit_planes",
+    "keep_top_bits",
+    "quantize_to_bits",
+    "anytime_dot",
+    "AnytimeDotProduct",
+]
+
+
+def bit_planes(values: np.ndarray, bits: int) -> list[np.ndarray]:
+    """Decompose non-negative integers into weighted bit planes.
+
+    Returns ``bits`` arrays, most-significant first, whose elementwise sum
+    reconstructs ``values``.  Plane ``j`` (from the top) holds
+    ``bit * 2**(bits - 1 - j)``.
+    """
+    values = np.asarray(values)
+    if not np.issubdtype(values.dtype, np.integer):
+        raise TypeError(f"bit_planes needs integers, got {values.dtype}")
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if (values < 0).any():
+        raise ValueError("bit_planes handles non-negative values only; "
+                         "offset or sign-split signed data first")
+    if values.size and int(values.max()) >= (1 << bits):
+        raise ValueError(
+            f"values exceed {bits} bits (max {int(values.max())})")
+    planes = []
+    for j in range(bits - 1, -1, -1):
+        planes.append(((values >> j) & 1).astype(np.int64) << j)
+    return planes
+
+
+def keep_top_bits(values: np.ndarray, bits: int, total_bits: int,
+                  ) -> np.ndarray:
+    """Zero all but the top ``bits`` of ``total_bits``-bit integers.
+
+    This is the mask the paper writes as ``W & 2**(32-i)`` family: the
+    value seen after the first ``bits`` bit planes have been accumulated.
+    """
+    if not 0 <= bits <= total_bits:
+        raise ValueError(
+            f"bits must be in [0, {total_bits}], got {bits}")
+    values = np.asarray(values)
+    mask = ((1 << bits) - 1) << (total_bits - bits)
+    return values & mask
+
+
+def quantize_to_bits(values: np.ndarray, bits: int,
+                     total_bits: int = 8) -> np.ndarray:
+    """Truncate ``total_bits``-bit pixel data to its top ``bits`` bits.
+
+    Used by the Figure 19 sweep ("8-bit (default), 6-bit, 4-bit and 2-bit
+    pixel precisions"): an 8-bit pixel at 4-bit precision keeps bits 7..4.
+    """
+    return keep_top_bits(values, bits, total_bits)
+
+
+def anytime_dot(inputs: np.ndarray, weights: np.ndarray, bits: int,
+                ) -> Iterator[np.ndarray]:
+    """Yield the running partial dot product ``inputs . weights`` as the
+    bit planes of ``weights`` are folded in, most-significant first.
+
+    After the final yield the result equals the precise
+    ``inputs @ weights`` (integer arithmetic).  Weights must be
+    non-negative ``bits``-bit integers; inputs may be any integers.
+
+    This is the generator behind the paper's Figure 6: each yielded value
+    is the output of the next intermediate computation ``f_i`` of the
+    diffusive reduced-precision stage.
+    """
+    inputs = np.asarray(inputs, dtype=np.int64)
+    acc: np.ndarray | None = None
+    for plane in bit_planes(np.asarray(weights), bits):
+        contribution = inputs @ plane
+        acc = contribution if acc is None else acc + contribution
+        yield acc
+
+
+class AnytimeDotProduct:
+    """Stateful anytime dot product: one bit plane per :meth:`step`.
+
+    A small convenience wrapper over :func:`anytime_dot` exposing the
+    accumulated output, the number of planes consumed and the exactness
+    check against the precise product; used by tests, the quickstart
+    example and the Figure 10 organization comparison.
+    """
+
+    def __init__(self, inputs: np.ndarray, weights: np.ndarray,
+                 bits: int) -> None:
+        self.inputs = np.asarray(inputs, dtype=np.int64)
+        self.weights = np.asarray(weights)
+        self.bits = bits
+        self._gen = anytime_dot(self.inputs, self.weights, bits)
+        self._steps = 0
+        self.value: np.ndarray | None = None
+
+    @property
+    def steps_done(self) -> int:
+        """Bit planes consumed so far."""
+        return self._steps
+
+    @property
+    def done(self) -> bool:
+        return self._steps >= self.bits
+
+    def step(self) -> np.ndarray:
+        """Fold in the next (most significant remaining) bit plane."""
+        if self.done:
+            raise StopIteration("all bit planes consumed")
+        self.value = next(self._gen)
+        self._steps += 1
+        return self.value
+
+    def run_to_completion(self) -> np.ndarray:
+        """Consume all remaining planes and return the precise product."""
+        while not self.done:
+            self.step()
+        assert self.value is not None
+        return self.value
+
+    def precise(self) -> np.ndarray:
+        """The reference precise product (computed directly)."""
+        return self.inputs @ np.asarray(self.weights, dtype=np.int64)

@@ -1,0 +1,212 @@
+"""K-means clustering (AxBench ``kmeans``) — paper Figures 15, 18.
+
+"We construct an automaton with two stages in an asynchronous pipeline.
+The first stage computes the cluster centroids and assigns pixels to
+clusters based on their Euclidean distances.  This is diffusive; we
+employ anytime output sampling with a tree permutation.  The second
+(non-anytime) stage reduces the centroid computations of the multiple
+threads from the previous stage."
+
+Stage 1 samples pixels in tree order, assigning each to the nearest
+centroid while accumulating per-cluster colour sums and counts (the
+"thread-privatized" partials).  Stage 2 reduces the partials into updated
+centroids — valid at any sample size, no weighting needed since the mean
+is ``sums / counts`` — and recolours the assignment image with them: that
+clustered image is the application output whose SNR the figures report.
+
+Because stage 2 re-executes per assignment version, its core share
+controls the gap between whole-application outputs; the kmeans benchmark
+uses the final-stage scheduling policy (paper Section IV-C2) for exactly
+this reason.  ``epochs > 1`` chains additional assign/reduce pairs (an
+extension beyond the paper's single pass).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..anytime.fill import TreeFill
+from ..anytime.permutations import TreePermutation
+from ..core.automaton import AnytimeAutomaton
+from ..core.buffer import VersionedBuffer
+from ..core.diffusive import DiffusiveStage
+from ..core.stage import PreciseStage
+
+__all__ = ["initial_centroids", "assign_pixels", "kmeans_precise",
+           "build_kmeans_automaton", "KMeansAssignStage",
+           "clustered_image_metric"]
+
+
+def initial_centroids(image: np.ndarray, k: int) -> np.ndarray:
+    """Deterministic centroid seeding: colour-space quantiles.
+
+    Pixels are ranked by luma; centroid ``j`` is the mean colour of
+    quantile band ``j`` — spread across the image's colour range without
+    randomness, so runs are reproducible.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    flat = np.asarray(image, dtype=np.float64).reshape(-1, 3)
+    luma = flat @ np.array([0.299, 0.587, 0.114])
+    order = np.argsort(luma, kind="stable")
+    bands = np.array_split(order, k)
+    return np.stack([flat[band].mean(axis=0) if band.size
+                     else np.full(3, 128.0) for band in bands])
+
+
+def assign_pixels(pixels: np.ndarray,
+                  centroids: np.ndarray) -> np.ndarray:
+    """Index of the nearest centroid (squared Euclidean) per pixel row."""
+    pixels = np.asarray(pixels, dtype=np.float64)
+    centroids = np.asarray(centroids, dtype=np.float64)
+    d2 = ((pixels[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    return np.argmin(d2, axis=1)
+
+
+class KMeansAssignStage(DiffusiveStage):
+    """Diffusive pixel assignment with partial-centroid accumulation.
+
+    State: the dense assignment image (persists across passes — stale
+    assignments from the previous centroid version remain valid
+    approximations) plus per-cluster colour sums and counts, which reset
+    every pass (they would double-count otherwise).
+    """
+
+    def __init__(self, name: str, output: VersionedBuffer,
+                 centroids_in: VersionedBuffer, image_in: VersionedBuffer,
+                 image_shape: tuple[int, int], k: int,
+                 chunks: int = 32, prefetcher: bool = False) -> None:
+        super().__init__(
+            name, output, (centroids_in, image_in),
+            shape=image_shape, permutation=TreePermutation(),
+            chunks=chunks, cost_per_element=4.0 * k,
+            prefetcher=prefetcher)
+        self.k = k
+        self._fill = TreeFill(spatial_ndim=2)
+
+    def init_state(self, values: tuple[Any, ...]) -> dict[str, Any]:
+        prev = self._state
+        assign = (prev["assign"] if prev is not None
+                  else np.zeros(self.shape, dtype=np.int64))
+        return {"assign": assign,
+                "sums": np.zeros((self.k, 3), dtype=np.float64),
+                "counts": np.zeros(self.k, dtype=np.int64)}
+
+    def process_chunk(self, state: dict[str, Any], indices: np.ndarray,
+                      values: tuple[Any, ...]) -> Any:
+        centroids, image = values
+        pixels = np.asarray(image).reshape(-1, 3)[indices]
+        labels = assign_pixels(pixels, centroids)
+        state["assign"].reshape(-1)[indices] = labels
+        np.add.at(state["sums"], labels, pixels.astype(np.float64))
+        state["counts"] += np.bincount(labels, minlength=self.k)
+        return (indices, labels)
+
+    def materialize(self, state: dict[str, Any], count: int,
+                    values: tuple[Any, ...]) -> dict[str, Any]:
+        if count >= self.n_elements or self._completed_passes > 0:
+            assign = state["assign"].copy()
+        else:
+            assign = self._fill.fill(state["assign"], self.order, count)
+        return {"assign": assign,
+                "sums": state["sums"].copy(),
+                "counts": state["counts"].copy(),
+                "centroids_in": values[0]}
+
+    def precise(self, input_values: dict[str, Any]) -> dict[str, Any]:
+        centroids = input_values[self.inputs[0].name]
+        image = input_values[self.inputs[1].name]
+        pixels = np.asarray(image).reshape(-1, 3)
+        labels = assign_pixels(pixels, centroids)
+        sums = np.zeros((self.k, 3), dtype=np.float64)
+        np.add.at(sums, labels, pixels.astype(np.float64))
+        return {"assign": labels.reshape(self.shape),
+                "sums": sums,
+                "counts": np.bincount(labels, minlength=self.k),
+                "centroids_in": centroids}
+
+
+def _reduce_and_recolour(partial: dict[str, Any]) -> dict[str, Any]:
+    """Stage 2: centroids from the partial sums; recoloured image.
+
+    Empty clusters keep the centroid the assignment pass used.
+    """
+    counts = partial["counts"].astype(np.float64)
+    safe = np.maximum(counts, 1.0)[:, None]
+    fresh = partial["sums"] / safe
+    prev = np.asarray(partial["centroids_in"], dtype=np.float64)
+    centroids = np.where(partial["counts"][:, None] > 0, fresh, prev)
+    palette = np.clip(centroids, 0, 255).astype(np.uint8)
+    return {"centroids": centroids, "image": palette[partial["assign"]]}
+
+
+def clustered_image_metric(value: dict[str, Any],
+                           reference: Any) -> float:
+    """SNR of the clustered image inside the stage-2 output dict.
+
+    ``reference`` may be the precise stage-2 dict or a bare image array
+    (e.g. from :func:`kmeans_precise`).
+    """
+    from ..metrics.snr import snr_db
+
+    if isinstance(reference, dict):
+        reference = reference["image"]
+    return snr_db(value["image"], reference)
+
+
+def kmeans_precise(image: np.ndarray, k: int = 6,
+                   epochs: int = 1) -> np.ndarray:
+    """Reference clustered image (same epoch count as the automaton)."""
+    image = np.asarray(image, dtype=np.uint8)
+    centroids = initial_centroids(image, k)
+    pixels = image.reshape(-1, 3)
+    labels = assign_pixels(pixels, centroids)
+    for _ in range(epochs):
+        labels = assign_pixels(pixels, centroids)
+        sums = np.zeros((k, 3), dtype=np.float64)
+        np.add.at(sums, labels, pixels.astype(np.float64))
+        counts = np.bincount(labels, minlength=k)
+        fresh = sums / np.maximum(counts, 1)[:, None]
+        centroids = np.where(counts[:, None] > 0, fresh, centroids)
+    palette = np.clip(centroids, 0, 255).astype(np.uint8)
+    return palette[labels].reshape(image.shape)
+
+
+def build_kmeans_automaton(image: np.ndarray, k: int = 6,
+                           epochs: int = 1, chunks: int = 32,
+                           prefetcher: bool = False) -> AnytimeAutomaton:
+    """The two-stage kmeans automaton (times ``epochs``)."""
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    image = np.asarray(image, dtype=np.uint8)
+    h, w = image.shape[:2]
+    n = h * w
+    b_img = VersionedBuffer("image")
+    b_c0 = VersionedBuffer("centroids0")
+    stages = []
+    prev_c = b_c0
+    for e in range(1, epochs + 1):
+        b_a = VersionedBuffer(f"partial{e}")
+        b_r = VersionedBuffer(f"clustered{e}" if e == epochs
+                              else f"reduced{e}")
+        assign = KMeansAssignStage(f"assign{e}", b_a, prev_c, b_img,
+                                   image_shape=(h, w), k=k,
+                                   chunks=chunks, prefetcher=prefetcher)
+        reduce_ = PreciseStage(f"reduce{e}", b_r, (b_a,),
+                               _reduce_and_recolour,
+                               cost=float(n + 3 * k))
+        stages += [assign, reduce_]
+        if e < epochs:
+            # Chain epochs on the centroids: a light extraction stage
+            # exposes them as the next assign's input buffer.
+            b_c = VersionedBuffer(f"centroids{e}")
+            stages.append(PreciseStage(
+                f"centroids{e}", b_c, (b_r,),
+                lambda r: r["centroids"], cost=float(3 * k)))
+            prev_c = b_c
+    return AnytimeAutomaton(
+        stages, name="kmeans",
+        external={"image": image,
+                  "centroids0": initial_centroids(image, k)})

@@ -1,0 +1,241 @@
+"""The paper's summary example (Figure 10): five automaton organizations.
+
+Stage ``f`` processes sensor input ``I`` into a fixed-point matrix ``F``
+(modelled as the identity over 8-bit data, split into a high nibble
+``[AA]`` and a low nibble ``[.BB]``); dependent stage ``g`` computes the
+dot product ``F @ C``.  The five organizations compared in Figure 10:
+
+1. **baseline** — precise ``f`` then precise ``g``.
+2. **f iterative** — no pipeline: the whole application re-executes at
+   half then full precision (one fused sequential stage).
+3. **f iterative, asynchronous pipeline** — ``f``'s half- and
+   full-precision passes feed ``g`` through a buffer; ``g`` re-runs per
+   version, at a cost proportional to the operand precision.
+4. **f diffusive, asynchronous pipeline** — ``f`` adds the low nibble to
+   its previous output instead of recomputing, halving its total work.
+5. **f diffusive, g distributive, synchronous pipeline** — ``g``
+   receives the nibble *updates* and folds ``X_i @ C`` into its
+   accumulator: no stage repeats any work, and the precise output
+   arrives before the baseline finishes.
+
+Run each organization with one core per stage (Figure 10's drawing is
+one execution unit per stage) and compare the virtual completion times:
+the expected ordering is ``sync < baseline = diffusive-async <
+iterative-async < iterative``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.automaton import AnytimeAutomaton
+from ..core.buffer import Snapshot, VersionedBuffer
+from ..core.channel import UpdateChannel
+from ..core.diffusive import DiffusiveStage
+from ..core.iterative import AccuracyLevel, IterativeStage
+from ..core.stage import Body, Compute, PreciseStage, Stage, Write
+from ..core.syncstage import SynchronousStage
+
+__all__ = ["ORGANIZATIONS", "build_organization", "sensor_input",
+           "weight_matrix", "precise_result"]
+
+_HI = 0xF0
+_LO = 0x0F
+
+
+def sensor_input(m: int = 64, seed: int = 0) -> np.ndarray:
+    """The sensor matrix ``I`` (8-bit fixed-point samples)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(m, m), dtype=np.int64)
+
+
+def weight_matrix(m: int = 64, seed: int = 1) -> np.ndarray:
+    """The constant matrix ``C`` the dependent stage multiplies by."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(-8, 9, size=(m, m), dtype=np.int64)
+
+
+def precise_result(sensor: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    return np.asarray(sensor, dtype=np.int64) @ weights
+
+
+def _costs(m: int) -> tuple[float, float]:
+    """(cost of f, cost of g) — equal by construction so the five bars
+    of Figure 10 are directly comparable."""
+    work = float(m) ** 3
+    return work, work
+
+
+class _PrecisionDotStage(Stage):
+    """``g``: dot product whose cost scales with the operand precision.
+
+    Consumes ``(matrix, bits)`` tuples from ``f``; a half-precision input
+    costs half the multiply-accumulate work (bit-serial arithmetic).
+    """
+
+    def __init__(self, name: str, output: VersionedBuffer,
+                 f_buffer: VersionedBuffer, weights: np.ndarray,
+                 full_cost: float) -> None:
+        super().__init__(name, output, (f_buffer,))
+        self.weights = np.asarray(weights, dtype=np.int64)
+        self.full_cost = float(full_cost)
+
+    def run_once(self, snaps: dict[str, Snapshot],
+                 inputs_final: bool) -> Body:
+        matrix, bits = snaps[self.inputs[0].name].value
+        yield Compute(self.full_cost * bits / 8.0,
+                      label=f"{self.name}:{bits}b")
+        yield Write(np.asarray(matrix, np.int64) @ self.weights,
+                    final=inputs_final)
+
+    def precise(self, input_values: dict[str, Any]) -> np.ndarray:
+        matrix, _bits = input_values[self.inputs[0].name]
+        return np.asarray(matrix, np.int64) @ self.weights
+
+    @property
+    def precise_cost(self) -> float:
+        return self.full_cost
+
+
+class _NibbleDiffusionStage(DiffusiveStage):
+    """``f`` as a diffusive stage: high nibble first, low nibble added.
+
+    Element space = the two bit groups (sequential permutation: most
+    significant first); each chunk's update is the nibble matrix, which a
+    synchronous child can multiply independently.
+    """
+
+    def __init__(self, name: str, output: VersionedBuffer,
+                 sensor_in: VersionedBuffer, cost_f: float,
+                 emit_to: UpdateChannel | None = None) -> None:
+        from ..anytime.permutations import SequentialPermutation
+
+        super().__init__(name, output, (sensor_in,), shape=2,
+                         permutation=SequentialPermutation(), chunks=2,
+                         cost_per_element=cost_f / 2.0, emit_to=emit_to)
+
+    def init_state(self, values: tuple[Any, ...]) -> dict[str, Any]:
+        return {"acc": np.zeros_like(np.asarray(values[0], np.int64)),
+                "bits": 0}
+
+    def process_chunk(self, state: dict[str, Any], indices: np.ndarray,
+                      values: tuple[Any, ...]) -> Any:
+        sensor = np.asarray(values[0], dtype=np.int64)
+        mask = _HI if indices[0] == 0 else _LO
+        nibble = sensor & mask
+        state["acc"] = state["acc"] + nibble
+        state["bits"] += 4
+        return nibble
+
+    def materialize(self, state: dict[str, Any], count: int,
+                    values: tuple[Any, ...]) -> tuple[np.ndarray, int]:
+        return state["acc"].copy(), state["bits"]
+
+    def precise(self, input_values: dict[str, Any],
+                ) -> tuple[np.ndarray, int]:
+        return (np.asarray(input_values[self.inputs[0].name],
+                           np.int64).copy(), 8)
+
+
+def _build_baseline(sensor, weights, cf, cg) -> AnytimeAutomaton:
+    b_in = VersionedBuffer("I")
+    b_f = VersionedBuffer("F")
+    b_g = VersionedBuffer("G")
+    f = PreciseStage("f", b_f, (b_in,),
+                     lambda i: (np.asarray(i, np.int64).copy(), 8),
+                     cost=cf)
+    g = _PrecisionDotStage("g", b_g, b_f, weights, full_cost=cg)
+    return AnytimeAutomaton([f, g], name="fig10-baseline",
+                            external={"I": sensor})
+
+
+def _build_iterative_fused(sensor, weights, cf, cg) -> AnytimeAutomaton:
+    b_in = VersionedBuffer("I")
+    b_g = VersionedBuffer("G")
+
+    def at_bits(mask: int):
+        return lambda i: (np.asarray(i, np.int64) & mask) @ weights
+
+    stage = IterativeStage(
+        "fg", b_g, (b_in,),
+        [AccuracyLevel(at_bits(_HI), cost=(cf + cg) / 2.0,
+                       label="half"),
+         AccuracyLevel(at_bits(0xFF), cost=cf + cg, label="full")])
+    return AnytimeAutomaton([stage], name="fig10-iterative",
+                            external={"I": sensor})
+
+
+def _build_iterative_async(sensor, weights, cf, cg) -> AnytimeAutomaton:
+    b_in = VersionedBuffer("I")
+    b_f = VersionedBuffer("F")
+    b_g = VersionedBuffer("G")
+    f = IterativeStage(
+        "f", b_f, (b_in,),
+        [AccuracyLevel(
+            lambda i: ((np.asarray(i, np.int64) & _HI), 4),
+            cost=cf / 2.0, label="half"),
+         AccuracyLevel(
+            lambda i: (np.asarray(i, np.int64).copy(), 8),
+            cost=cf, label="full")])
+    g = _PrecisionDotStage("g", b_g, b_f, weights, full_cost=cg)
+    return AnytimeAutomaton([f, g], name="fig10-iterative-async",
+                            external={"I": sensor})
+
+
+def _build_diffusive_async(sensor, weights, cf, cg) -> AnytimeAutomaton:
+    b_in = VersionedBuffer("I")
+    b_f = VersionedBuffer("F")
+    b_g = VersionedBuffer("G")
+    f = _NibbleDiffusionStage("f", b_f, b_in, cost_f=cf)
+    g = _PrecisionDotStage("g", b_g, b_f, weights, full_cost=cg)
+    return AnytimeAutomaton([f, g], name="fig10-diffusive-async",
+                            external={"I": sensor})
+
+
+def _build_sync(sensor, weights, cf, cg) -> AnytimeAutomaton:
+    b_in = VersionedBuffer("I")
+    b_f = VersionedBuffer("F")
+    b_g = VersionedBuffer("G")
+    channel = UpdateChannel("F", capacity=1)
+    f = _NibbleDiffusionStage("f", b_f, b_in, cost_f=cf,
+                              emit_to=channel)
+    w = np.asarray(weights, dtype=np.int64)
+    g = SynchronousStage(
+        "g", b_g, channel,
+        initial_fn=lambda: np.zeros((sensor.shape[0], w.shape[1]),
+                                    dtype=np.int64),
+        update_fn=lambda acc, x: acc + np.asarray(x, np.int64) @ w,
+        update_cost=lambda x: cg / 2.0,
+        precise_fn=lambda fv: np.asarray(fv[0], np.int64) @ w,
+        precise_cost=cg)
+    return AnytimeAutomaton([f, g], name="fig10-sync",
+                            external={"I": sensor})
+
+
+#: organization name -> builder(sensor, weights, cf, cg)
+ORGANIZATIONS = {
+    "baseline": _build_baseline,
+    "iterative": _build_iterative_fused,
+    "iterative-async": _build_iterative_async,
+    "diffusive-async": _build_diffusive_async,
+    "sync": _build_sync,
+}
+
+
+def build_organization(name: str, m: int = 64,
+                       seed: int = 0) -> AnytimeAutomaton:
+    """Build one of the five Figure 10 organizations.
+
+    Run it with one core per stage (``total_cores=len(stages)``, equal
+    shares) to reproduce the figure's one-unit-per-stage timing.
+    """
+    if name not in ORGANIZATIONS:
+        raise KeyError(
+            f"unknown organization {name!r}; known: "
+            f"{sorted(ORGANIZATIONS)}")
+    sensor = sensor_input(m, seed=seed)
+    weights = weight_matrix(m, seed=seed + 1)
+    cf, cg = _costs(m)
+    return ORGANIZATIONS[name](sensor, weights, cf, cg)

@@ -1,0 +1,110 @@
+"""Benchmark harness shared by the per-figure benchmarks.
+
+Each figure of the paper's evaluation has an experiment function in
+:mod:`repro.bench.experiments` returning a :class:`FigureData`; the
+pytest-benchmark targets in ``benchmarks/`` time the underlying automaton
+runs and print the figure's rows.
+
+Experiment scale is controlled by the ``REPRO_BENCH_SIZE`` environment
+variable (image edge length, default 128; the paper used larger inputs —
+the curves' shapes are size-stable, which
+``tests/test_apps_integration.py`` checks at two sizes).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.automaton import AnytimeAutomaton
+from ..core.scheduling import SchedulingPolicy, proportional_shares
+from ..core.simexec import SimResult
+from ..metrics.profiles import RuntimeAccuracyProfile
+
+__all__ = ["FigureData", "bench_size", "bench_cores", "run_profile",
+           "format_rows"]
+
+#: default virtual-machine width — the paper's testbed exposes 32
+#: hardware threads (two nodes x four POWER7+ cores x SMT4)
+PAPER_CORES = 32.0
+
+
+def bench_size(default: int = 128) -> int:
+    """Image edge length for benchmarks (``REPRO_BENCH_SIZE`` override)."""
+    value = int(os.environ.get("REPRO_BENCH_SIZE", default))
+    if value < 16:
+        raise ValueError(f"REPRO_BENCH_SIZE too small: {value}")
+    return value
+
+
+def bench_cores() -> float:
+    """Simulated core count (``REPRO_BENCH_CORES`` override)."""
+    return float(os.environ.get("REPRO_BENCH_CORES", PAPER_CORES))
+
+
+@dataclass
+class FigureData:
+    """One reproduced figure: a titled table plus free-form notes."""
+
+    figure: str                 # e.g. "Figure 11"
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row: Any) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row width {len(row)} != header width "
+                f"{len(self.headers)}")
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        lines = [f"== {self.figure}: {self.title} =="]
+        lines.append(format_rows(self.headers, self.rows))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_rows(headers: tuple[str, ...],
+                rows: list[tuple[Any, ...]]) -> str:
+    """Plain-text aligned table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells
+              else len(h) for i, h in enumerate(headers)]
+    out = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+    for row in cells:
+        out.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def run_profile(build: Callable[[], AnytimeAutomaton],
+                cores: float | None = None,
+                schedule: SchedulingPolicy | dict[str, float]
+                = proportional_shares,
+                metric: Callable[[Any, Any], float] | None = None,
+                reference: Any = None,
+                ) -> tuple[RuntimeAccuracyProfile, SimResult,
+                           AnytimeAutomaton]:
+    """Build an automaton, run it simulated, return its profile."""
+    cores = bench_cores() if cores is None else cores
+    automaton = build()
+    result = automaton.run_simulated(total_cores=cores,
+                                     schedule=schedule)
+    profile = automaton.profile(result, total_cores=cores,
+                                metric=metric, reference=reference)
+    return profile, result, automaton

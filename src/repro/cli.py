@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``apps``
+    List the evaluation applications.
+``run <app>``
+    Build and execute one application's automaton, print its
+    runtime-accuracy profile, optionally stop at a deadline / energy
+    budget / target SNR, save the final output as a PGM/PPM image, or
+    execute in contract mode.
+``figures [name ...]``
+    Regenerate paper figures (default: all) and print their tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Any, Sequence
+
+from .apps.registry import APP_REGISTRY, get_app
+from .core.contract import run_contract
+from .core.controller import (AccuracyTarget, AnyOf, DeadlineStop,
+                              EnergyBudget, StopCondition)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The Anytime Automaton (ISCA 2016) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list evaluation applications")
+
+    run = sub.add_parser("run", help="execute one application")
+    run.add_argument("app", choices=sorted(APP_REGISTRY))
+    run.add_argument("--size", type=int, default=128,
+                     help="input image edge length (default 128)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--cores", type=float, default=32.0,
+                     help="simulated core count (default 32)")
+    run.add_argument("--deadline", type=float, default=None,
+                     metavar="FRAC",
+                     help="stop at FRAC x baseline runtime")
+    run.add_argument("--energy-budget", type=float, default=None,
+                     metavar="FRAC",
+                     help="stop at FRAC x the full run's energy")
+    run.add_argument("--target-snr", type=float, default=None,
+                     metavar="DB",
+                     help="stop once output SNR reaches DB")
+    run.add_argument("--contract", action="store_true",
+                     help="contract mode: size stages to --deadline "
+                          "up front instead of running interruptibly")
+    run.add_argument("--dynamic", action="store_true",
+                     help="dynamic core reallocation (generalized "
+                          "processor sharing)")
+    run.add_argument("--save", type=str, default=None, metavar="PATH",
+                     help="write the final output as PGM/PPM")
+    run.add_argument("--rows", type=int, default=12,
+                     help="profile rows to print (default 12)")
+
+    figures = sub.add_parser("figures",
+                             help="regenerate paper figures")
+    figures.add_argument("names", nargs="*",
+                         help="figure names (default: all)")
+    figures.add_argument("--size", type=int, default=None,
+                         help="override REPRO_BENCH_SIZE")
+    return parser
+
+
+def _cmd_apps() -> int:
+    width = max(len(name) for name in APP_REGISTRY)
+    for name in sorted(APP_REGISTRY):
+        print(f"{name:<{width}}  {APP_REGISTRY[name].description}")
+    return 0
+
+
+def _make_stop(args: argparse.Namespace, automaton: Any,
+               reference: Any, spec: Any,
+               full_energy: float | None) -> StopCondition | None:
+    conditions: list[StopCondition] = []
+    if args.deadline is not None:
+        conditions.append(DeadlineStop(
+            automaton.baseline_duration(args.cores) * args.deadline))
+    if args.energy_budget is not None:
+        if full_energy is None:
+            raise ValueError("energy budget needs a probe run")
+        conditions.append(EnergyBudget(full_energy
+                                       * args.energy_budget))
+    if args.target_snr is not None:
+        conditions.append(AccuracyTarget(
+            lambda value: spec.metric(value, reference),
+            target=args.target_snr))
+    if not conditions:
+        return None
+    return conditions[0] if len(conditions) == 1 else AnyOf(*conditions)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = get_app(args.app)
+    image = spec.make_input(args.size, args.seed)
+    automaton = spec.build(image)
+    reference = (spec.reference(image) if spec.reference_kind != "input"
+                 else image)
+
+    full_energy = None
+    if args.energy_budget is not None:
+        probe = spec.build(image)
+        full_energy = probe.run_simulated(
+            total_cores=args.cores, schedule=spec.schedule).energy
+
+    if args.contract:
+        if args.deadline is None:
+            print("error: --contract requires --deadline",
+                  file=sys.stderr)
+            return 2
+        plan, result, automaton = run_contract(
+            lambda: spec.build(image), args.deadline,
+            total_cores=args.cores, schedule=spec.schedule)
+        print(f"contract plan: budget {plan.budget_work:.0f} work "
+              f"units, planned {plan.planned_work:.0f}, "
+              f"precise={plan.achieves_precise}")
+    else:
+        stop = _make_stop(args, automaton, reference, spec, full_energy)
+        result = automaton.run_simulated(total_cores=args.cores,
+                                         schedule=spec.schedule,
+                                         stop=stop,
+                                         dynamic_shares=args.dynamic)
+
+    records = result.output_records(automaton.terminal_buffer_name)
+    if not records:
+        print("no output version was produced before the stop "
+              "condition fired; give it more budget")
+        return 1
+
+    # normalize against the *untrimmed* application's baseline so
+    # contract-mode runtimes compare against the same yardstick
+    baseline = (spec.build(image).baseline_duration(args.cores)
+                if args.contract
+                else automaton.baseline_duration(args.cores))
+    print(f"\n{args.app}: {len(records)} output version(s), "
+          f"{'stopped early' if result.stopped_early else 'completed'}")
+    print(f"{'runtime':>10}  {'SNR (dB)':>10}")
+    step = max(1, len(records) // max(args.rows, 1))
+    shown = list(records[::step])
+    if shown[-1] is not records[-1]:
+        shown.append(records[-1])
+    for rec in shown:
+        snr = spec.metric(rec.value, reference)
+        snr_text = "inf" if math.isinf(snr) else f"{snr:.2f}"
+        print(f"{rec.time / baseline:>10.3f}  {snr_text:>10}")
+
+    if args.save:
+        if spec.to_image is None:
+            print("this app's output is not imageable", file=sys.stderr)
+            return 2
+        from .data.pnm import write_pnm
+        write_pnm(args.save, spec.to_image(records[-1].value))
+        print(f"final output written to {args.save}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import os
+
+    from . import bench
+
+    if args.size is not None:
+        os.environ["REPRO_BENCH_SIZE"] = str(args.size)
+    all_figures = {
+        name: getattr(bench, name) for name in bench.__all__
+        if name.startswith(("fig", "ablation", "extension"))
+    }
+    names = args.names or sorted(all_figures)
+    unknown = [n for n in names if n not in all_figures]
+    if unknown:
+        print(f"unknown figures {unknown}; known: "
+              f"{sorted(all_figures)}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(all_figures[name]().render())
+        print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "apps":
+        return _cmd_apps()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":   # pragma: no cover
+    raise SystemExit(main())

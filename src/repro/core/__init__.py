@@ -1,0 +1,57 @@
+"""The Anytime Automaton computation model (the paper's contribution).
+
+Stages (precise, iterative, diffusive: map and reduction, synchronous
+consumers), single-writer versioned buffers, update channels, the DAG,
+two executors (deterministic discrete-event simulation and real threads),
+stop conditions, scheduling policies and property validators.
+"""
+
+from .automaton import AnytimeAutomaton
+from .buffer import Snapshot, VersionedBuffer
+from .channel import ChannelClosed, UpdateChannel
+from .contract import ContractPlan, plan_contract, run_contract
+from .controller import (AccuracyTarget, AnyOf, DeadlineStop, EnergyBudget,
+                         ManualStop, StopCondition, VersionCountStop)
+from .diffusive import DiffusiveStage, chunk_boundaries
+from .executor import ThreadedExecutor, ThreadedResult
+from .graph import AutomatonGraph, GraphError
+from .iterative import AccuracyLevel, IterativeStage
+from .mapstage import MapStage
+from .procsharing import ProcessorPool
+from .properties import (PurityViolation, check_atomicity, check_purity,
+                         check_single_writer)
+from .recording import Timeline, WriteRecord
+from .reduction import ReductionStage
+from .scheduling import (POLICIES, equal_shares, final_stage_shares,
+                         first_output_shares, proportional_shares)
+from .simexec import ExecutionError, SimResult, SimulatedExecutor
+from .stage import (CHANNEL_END, Compute, DEFAULT_ACCESS_PENALTIES, Emit,
+                    PollInputs, PreciseStage, Recv, Stage, WaitInputs,
+                    Write, access_penalty)
+from .syncstage import SynchronousStage
+
+__all__ = [
+    "AnytimeAutomaton",
+    "Snapshot", "VersionedBuffer",
+    "ChannelClosed", "UpdateChannel",
+    "ContractPlan", "plan_contract", "run_contract",
+    "AccuracyTarget", "AnyOf", "DeadlineStop", "EnergyBudget",
+    "ManualStop", "StopCondition", "VersionCountStop",
+    "DiffusiveStage", "chunk_boundaries",
+    "ThreadedExecutor", "ThreadedResult",
+    "AutomatonGraph", "GraphError",
+    "AccuracyLevel", "IterativeStage",
+    "MapStage",
+    "ProcessorPool",
+    "PurityViolation", "check_atomicity", "check_purity",
+    "check_single_writer",
+    "Timeline", "WriteRecord",
+    "ReductionStage",
+    "POLICIES", "equal_shares", "final_stage_shares",
+    "first_output_shares", "proportional_shares",
+    "ExecutionError", "SimResult", "SimulatedExecutor",
+    "CHANNEL_END", "Compute", "DEFAULT_ACCESS_PENALTIES", "Emit",
+    "PollInputs", "PreciseStage", "Recv", "Stage", "WaitInputs", "Write",
+    "access_penalty",
+    "SynchronousStage",
+]

@@ -1,0 +1,163 @@
+"""The user-facing Anytime Automaton.
+
+Composes a stage graph with executors, the baseline reference, stop
+conditions and profile generation — the one object an application builder
+hands to a user.  Typical flow::
+
+    automaton = build_conv2d_automaton(image)      # an AnytimeAutomaton
+    result = automaton.run_simulated(total_cores=32)
+    profile = automaton.profile(result)            # Figure-11-style curve
+
+or interactively::
+
+    stop = ManualStop()
+    result = automaton.run_threaded(stop=stop)     # stop.stop() any time
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..metrics.profiles import RuntimeAccuracyProfile
+from ..metrics.snr import snr_db
+from .controller import StopCondition
+from .executor import ThreadedExecutor, ThreadedResult
+from .graph import AutomatonGraph
+from .scheduling import SchedulingPolicy, proportional_shares
+from .simexec import SimResult, SimulatedExecutor
+from .stage import Stage
+
+__all__ = ["AnytimeAutomaton"]
+
+
+class AnytimeAutomaton:
+    """An approximate application organized as an anytime pipeline.
+
+    Parameters
+    ----------
+    stages:
+        The computation stages (each owning its output buffer).
+    name:
+        Application name, used in reports.
+    external:
+        Values for buffers no stage produces (the application input
+        data); they are written to those buffers as final version 1.
+
+    An automaton instance is **single-use**: buffers carry versions and
+    stages carry generator state, so each execution needs a freshly built
+    automaton (application modules expose ``build_*`` functions for
+    exactly this reason).  Attempting a second run raises.
+    """
+
+    def __init__(self, stages: list[Stage], name: str = "automaton",
+                 external: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.graph = AutomatonGraph(stages)
+        self.external = dict(external or {})
+        for bname, value in self.external.items():
+            buffer = self.graph.buffers.get(bname)
+            if buffer is None:
+                raise ValueError(
+                    f"external value for unknown buffer {bname!r}")
+            if self.graph.producer_of(bname) is not None:
+                raise ValueError(
+                    f"buffer {bname!r} is produced by a stage; it cannot "
+                    f"be external input")
+            if buffer.version == 0:
+                buffer.write(value, final=True)
+        for bname, buffer in self.graph.buffers.items():
+            if self.graph.producer_of(bname) is None \
+                    and buffer.version == 0:
+                raise ValueError(
+                    f"buffer {bname!r} has no producer and no external "
+                    f"value")
+        self._precise_cache: dict[str, Any] | None = None
+        self._ran = False
+
+    # -- references ------------------------------------------------------
+
+    @property
+    def terminal_buffer_name(self) -> str:
+        return self.graph.terminal_buffer().name
+
+    def precise_values(self) -> dict[str, Any]:
+        """Precise value of every buffer (cached; the baseline result)."""
+        if self._precise_cache is None:
+            self._precise_cache = self.graph.run_precise(self.external)
+        return self._precise_cache
+
+    def precise_output(self) -> Any:
+        """The application's precise output (the figures' reference)."""
+        return self.precise_values()[self.terminal_buffer_name]
+
+    def baseline_cost(self) -> float:
+        """Work units of the baseline precise execution.
+
+        The baseline runs the stages back to back (dependences serialize
+        them), each using all cores, so its virtual duration at C cores
+        is ``baseline_cost() / C``.
+        """
+        return self.graph.baseline_cost()
+
+    def baseline_duration(self, total_cores: float = 32.0) -> float:
+        if total_cores <= 0:
+            raise ValueError("total_cores must be positive")
+        return self.baseline_cost() / total_cores
+
+    # -- execution ---------------------------------------------------------
+
+    def run_simulated(self, total_cores: float = 32.0,
+                      schedule: SchedulingPolicy | dict[str, float]
+                      = proportional_shares,
+                      stop: StopCondition | None = None,
+                      watch: set[str] | None = None,
+                      dynamic_shares: bool = False) -> SimResult:
+        """Deterministic virtual-time execution (the evaluation path).
+
+        ``dynamic_shares=True`` turns the policy's shares into weights
+        for generalized processor sharing: idle stages donate their
+        cores (paper IV-C2's dynamic thread reassignment).
+        """
+        self._claim_run()
+        executor = SimulatedExecutor(self.graph, total_cores=total_cores,
+                                     schedule=schedule, stop=stop,
+                                     watch=watch,
+                                     dynamic_shares=dynamic_shares)
+        return executor.run()
+
+    def run_threaded(self, stop: StopCondition | None = None,
+                     watch: set[str] | None = None,
+                     timeout_s: float | None = None) -> ThreadedResult:
+        """Wall-clock execution on real threads (the interactive path)."""
+        self._claim_run()
+        executor = ThreadedExecutor(self.graph, stop=stop, watch=watch)
+        return executor.run(timeout_s=timeout_s)
+
+    def _claim_run(self) -> None:
+        if self._ran:
+            raise RuntimeError(
+                f"automaton {self.name!r} was already executed; build a "
+                f"fresh one per run")
+        self._ran = True
+
+    # -- analysis -----------------------------------------------------------
+
+    def profile(self, result: SimResult,
+                total_cores: float = 32.0,
+                metric: Callable[[Any, Any], float] | None = None,
+                reference: Any = None,
+                label: str | None = None) -> RuntimeAccuracyProfile:
+        """Runtime-accuracy profile of a simulated run.
+
+        Runtime is normalized to the baseline precise duration at the
+        same core count; accuracy defaults to SNR dB against the precise
+        output.
+        """
+        reference = (self.precise_output() if reference is None
+                     else reference)
+        metric = metric or snr_db
+        return result.timeline.profile(
+            self.terminal_buffer_name, reference,
+            baseline_cost=self.baseline_duration(total_cores),
+            label=label if label is not None else self.name,
+            metric=metric)

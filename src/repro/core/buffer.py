@@ -1,0 +1,146 @@
+"""Versioned output buffers (paper Properties 2 and 3).
+
+Every anytime computation stage owns exactly one output buffer; all of its
+intermediate outputs go into that buffer, no other stage may write it
+(Property 2), and each write is atomic (Property 3).  Consumers take
+*snapshots*: an immutable (value, version, final) triple.  A consumer never
+observes a half-written value, and the model's correctness argument — "g
+processes whichever output F_i happens to be in the buffer" — rests on
+these two properties.
+
+Arrays are stored with ``writeable=False`` and snapshots hand out the same
+frozen array, so a misbehaving consumer that tries to mutate its input
+(violating Property 1 purity) fails loudly instead of corrupting the
+producer.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Snapshot", "VersionedBuffer"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An atomic view of a buffer: value, its version and finality.
+
+    ``version`` starts at 0 (nothing written yet, ``value is None``) and
+    increments with each write.  ``final`` marks the precise output: the
+    guarantee of the model is that every buffer eventually carries a final
+    snapshot.
+    """
+
+    name: str
+    value: Any
+    version: int
+    final: bool
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing has been written yet."""
+        return self.version == 0
+
+
+def _freeze(value: Any) -> Any:
+    """Make a defensive, read-only copy of a value being written."""
+    if isinstance(value, np.ndarray):
+        frozen = value.copy()
+        frozen.setflags(write=False)
+        return frozen
+    return value
+
+
+class VersionedBuffer:
+    """A single-writer, atomically updated, versioned value holder.
+
+    Parameters
+    ----------
+    name:
+        Buffer name (unique within an automaton graph).
+
+    Thread safety: writes and snapshots are serialized by an internal
+    condition variable, which also lets threaded consumers block until a
+    newer version appears (:meth:`wait_newer`).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._cond = threading.Condition()
+        self._value: Any = None
+        self._version = 0
+        self._final = False
+        self._writer: str | None = None
+
+    def register_writer(self, stage_name: str) -> None:
+        """Claim this buffer for a stage (Property 2 enforcement).
+
+        Raises ``ValueError`` if another stage already owns it.
+        """
+        with self._cond:
+            if self._writer is not None and self._writer != stage_name:
+                raise ValueError(
+                    f"buffer {self.name!r} already written by "
+                    f"{self._writer!r}; {stage_name!r} may not write it "
+                    f"(Property 2)")
+            self._writer = stage_name
+
+    @property
+    def writer(self) -> str | None:
+        return self._writer
+
+    @property
+    def version(self) -> int:
+        with self._cond:
+            return self._version
+
+    @property
+    def final(self) -> bool:
+        with self._cond:
+            return self._final
+
+    def write(self, value: Any, final: bool = False,
+              writer: str | None = None) -> int:
+        """Atomically publish a new version; returns the version number.
+
+        A buffer that has carried its final version is frozen: further
+        writes are rejected (the precise output must not regress).
+        """
+        with self._cond:
+            if writer is not None and self._writer is not None \
+                    and writer != self._writer:
+                raise ValueError(
+                    f"stage {writer!r} wrote buffer {self.name!r} owned "
+                    f"by {self._writer!r} (Property 2)")
+            if self._final:
+                raise ValueError(
+                    f"buffer {self.name!r} is final; writes are frozen")
+            self._value = _freeze(value)
+            self._version += 1
+            self._final = bool(final)
+            self._cond.notify_all()
+            return self._version
+
+    def snapshot(self) -> Snapshot:
+        """Atomically read (value, version, final)."""
+        with self._cond:
+            return Snapshot(self.name, self._value, self._version,
+                            self._final)
+
+    def wait_newer(self, version: int, timeout: float | None = None,
+                   ) -> Snapshot:
+        """Block until the buffer holds a version newer than ``version``.
+
+        Returns the current snapshot on wake-up (which may still be the
+        old version if the timeout expired); used by the threaded
+        executor's consumers.
+        """
+        with self._cond:
+            if self._version <= version and not self._final:
+                self._cond.wait(timeout)
+            return Snapshot(self.name, self._value, self._version,
+                            self._final)

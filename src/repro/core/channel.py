@@ -1,0 +1,133 @@
+"""Update channels for synchronous pipelines (paper Section III-C2).
+
+A synchronous pipeline streams a diffusive parent's *updates* ``X_i`` to a
+distributive child instead of whole output versions ``F_i``.  Unlike the
+asynchronous case — where skipping versions is fine because only ``F_n``
+matters — every update is necessary for the child's final output, so the
+parent "must synchronize such that f does not overwrite X_i with X_{i+1}
+before g_S(X_i) begins executing".  A FIFO queue provides exactly that
+guarantee; an optional capacity bound models a small hardware buffer with
+backpressure.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+__all__ = ["ChannelClosed", "UpdateChannel"]
+
+
+class ChannelClosed(Exception):
+    """Raised when receiving from a closed, drained channel."""
+
+
+class UpdateChannel:
+    """A FIFO stream of updates from one producer to one consumer.
+
+    Parameters
+    ----------
+    name:
+        Channel name (for diagnostics).
+    capacity:
+        Maximum queued updates before the producer blocks (None =
+        unbounded).  Capacity 1 reproduces the paper's strictest
+        synchronization: the producer may run at most one update ahead.
+    """
+
+    def __init__(self, name: str, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._cond = threading.Condition()
+        self._queue: deque[Any] = deque()
+        self._closed = False
+        self.emitted = 0
+        self.received = 0
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        with self._cond:
+            return (self.capacity is not None
+                    and len(self._queue) >= self.capacity)
+
+    def emit(self, update: Any, timeout: float | None = None) -> None:
+        """Enqueue one update; blocks while the channel is full."""
+        with self._cond:
+            if self._closed:
+                raise ChannelClosed(
+                    f"emit on closed channel {self.name!r}")
+            while (self.capacity is not None
+                   and len(self._queue) >= self.capacity):
+                if not self._cond.wait(timeout):
+                    raise TimeoutError(
+                        f"emit timed out on full channel {self.name!r}")
+            self._queue.append(update)
+            self.emitted += 1
+            self._cond.notify_all()
+
+    def try_emit(self, update: Any) -> bool:
+        """Non-blocking emit; returns False when full."""
+        with self._cond:
+            if self._closed:
+                raise ChannelClosed(
+                    f"emit on closed channel {self.name!r}")
+            if (self.capacity is not None
+                    and len(self._queue) >= self.capacity):
+                return False
+            self._queue.append(update)
+            self.emitted += 1
+            self._cond.notify_all()
+            return True
+
+    def close(self) -> None:
+        """Mark the stream complete; queued updates remain receivable."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def recv(self, timeout: float | None = None) -> Any:
+        """Dequeue the next update; blocks while empty.
+
+        Raises :class:`ChannelClosed` once the channel is closed and
+        drained — the consumer's signal to finalize its output.
+        """
+        with self._cond:
+            while not self._queue:
+                if self._closed:
+                    raise ChannelClosed(
+                        f"channel {self.name!r} is closed and drained")
+                if not self._cond.wait(timeout):
+                    raise TimeoutError(
+                        f"recv timed out on channel {self.name!r}")
+            update = self._queue.popleft()
+            self.received += 1
+            self._cond.notify_all()
+            return update
+
+    def try_recv(self) -> tuple[bool, Any]:
+        """Non-blocking receive: (True, update) or (False, None).
+
+        Raises :class:`ChannelClosed` when closed and drained.
+        """
+        with self._cond:
+            if self._queue:
+                self.received += 1
+                update = self._queue.popleft()
+                self._cond.notify_all()
+                return True, update
+            if self._closed:
+                raise ChannelClosed(
+                    f"channel {self.name!r} is closed and drained")
+            return False, None

@@ -1,0 +1,144 @@
+"""Contract-mode execution of anytime automata.
+
+Paper Section II-B: "Anytime algorithms can be characterized as either
+contract or interruptible algorithms.  Contract algorithms make online
+decisions to schedule their computations to meet a runtime deadline."
+The automaton model is built around *interruptible* execution, but a
+known deadline admits a stronger play: skip the intermediate accuracy
+levels entirely and run each stage once, at the deepest configuration
+that fits the time budget (the design-to-time idea of Garvey & Lesser).
+
+For an iterative stage this avoids the redundant re-executions (a
+dwt53-style stage with strides 8/4/2/1 and a budget for stride 2 runs
+*only* stride 2); for a diffusive stage there is no redundancy to skip,
+so the plan simply sizes the sample prefix.  The price is the loss of
+interruptibility: a contract run produces **one** output, at (roughly)
+the deadline, and misses the precise-output guarantee whenever the
+budget is short — which is exactly the paper's argument for preferring
+interruptible execution when the environment allows it.
+
+The planner is a transparent heuristic: mandatory (non-anytime) stage
+costs are reserved first, and the remaining work budget is split across
+anytime stages proportionally to their precise cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .automaton import AnytimeAutomaton
+from .diffusive import DiffusiveStage
+from .iterative import IterativeStage
+from .simexec import SimResult
+from .stage import Stage
+
+__all__ = ["ContractPlan", "plan_contract", "run_contract"]
+
+
+@dataclass
+class ContractPlan:
+    """A per-stage trim chosen for a work budget.
+
+    ``iterative_levels[stage]`` is the single level index an iterative
+    stage will run; ``element_limits[stage]`` the sample-prefix length
+    of a diffusive stage (None = all elements).  ``planned_work`` is the
+    total work units of the trimmed automaton; ``achieves_precise``
+    whether every stage runs at its precise configuration.
+    """
+
+    budget_work: float
+    iterative_levels: dict[str, int] = field(default_factory=dict)
+    element_limits: dict[str, int | None] = field(default_factory=dict)
+    planned_work: float = 0.0
+    #: iterative stages planned below their precise (last) level
+    trimmed_stages: set[str] = field(default_factory=set)
+
+    @property
+    def achieves_precise(self) -> bool:
+        """True when every stage runs its precise configuration."""
+        return not self.trimmed_stages and all(
+            limit is None for limit in self.element_limits.values())
+
+
+def plan_contract(automaton: AnytimeAutomaton,
+                  deadline_fraction: float,
+                  ) -> ContractPlan:
+    """Size every stage to a deadline given as a fraction of baseline.
+
+    ``deadline_fraction`` of the baseline precise runtime becomes the
+    work budget (core count cancels out: both sides scale with it).
+    Raises when even the mandatory (non-anytime) work does not fit.
+    """
+    if deadline_fraction <= 0:
+        raise ValueError(
+            f"deadline fraction must be positive: {deadline_fraction}")
+    stages = automaton.graph.stages
+    budget = automaton.baseline_cost() * deadline_fraction
+    mandatory = sum(s.precise_cost for s in stages if not s.anytime)
+    anytime_stages = [s for s in stages if s.anytime]
+    if mandatory > budget:
+        raise ValueError(
+            f"non-anytime stages need {mandatory} work units but the "
+            f"budget is {budget}")
+    plan = ContractPlan(budget_work=budget)
+    plan.planned_work = mandatory
+    remaining = budget - mandatory
+    anytime_total = sum(s.precise_cost for s in anytime_stages)
+    for stage in anytime_stages:
+        share = (remaining * stage.precise_cost / anytime_total
+                 if anytime_total > 0 else 0.0)
+        if isinstance(stage, IterativeStage):
+            level = _best_level(stage, share)
+            plan.iterative_levels[stage.name] = level
+            plan.planned_work += stage.levels[level].cost
+            if level != len(stage.levels) - 1:
+                plan.trimmed_stages.add(stage.name)
+        elif isinstance(stage, DiffusiveStage):
+            per_element = stage.cost_per_element * stage.penalty
+            limit = int(share / per_element) if per_element > 0 \
+                else stage.n_elements
+            limit = max(1, min(limit, stage.n_elements))
+            full = limit >= stage.n_elements
+            plan.element_limits[stage.name] = None if full else limit
+            plan.planned_work += limit * per_element
+        else:
+            # custom anytime stage: run as-is, budget unenforced
+            plan.planned_work += stage.precise_cost
+    return plan
+
+
+def _best_level(stage: IterativeStage, budget: float) -> int:
+    """Deepest single level affordable within ``budget`` (at least the
+    coarsest level — a contract must return *something*)."""
+    best = 0
+    for i, level in enumerate(stage.levels):
+        if level.cost <= budget or i == 0:
+            best = i
+    return best
+
+
+def run_contract(builder: Callable[[], AnytimeAutomaton],
+                 deadline_fraction: float,
+                 total_cores: float = 32.0,
+                 **run_kwargs: Any,
+                 ) -> tuple[ContractPlan, SimResult, AnytimeAutomaton]:
+    """Plan and execute a contract run.
+
+    ``builder`` must construct a fresh automaton per call (the first
+    instance is consumed by planning, the second is trimmed and run).
+    Returns (plan, result, the executed automaton).
+    """
+    plan = plan_contract(builder(), deadline_fraction)
+    automaton = builder()
+    for stage in automaton.graph.stages:
+        if stage.name in plan.iterative_levels \
+                and isinstance(stage, IterativeStage):
+            level = plan.iterative_levels[stage.name]
+            stage.levels = [stage.levels[level]]
+        if stage.name in plan.element_limits \
+                and isinstance(stage, DiffusiveStage):
+            stage.element_limit = plan.element_limits[stage.name]
+    result = automaton.run_simulated(total_cores=total_cores,
+                                     **run_kwargs)
+    return plan, result, automaton

@@ -1,0 +1,124 @@
+"""Stop conditions — the "anytime" in the automaton.
+
+"The decision of stopping can either be automated via dynamic accuracy
+metrics, user-specified or enforced by time/energy constraints."  A
+:class:`StopCondition` is consulted by the executor after every terminal-
+buffer write; the first satisfied condition halts the run.  The output
+buffer keeps its newest version, which is by construction a valid
+approximation — interruption never needs cleanup.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from .recording import WriteRecord
+
+__all__ = ["StopCondition", "ManualStop", "DeadlineStop", "EnergyBudget",
+           "AccuracyTarget", "VersionCountStop", "AnyOf"]
+
+
+class StopCondition:
+    """Decides whether execution should halt after an output write."""
+
+    def should_stop(self, record: WriteRecord) -> bool:
+        """Called on each terminal write; True halts the automaton."""
+        raise NotImplementedError
+
+    def __or__(self, other: "StopCondition") -> "AnyOf":
+        return AnyOf(self, other)
+
+
+class ManualStop(StopCondition):
+    """User-driven interruption (the "hold the enter key" scenario).
+
+    Thread-safe: :meth:`stop` may be called from any thread — e.g. a UI
+    thread watching the output while the threaded executor runs.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def stop(self) -> None:
+        self._event.set()
+
+    @property
+    def stopped(self) -> bool:
+        return self._event.is_set()
+
+    def should_stop(self, record: WriteRecord) -> bool:
+        return self._event.is_set()
+
+
+class DeadlineStop(StopCondition):
+    """Halt at a time budget (virtual work units or wall seconds)."""
+
+    def __init__(self, deadline: float) -> None:
+        if deadline < 0:
+            raise ValueError(f"deadline cannot be negative: {deadline}")
+        self.deadline = deadline
+
+    def should_stop(self, record: WriteRecord) -> bool:
+        return record.time >= self.deadline
+
+
+class EnergyBudget(StopCondition):
+    """Halt when cumulative energy reaches the budget."""
+
+    def __init__(self, budget: float) -> None:
+        if budget < 0:
+            raise ValueError(f"budget cannot be negative: {budget}")
+        self.budget = budget
+
+    def should_stop(self, record: WriteRecord) -> bool:
+        return record.energy >= self.budget
+
+
+class AccuracyTarget(StopCondition):
+    """Halt once the output is acceptable by a user-supplied metric.
+
+    This is the dynamic-error-control integration the paper describes:
+    the metric sees the *whole application output* (the terminal write's
+    value), not per-segment accuracies.
+    """
+
+    def __init__(self, metric: Callable[[Any], float],
+                 target: float) -> None:
+        self.metric = metric
+        self.target = target
+        self.last_score: float | None = None
+
+    def should_stop(self, record: WriteRecord) -> bool:
+        if record.value is None:
+            raise ValueError(
+                "AccuracyTarget needs a watched terminal buffer "
+                "(record carries no value)")
+        self.last_score = float(self.metric(record.value))
+        return self.last_score >= self.target
+
+
+class VersionCountStop(StopCondition):
+    """Halt after N terminal output versions (testing/debug aid)."""
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.count = count
+        self._seen = 0
+
+    def should_stop(self, record: WriteRecord) -> bool:
+        self._seen += 1
+        return self._seen >= self.count
+
+
+class AnyOf(StopCondition):
+    """Stop when any of the composed conditions fires."""
+
+    def __init__(self, *conditions: StopCondition) -> None:
+        if not conditions:
+            raise ValueError("AnyOf needs at least one condition")
+        self.conditions = conditions
+
+    def should_stop(self, record: WriteRecord) -> bool:
+        return any(c.should_stop(record) for c in self.conditions)

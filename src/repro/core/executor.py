@@ -1,0 +1,198 @@
+"""Real-machine threaded execution of anytime automata.
+
+One thread per stage, interpreting the same command protocol as the
+simulated executor, but against wall-clock time: :class:`Compute` is a
+no-op (the actual NumPy work happens inside the stage generator between
+yields), waits block on buffer condition variables, and channels use their
+built-in blocking operations.
+
+This executor exists for what simulation cannot give — genuine
+interactive interruption on a live machine (stop the automaton the moment
+the on-screen output looks right).  Its runtime-accuracy numbers carry the
+usual wall-clock caveats (CPython's GIL serializes pure-Python sections;
+NumPy kernels release it), which is why the benchmarks use the
+deterministic simulator and the examples use this.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any
+
+from .channel import ChannelClosed
+from .controller import StopCondition
+from .graph import AutomatonGraph
+from .recording import Timeline, WriteRecord
+from .stage import (CHANNEL_END, CloseChannel, Compute, Emit, PollInputs,
+                    Recv, WaitInputs, Write)
+from .syncstage import SynchronousStage
+
+__all__ = ["ThreadedExecutor", "ThreadedResult"]
+
+_POLL_S = 0.005
+
+
+@dataclass
+class ThreadedResult:
+    """Outcome of one threaded run (times are wall seconds from start)."""
+
+    timeline: Timeline
+    duration: float
+    completed: bool
+    stopped_early: bool
+    final_values: dict[str, Any] = field(default_factory=dict)
+    errors: list[tuple[str, BaseException]] = field(default_factory=list)
+
+    def output_records(self, buffer: str) -> list[WriteRecord]:
+        return self.timeline.for_buffer(buffer)
+
+
+class ThreadedExecutor:
+    """Runs an :class:`AutomatonGraph` on real threads.
+
+    Parameters mirror the simulated executor where meaningful; there is
+    no core-share scheduling — the OS scheduler decides.
+    """
+
+    def __init__(self, graph: AutomatonGraph,
+                 stop: StopCondition | None = None,
+                 watch: set[str] | None = None) -> None:
+        self.graph = graph
+        self.stop = stop
+        if watch is None:
+            terminals = graph.terminal_stages()
+            watch = {t.output.name for t in terminals}
+        self.watch = set(watch)
+        self._halt = threading.Event()
+        self._lock = threading.Lock()
+        self._timeline = Timeline()
+        self._errors: list[tuple[str, BaseException]] = []
+        self._t0 = 0.0
+
+    def request_stop(self) -> None:
+        """Interrupt the automaton (thread-safe, idempotent)."""
+        self._halt.set()
+
+    def _record(self, record: WriteRecord) -> None:
+        with self._lock:
+            self._timeline.add(record)
+        if record.buffer in self.watch and self.stop is not None \
+                and self.stop.should_stop(record):
+            self._halt.set()
+
+    def _run_stage(self, stage) -> None:
+        gen = stage.body()
+        send_value: Any = None
+        try:
+            while not self._halt.is_set():
+                try:
+                    cmd = gen.send(send_value)
+                except StopIteration:
+                    return
+                send_value = None
+                if isinstance(cmd, Compute):
+                    continue    # the work already ran inside the stage
+                elif isinstance(cmd, Write):
+                    version = stage.output.write(cmd.value, cmd.final,
+                                                 writer=stage.name)
+                    watched = stage.output.name in self.watch
+                    self._record(WriteRecord(
+                        _time.perf_counter() - self._t0,
+                        stage.output.name, version, cmd.final, 0.0,
+                        cmd.value if watched else None))
+                elif isinstance(cmd, WaitInputs):
+                    send_value = self._wait_inputs(stage, cmd.seen)
+                    if send_value is None:      # halted while waiting
+                        return
+                elif isinstance(cmd, PollInputs):
+                    send_value = self._poll_inputs(stage, cmd.seen)
+                elif isinstance(cmd, Emit):
+                    while not self._halt.is_set():
+                        try:
+                            stage.emit_to.emit(cmd.update,
+                                               timeout=_POLL_S)
+                            break
+                        except TimeoutError:
+                            continue
+                elif isinstance(cmd, CloseChannel):
+                    stage.emit_to.close()
+                elif isinstance(cmd, Recv):
+                    send_value = self._recv(stage)
+                    if send_value is None and self._halt.is_set():
+                        return
+                else:
+                    raise TypeError(
+                        f"stage {stage.name!r} yielded unknown command "
+                        f"{cmd!r}")
+        except BaseException as exc:   # noqa: BLE001 - reported to caller
+            with self._lock:
+                self._errors.append((stage.name, exc))
+            self._halt.set()
+
+    def _snapshots(self, stage):
+        return {b.name: b.snapshot() for b in stage.inputs}
+
+    def _poll_inputs(self, stage, seen) -> bool:
+        snaps = self._snapshots(stage)
+        if not snaps:
+            return False
+        if any(s.empty for s in snaps.values()):
+            return False
+        return any(s.version > seen.get(n, 0) for n, s in snaps.items())
+
+    def _wait_inputs(self, stage, seen):
+        while not self._halt.is_set():
+            snaps = self._snapshots(stage)
+            if not snaps:
+                return snaps
+            if not any(s.empty for s in snaps.values()) and any(
+                    s.version > seen.get(n, 0)
+                    for n, s in snaps.items()):
+                return snaps
+            # Block on any one input; timeout keeps the halt flag live.
+            stage.inputs[0].wait_newer(
+                seen.get(stage.inputs[0].name, 0), timeout=_POLL_S)
+        return None
+
+    def _recv(self, stage):
+        while not self._halt.is_set():
+            try:
+                return stage.channel.recv(timeout=_POLL_S)
+            except TimeoutError:
+                continue
+            except ChannelClosed:
+                return CHANNEL_END
+        return None
+
+    def run(self, timeout_s: float | None = None) -> ThreadedResult:
+        """Execute until completion, stop condition, or ``timeout_s``."""
+        self._t0 = _time.perf_counter()
+        threads = [threading.Thread(target=self._run_stage, args=(s,),
+                                    name=f"stage-{s.name}", daemon=True)
+                   for s in self.graph.stages]
+        for t in threads:
+            t.start()
+        deadline = (None if timeout_s is None
+                    else self._t0 + timeout_s)
+        for t in threads:
+            while t.is_alive():
+                t.join(timeout=_POLL_S)
+                if deadline is not None \
+                        and _time.perf_counter() > deadline:
+                    self._halt.set()
+        duration = _time.perf_counter() - self._t0
+        completed = not self._halt.is_set() and not self._errors
+        final_values = {b.name: b.snapshot().value
+                        for b in self.graph.buffers.values()}
+        if self._errors:
+            name, exc = self._errors[0]
+            raise RuntimeError(
+                f"stage {name!r} failed during threaded execution"
+            ) from exc
+        return ThreadedResult(
+            timeline=self._timeline, duration=duration,
+            completed=completed,
+            stopped_early=self._halt.is_set(),
+            final_values=final_values, errors=list(self._errors))

@@ -1,0 +1,213 @@
+"""Automaton graphs: directed acyclic compositions of stages (Figure 1).
+
+"An approximate application is broken down into computation stages with
+input/output buffers, connected in a directed, acyclic graph."  The graph
+owns the stages and their buffers, validates the model's structural
+properties (acyclicity; Property 2 single-writer buffers; synchronous
+channels pair exactly one producer with one consumer) and provides the
+topological order the baseline executor and validators need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .buffer import VersionedBuffer
+from .channel import UpdateChannel
+from .stage import Stage
+from .syncstage import SynchronousStage
+
+__all__ = ["AutomatonGraph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """A structural violation of the automaton model."""
+
+
+class AutomatonGraph:
+    """A validated DAG of computation stages.
+
+    Build one by constructing stages (each owning its output buffer) and
+    passing them in; :meth:`validate` is called on construction.
+    """
+
+    def __init__(self, stages: Iterable[Stage]) -> None:
+        self.stages: list[Stage] = list(stages)
+        if not self.stages:
+            raise GraphError("an automaton needs at least one stage")
+        self.validate()
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def buffers(self) -> dict[str, VersionedBuffer]:
+        """All buffers appearing as stage inputs or outputs, by name."""
+        out: dict[str, VersionedBuffer] = {}
+        for stage in self.stages:
+            out[stage.output.name] = stage.output
+            for b in stage.inputs:
+                out.setdefault(b.name, b)
+        return out
+
+    @property
+    def channels(self) -> dict[str, UpdateChannel]:
+        out: dict[str, UpdateChannel] = {}
+        for stage in self.stages:
+            if stage.emit_to is not None:
+                out[stage.emit_to.name] = stage.emit_to
+            if isinstance(stage, SynchronousStage):
+                out[stage.channel.name] = stage.channel
+        return out
+
+    def producer_of(self, buffer_name: str) -> Stage | None:
+        """The stage writing a buffer, or None for external inputs."""
+        for stage in self.stages:
+            if stage.output.name == buffer_name:
+                return stage
+        return None
+
+    def consumers_of(self, buffer_name: str) -> list[Stage]:
+        return [s for s in self.stages
+                if any(b.name == buffer_name for b in s.inputs)]
+
+    def predecessors(self, stage: Stage) -> list[Stage]:
+        """Stages this stage depends on (via buffers or channels)."""
+        preds = []
+        for b in stage.inputs:
+            p = self.producer_of(b.name)
+            if p is not None:
+                preds.append(p)
+        if isinstance(stage, SynchronousStage):
+            for s in self.stages:
+                if s.emit_to is stage.channel:
+                    preds.append(s)
+        return preds
+
+    def source_stages(self) -> list[Stage]:
+        return [s for s in self.stages if not self.predecessors(s)]
+
+    def terminal_stages(self) -> list[Stage]:
+        """Stages whose output no other stage consumes."""
+        consumed = {b.name for s in self.stages for b in s.inputs}
+        out = []
+        for s in self.stages:
+            feeds_channel = (s.emit_to is not None
+                             and any(isinstance(t, SynchronousStage)
+                                     and t.channel is s.emit_to
+                                     for t in self.stages))
+            if s.output.name not in consumed and not feeds_channel:
+                out.append(s)
+        return out
+
+    def terminal_buffer(self) -> VersionedBuffer:
+        """The single application output buffer.
+
+        Raises :class:`GraphError` when the graph has several terminals;
+        multi-output automata must name the buffer explicitly.
+        """
+        terminals = self.terminal_stages()
+        if len(terminals) != 1:
+            raise GraphError(
+                f"expected one terminal stage, found "
+                f"{[s.name for s in terminals]}")
+        return terminals[0].output
+
+    def topological_order(self) -> list[Stage]:
+        """Stages in dependency order (Kahn's algorithm)."""
+        in_deg = {s.name: len(self.predecessors(s)) for s in self.stages}
+        by_name = {s.name: s for s in self.stages}
+        ready = sorted(n for n, d in in_deg.items() if d == 0)
+        order: list[Stage] = []
+        succs: dict[str, list[str]] = {s.name: [] for s in self.stages}
+        for s in self.stages:
+            for p in self.predecessors(s):
+                succs[p.name].append(s.name)
+        while ready:
+            name = ready.pop(0)
+            order.append(by_name[name])
+            for nxt in sorted(succs[name]):
+                in_deg[nxt] -= 1
+                if in_deg[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(self.stages):
+            cyclic = sorted(n for n, d in in_deg.items() if d > 0)
+            raise GraphError(f"cycle among stages {cyclic}")
+        return order
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Enforce structural model properties; raises GraphError."""
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise GraphError(f"duplicate stage names in {names}")
+        # Property 2: one writer per buffer.
+        writers: dict[str, str] = {}
+        for s in self.stages:
+            prev = writers.get(s.output.name)
+            if prev is not None:
+                raise GraphError(
+                    f"buffer {s.output.name!r} written by both {prev!r} "
+                    f"and {s.name!r} (Property 2)")
+            writers[s.output.name] = s.name
+        # Channels: exactly one producer and one consumer each.
+        producers: dict[int, str] = {}
+        consumers: dict[int, str] = {}
+        for s in self.stages:
+            if s.emit_to is not None:
+                if id(s.emit_to) in producers:
+                    raise GraphError(
+                        f"channel {s.emit_to.name!r} has two producers")
+                producers[id(s.emit_to)] = s.name
+            if isinstance(s, SynchronousStage):
+                if id(s.channel) in consumers:
+                    raise GraphError(
+                        f"channel {s.channel.name!r} has two consumers")
+                consumers[id(s.channel)] = s.name
+        for cid, producer in producers.items():
+            if cid not in consumers:
+                raise GraphError(
+                    f"stage {producer!r} emits to a channel nobody "
+                    f"consumes")
+        for cid, consumer in consumers.items():
+            if cid not in producers:
+                raise GraphError(
+                    f"stage {consumer!r} consumes a channel nobody "
+                    f"produces")
+        # Acyclicity (raises on cycles).
+        self.topological_order()
+
+    # -- baseline ------------------------------------------------------------
+
+    def run_precise(self,
+                    external: dict[str, Any] | None = None,
+                    ) -> dict[str, Any]:
+        """Evaluate every stage precisely, in topological order.
+
+        ``external`` provides values for buffers no stage produces.
+        Returns the precise value of every buffer — the reference outputs
+        the evaluation compares against.
+        """
+        values: dict[str, Any] = dict(external or {})
+        for b in self.buffers.values():
+            if self.producer_of(b.name) is None \
+                    and b.name not in values:
+                snap = b.snapshot()
+                if snap.empty:
+                    raise GraphError(
+                        f"external buffer {b.name!r} has no value")
+                values[b.name] = snap.value
+        for stage in self.topological_order():
+            if isinstance(stage, SynchronousStage):
+                producer = next(s for s in self.stages
+                                if s.emit_to is stage.channel)
+                parent_value = values[producer.output.name]
+                values[stage.output.name] = stage.precise_fn(parent_value)
+            else:
+                values[stage.output.name] = stage.precise(values)
+        return values
+
+    def baseline_cost(self) -> float:
+        """Total precise work units (the baseline runs stages back to
+        back, each parallelized across all cores)."""
+        return sum(s.precise_cost for s in self.stages)

@@ -1,0 +1,108 @@
+"""Generalized processor sharing for the simulated executor.
+
+Paper Section IV-C2: "it may be beneficial to reassign threads among
+stages dynamically.  However, this can be difficult since stages are not
+necessarily synchronized. ... This motivates the design of architectures
+with fine-grained, intelligent thread migration/scheduling; this is left
+for future work."
+
+:class:`ProcessorPool` implements that future-work scheduler as
+generalized processor sharing: at any instant the machine's cores are
+divided among the *currently computing* stages in proportion to their
+weights; a stage that blocks (waiting for input) or finishes donates its
+cores to the rest.  The pool is exact and event-driven: remaining work is
+advanced lazily at membership changes, and the next completion time is
+derived from current speeds, so the simulation stays deterministic.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ProcessorPool"]
+
+_EPS = 1e-12
+
+
+class ProcessorPool:
+    """Work-conserving weighted processor sharing.
+
+    Parameters
+    ----------
+    total_cores:
+        The machine width being shared.
+    weights:
+        Relative weight per stage name (e.g. the static policy's
+        shares); an active stage's speed is
+        ``total_cores * w / sum(w of active stages)``.
+    """
+
+    def __init__(self, total_cores: float,
+                 weights: dict[str, float]) -> None:
+        if total_cores <= 0:
+            raise ValueError(
+                f"total_cores must be positive: {total_cores}")
+        for name, w in weights.items():
+            if w <= 0:
+                raise ValueError(
+                    f"weight for {name!r} must be positive: {w}")
+        self.total_cores = float(total_cores)
+        self.weights = dict(weights)
+        self._remaining: dict[str, float] = {}
+        self._last_update = 0.0
+
+    # -- bookkeeping ------------------------------------------------------
+
+    @property
+    def active(self) -> list[str]:
+        return sorted(self._remaining)
+
+    def _speed(self, name: str) -> float:
+        total_weight = sum(self.weights[n] for n in self._remaining)
+        return self.total_cores * self.weights[name] / total_weight
+
+    def _advance_to(self, now: float) -> None:
+        """Charge elapsed time against every active stage's work."""
+        dt = now - self._last_update
+        if dt < -_EPS:
+            raise ValueError(
+                f"time went backwards: {self._last_update} -> {now}")
+        if dt > 0 and self._remaining:
+            for name in self._remaining:
+                self._remaining[name] = max(
+                    0.0, self._remaining[name] - dt * self._speed(name))
+        self._last_update = max(self._last_update, now)
+
+    # -- interface --------------------------------------------------------
+
+    def start(self, name: str, work: float, now: float) -> None:
+        """Begin a compute of ``work`` units for stage ``name``."""
+        if name not in self.weights:
+            raise KeyError(f"unknown stage {name!r}")
+        if name in self._remaining:
+            raise ValueError(f"stage {name!r} is already computing")
+        if work < 0:
+            raise ValueError(f"work cannot be negative: {work}")
+        self._advance_to(now)
+        self._remaining[name] = float(work)
+
+    def next_completion(self) -> tuple[float, str] | None:
+        """(absolute time, stage) of the earliest completion, or None.
+
+        Ties break by stage name for determinism.
+        """
+        if not self._remaining:
+            return None
+        best: tuple[float, str] | None = None
+        for name in sorted(self._remaining):
+            eta = self._last_update + (self._remaining[name]
+                                       / self._speed(name))
+            if best is None or eta < best[0] - _EPS:
+                best = (eta, name)
+        return best
+
+    def complete(self, name: str, now: float) -> None:
+        """Remove a finished stage (its completion event fired)."""
+        self._advance_to(now)
+        remaining = self._remaining.pop(name)
+        if remaining > 1e-6:
+            raise ValueError(
+                f"stage {name!r} completed with {remaining} work left")

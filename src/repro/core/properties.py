@@ -1,0 +1,107 @@
+"""Runtime validators for the model's Properties 1-3.
+
+- **Property 1 (purity)**: every intermediate computation is a pure
+  function of its input and output buffers.  :func:`check_purity` is a
+  test harness that runs a stage function twice on defensively copied
+  inputs and verifies (a) identical outputs and (b) unmodified inputs.
+- **Property 2 (single writer)**: enforced structurally by
+  :class:`~repro.core.buffer.VersionedBuffer.register_writer` and
+  :meth:`~repro.core.graph.AutomatonGraph.validate`;
+  :func:`check_single_writer` re-audits a graph.
+- **Property 3 (atomic writes)**: by construction — buffers copy values
+  under a lock and hand out read-only snapshots; :func:`check_atomicity`
+  verifies the frozen-snapshot behaviour for array values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .graph import AutomatonGraph
+
+__all__ = ["PurityViolation", "check_purity", "check_single_writer",
+           "check_atomicity"]
+
+
+class PurityViolation(AssertionError):
+    """A stage function broke Property 1."""
+
+
+def _deep_copy(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    if isinstance(value, (list, tuple)):
+        return type(value)(_deep_copy(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _deep_copy(v) for k, v in value.items()}
+    return value
+
+
+def _equal(a: Any, b: Any) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (np.asarray(a).shape == np.asarray(b).shape
+                and np.array_equal(np.asarray(a), np.asarray(b)))
+    return a == b
+
+
+def check_purity(fn: Callable[..., Any], args: Sequence[Any],
+                 trials: int = 2) -> Any:
+    """Verify that ``fn(*args)`` is pure; returns the output.
+
+    Runs the function ``trials`` times on fresh copies of ``args``,
+    asserting the arguments are never mutated and the outputs agree.
+    Raises :class:`PurityViolation` with a diagnostic otherwise.  (A pure
+    function could still read hidden global state that happens to be
+    constant across trials — this is a detector, not a prover.)
+    """
+    if trials < 2:
+        raise ValueError("purity check needs at least 2 trials")
+    reference_args = [_deep_copy(a) for a in args]
+    outputs = []
+    for _ in range(trials):
+        trial_args = [_deep_copy(a) for a in args]
+        outputs.append(fn(*trial_args))
+        for i, (orig, used) in enumerate(zip(reference_args, trial_args)):
+            if not _equal(orig, used):
+                raise PurityViolation(
+                    f"{fn!r} mutated argument {i} (Property 1)")
+    first = outputs[0]
+    for i, out in enumerate(outputs[1:], start=2):
+        if not _equal(first, out):
+            raise PurityViolation(
+                f"{fn!r} is non-deterministic: trial 1 and trial {i} "
+                f"outputs differ (Property 1)")
+    return first
+
+
+def check_single_writer(graph: AutomatonGraph) -> None:
+    """Re-audit Property 2 over a constructed graph."""
+    writers: dict[str, list[str]] = {}
+    for stage in graph.stages:
+        writers.setdefault(stage.output.name, []).append(stage.name)
+    offenders = {b: names for b, names in writers.items()
+                 if len(names) > 1}
+    if offenders:
+        raise AssertionError(
+            f"Property 2 violated: multiple writers {offenders}")
+    for stage in graph.stages:
+        owner = stage.output.writer
+        if owner is not None and owner != stage.name:
+            raise AssertionError(
+                f"buffer {stage.output.name!r} registered to {owner!r} "
+                f"but attached to stage {stage.name!r}")
+
+
+def check_atomicity(buffer_value: Any) -> None:
+    """Verify a snapshot value is tamper-proof (Property 3 corollary).
+
+    Array snapshots must be read-only; attempting to mutate one must
+    raise, so a consumer cannot corrupt the producer's published version.
+    """
+    if isinstance(buffer_value, np.ndarray):
+        if buffer_value.flags.writeable:
+            raise AssertionError(
+                "snapshot array is writeable; Property 3 requires "
+                "frozen published versions")

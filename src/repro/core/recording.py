@@ -1,0 +1,81 @@
+"""Output timelines: what the terminal buffer held, and when.
+
+Executors record a :class:`WriteRecord` per buffer write; the timeline of
+the terminal buffer is the raw material of every runtime-accuracy figure.
+Values are kept only for watched buffers (keeping every intermediate
+version of every stage of a 512x512-pixel automaton would be gigabytes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..metrics.profiles import RuntimeAccuracyProfile
+from ..metrics.snr import snr_db
+
+__all__ = ["WriteRecord", "Timeline"]
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One buffer write: when, what, and the energy spent so far."""
+
+    time: float
+    buffer: str
+    version: int
+    final: bool
+    energy: float
+    value: Any = None          # retained only for watched buffers
+
+
+@dataclass
+class Timeline:
+    """All writes observed during one execution."""
+
+    records: list[WriteRecord] = field(default_factory=list)
+
+    def add(self, record: WriteRecord) -> None:
+        self.records.append(record)
+
+    def for_buffer(self, name: str) -> list[WriteRecord]:
+        return [r for r in self.records if r.buffer == name]
+
+    def final_record(self, name: str) -> WriteRecord | None:
+        for r in reversed(self.records):
+            if r.buffer == name and r.final:
+                return r
+        return None
+
+    def last_value(self, name: str) -> Any:
+        """Newest retained value for a buffer (None if never watched)."""
+        for r in reversed(self.records):
+            if r.buffer == name and r.value is not None:
+                return r.value
+        return None
+
+    def profile(self, buffer: str, reference: Any,
+                baseline_cost: float, label: str = "",
+                metric: Callable[[Any, Any], float] = snr_db,
+                ) -> RuntimeAccuracyProfile:
+        """Build the runtime-accuracy profile of a watched buffer.
+
+        Runtime is normalized by ``baseline_cost`` (the figures' x-axis);
+        accuracy defaults to SNR dB against ``reference``.
+        """
+        if baseline_cost <= 0:
+            raise ValueError("baseline_cost must be positive")
+        prof = RuntimeAccuracyProfile(label=label)
+        for r in self.for_buffer(buffer):
+            if r.value is None:
+                raise ValueError(
+                    f"buffer {buffer!r} was not watched; no values "
+                    f"retained")
+            acc = metric(r.value, reference)
+            if isinstance(acc, float) and math.isnan(acc):
+                raise ValueError(
+                    f"metric returned NaN at t={r.time}")
+            prof.add(r.time / baseline_cost, acc,
+                     version=r.version, energy=r.energy)
+        return prof

@@ -1,0 +1,106 @@
+"""Input-sampled reduction stages (paper Section III-B2, "Input Sampling").
+
+A reduction accumulates input elements into its output with a commutative
+operator: ``f_i(I, O_{i-1}) = O_{i-1} Δ x_{p(i)}(I)``.  Processing the
+inputs in a bijective permuted order makes the stage diffusive: every
+sample contributes usefully, and any prefix is a valid (possibly weighted)
+approximation of the final reduction.
+
+For non-idempotent operators (e.g. addition in a histogram or sum), the
+published output is the weighted view ``O'_i = O_i * n / i`` so dependent
+stages see an unbiased estimate of the final magnitude; the final version
+is exact because ``i = n``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..anytime.operators import Operator, get_operator
+from ..anytime.permutations import LfsrPermutation, Permutation
+from .buffer import VersionedBuffer
+from .channel import UpdateChannel
+from .diffusive import DiffusiveStage
+
+__all__ = ["ReductionStage"]
+
+
+class ReductionStage(DiffusiveStage):
+    """A diffusive commutative reduction over sampled input elements.
+
+    Parameters
+    ----------
+    chunk_fn:
+        ``chunk_fn(flat_indices, *input_values) -> partial`` — computes
+        the combined contribution ``x_{p(i)} Δ ... Δ x_{p(j)}`` of one
+        chunk of input samples (e.g. ``np.bincount`` over the sampled
+        pixels for a histogram).  Must be pure (Property 1).
+    operator:
+        A registered operator name or an :class:`Operator`; supplies the
+        combine function, the identity ``O_0`` and the weighting rule.
+    out_shape / dtype:
+        Shape and dtype of the accumulator.
+    weighted_output:
+        When True (default) and the operator is not idempotent, published
+        versions are weighted by ``n / count``.
+    """
+
+    def __init__(self, name: str, output: VersionedBuffer,
+                 inputs: tuple[VersionedBuffer, ...],
+                 chunk_fn: Callable[..., Any],
+                 shape: int | Sequence[int],
+                 out_shape: Sequence[int] = (),
+                 dtype: np.dtype | type = np.float64,
+                 operator: Operator | str = "add",
+                 permutation: Permutation | None = None,
+                 weighted_output: bool = True,
+                 chunks: int = 32,
+                 cost_per_element: float = 1.0,
+                 prefetcher: bool = False,
+                 reorder: bool = False,
+                 chunk_schedule: str = "uniform",
+                 emit_to: UpdateChannel | None = None,
+                 restart_policy: str = "complete") -> None:
+        permutation = permutation or LfsrPermutation()
+        super().__init__(name, output, inputs, shape, permutation,
+                         chunks=chunks, cost_per_element=cost_per_element,
+                         prefetcher=prefetcher, reorder=reorder,
+                         chunk_schedule=chunk_schedule,
+                         emit_to=emit_to, restart_policy=restart_policy)
+        self.chunk_fn = chunk_fn
+        self.operator = (get_operator(operator)
+                         if isinstance(operator, str) else operator)
+        self.out_shape = tuple(out_shape)
+        self.dtype = np.dtype(dtype)
+        self.weighted_output = weighted_output
+
+    def init_state(self, values: tuple[Any, ...]) -> dict[str, Any]:
+        return {"acc": self.operator.identity(self.out_shape, self.dtype)}
+
+    def process_chunk(self, state: dict[str, Any], indices: np.ndarray,
+                      values: tuple[Any, ...]) -> Any:
+        partial = self.chunk_fn(indices, *values)
+        state["acc"] = self.operator.combine(state["acc"], partial)
+        return (indices, partial)
+
+    def materialize(self, state: dict[str, Any], count: int,
+                    values: tuple[Any, ...]) -> Any:
+        acc = state["acc"]
+        if isinstance(acc, np.ndarray):
+            acc = acc.copy()
+        if self.weighted_output and not self.operator.idempotent:
+            return self.operator.weighted(acc, count, self.n_elements)
+        return acc
+
+    def precise(self, input_values: dict[str, Any]) -> Any:
+        values = tuple(input_values[b.name] for b in self.inputs)
+        all_indices = np.arange(self.n_elements, dtype=np.int64)
+        partial = self.chunk_fn(all_indices, *values)
+        acc = self.operator.combine(
+            self.operator.identity(self.out_shape, self.dtype), partial)
+        if self.weighted_output and not self.operator.idempotent:
+            return self.operator.weighted(acc, self.n_elements,
+                                          self.n_elements)
+        return acc

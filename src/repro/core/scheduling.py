@@ -1,0 +1,96 @@
+"""Pipeline scheduling policies (paper Section IV-C2).
+
+Given an architecture with limited cores, how many should each stage get?
+The paper frames this as an optimization problem with two competing goals:
+
+- minimize **time to first output** — favor the *longest* stage, since the
+  first whole-application output O_1...1 waits for every stage's first
+  intermediate output;
+- minimize **inter-output gap** — favor the *final* stage, which must
+  re-process everything for each fresh output version.
+
+These policies assign (possibly fractional) core shares to stages; the
+simulated executor divides step costs by the share.  Correctness never
+depends on the assignment — "pipeline scheduling is merely an optimization
+problem" — which the scheduling ablation verifies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .graph import AutomatonGraph
+from .stage import Stage
+
+__all__ = ["SchedulingPolicy", "equal_shares", "proportional_shares",
+           "first_output_shares", "final_stage_shares", "POLICIES"]
+
+SchedulingPolicy = Callable[[AutomatonGraph, float], dict[str, float]]
+
+
+def _normalize(raw: dict[str, float], total_cores: float,
+               ) -> dict[str, float]:
+    """Scale shares to ``total_cores`` with a one-core floor.
+
+    No stage can use less than one hardware thread on a real machine, so
+    cheap sequential stages (histeq's CDF, kmeans' reduce) keep a whole
+    core instead of being starved by cost-proportional scaling.  When
+    there are more stages than cores the floor becomes an equal split.
+    """
+    floor = min(1.0, total_cores / len(raw))
+    scale = total_cores / sum(raw.values())
+    shares = {name: share * scale for name, share in raw.items()}
+    for _ in range(len(raw)):
+        low = {n for n, s in shares.items() if s < floor}
+        if not low:
+            break
+        high_total = sum(s for n, s in shares.items() if n not in low)
+        remaining = total_cores - floor * len(low)
+        for n in shares:
+            shares[n] = (floor if n in low
+                         else shares[n] / high_total * remaining)
+    return shares
+
+
+def equal_shares(graph: AutomatonGraph,
+                 total_cores: float) -> dict[str, float]:
+    """Every stage gets the same share."""
+    return _normalize({s.name: 1.0 for s in graph.stages}, total_cores)
+
+
+def proportional_shares(graph: AutomatonGraph,
+                        total_cores: float) -> dict[str, float]:
+    """Shares proportional to precise cost (latency balancing) — the
+    conventional pipeline heuristic the paper says "may not be suitable"
+    but remains a solid default."""
+    raw = {s.name: max(s.precise_cost, 1e-12) for s in graph.stages}
+    return _normalize(raw, total_cores)
+
+
+def first_output_shares(graph: AutomatonGraph, total_cores: float,
+                        boost: float = 3.0) -> dict[str, float]:
+    """Boost the most expensive stage to minimize time-to-first-output."""
+    raw = {s.name: max(s.precise_cost, 1e-12) for s in graph.stages}
+    longest = max(raw, key=raw.get)
+    raw[longest] *= boost
+    return _normalize(raw, total_cores)
+
+
+def final_stage_shares(graph: AutomatonGraph, total_cores: float,
+                       boost: float = 3.0) -> dict[str, float]:
+    """Boost the terminal stage to minimize the gap between consecutive
+    whole-application outputs."""
+    raw = {s.name: max(s.precise_cost, 1e-12) for s in graph.stages}
+    terminals = graph.terminal_stages()
+    for t in terminals:
+        raw[t.name] *= boost
+    return _normalize(raw, total_cores)
+
+
+#: policy registry for benchmarks and the CLI-ish harness
+POLICIES: dict[str, SchedulingPolicy] = {
+    "equal": equal_shares,
+    "proportional": proportional_shares,
+    "first-output": first_output_shares,
+    "final-stage": final_stage_shares,
+}

@@ -1,0 +1,341 @@
+"""Deterministic discrete-event execution of anytime automata.
+
+This is the evaluation substrate standing in for the paper's 32-thread
+POWER7+ machine (see DESIGN.md).  Every stage runs as a coroutine of
+commands; :class:`Compute` costs are divided by the stage's core share and
+advance a virtual clock; writes, waits and channel operations are
+zero-time synchronization events.  The event order is fully deterministic
+(ties broken by submission sequence), so runtime-accuracy profiles are
+bit-reproducible — something wall-clock threading cannot offer, and the
+reason the benchmarks use this executor.
+
+The execution semantics are exactly the model's: stages run concurrently,
+consumers see atomic buffer snapshots, a consumer that finishes a pass
+picks up whichever newer version exists (asynchronous pipeline), and
+synchronous channels deliver every update in order with optional
+backpressure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..hw.energy import EnergyMeter, EnergyTable
+from .buffer import Snapshot
+from .channel import ChannelClosed, UpdateChannel
+from .controller import StopCondition
+from .graph import AutomatonGraph
+from .recording import Timeline, WriteRecord
+from .scheduling import SchedulingPolicy, proportional_shares
+from .stage import (CHANNEL_END, CloseChannel, Compute, Emit, PollInputs,
+                    Recv, Stage, WaitInputs, Write)
+from .syncstage import SynchronousStage
+
+__all__ = ["SimResult", "SimulatedExecutor", "ExecutionError"]
+
+
+class ExecutionError(RuntimeError):
+    """The execution wedged (deadlock) or a stage misbehaved."""
+
+
+def _find_deadline(stop: StopCondition | None) -> float | None:
+    """Extract the tightest virtual-time deadline from a stop tree."""
+    from .controller import AnyOf, DeadlineStop
+
+    if stop is None:
+        return None
+    if isinstance(stop, DeadlineStop):
+        return stop.deadline
+    if isinstance(stop, AnyOf):
+        deadlines = [d for d in (_find_deadline(c)
+                                 for c in stop.conditions)
+                     if d is not None]
+        return min(deadlines) if deadlines else None
+    return None
+
+
+#: payload marking a buffer-waiter wake-up (vs. a step completion)
+_WAKE = object()
+
+#: marks "no update pending" for a producer blocked on a full channel
+_NO_PENDING = object()
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run."""
+
+    timeline: Timeline
+    duration: float
+    energy: float
+    completed: bool            # all stages ran to completion
+    stopped_early: bool        # a stop condition fired
+    shares: dict[str, float]
+    final_values: dict[str, Any] = field(default_factory=dict)
+
+    def output_records(self, buffer: str) -> list[WriteRecord]:
+        return self.timeline.for_buffer(buffer)
+
+
+class _Process:
+    """Bookkeeping for one stage's coroutine."""
+
+    __slots__ = ("stage", "gen", "done", "waiting_inputs",
+                 "waiting_recv", "waiting_emit")
+
+    def __init__(self, stage: Stage) -> None:
+        self.stage = stage
+        self.gen = stage.body()
+        self.done = False
+        self.waiting_inputs: dict[str, int] | None = None
+        self.waiting_recv = False
+        self.waiting_emit: Any = _NO_PENDING  # pending update when blocked
+
+
+class SimulatedExecutor:
+    """Runs an :class:`AutomatonGraph` under virtual time.
+
+    Parameters
+    ----------
+    graph:
+        The validated automaton.
+    total_cores:
+        Core budget divided among stages by ``schedule``.
+    schedule:
+        A :data:`~repro.core.scheduling.SchedulingPolicy` or an explicit
+        ``{stage: share}`` dict.
+    stop:
+        Optional :class:`StopCondition`, consulted after each watched
+        write.
+    watch:
+        Buffer names whose written values are retained in the timeline
+        (defaults to the terminal buffer).  The stop condition only sees
+        watched writes.
+    energy_table:
+        Cost table for the energy meter.
+    """
+
+    def __init__(self, graph: AutomatonGraph,
+                 total_cores: float = 32.0,
+                 schedule: SchedulingPolicy | dict[str, float]
+                 = proportional_shares,
+                 stop: StopCondition | None = None,
+                 watch: set[str] | None = None,
+                 energy_table: EnergyTable | None = None,
+                 dynamic_shares: bool = False) -> None:
+        if total_cores <= 0:
+            raise ValueError(f"total_cores must be positive: {total_cores}")
+        self.graph = graph
+        #: when True, cores are reassigned dynamically: the policy's
+        #: shares become *weights* and the machine is divided among the
+        #: stages computing at each instant (generalized processor
+        #: sharing; paper IV-C2's future-work scheduler)
+        self.dynamic_shares = bool(dynamic_shares)
+        self.total_cores = float(total_cores)
+        if callable(schedule):
+            self.shares = schedule(graph, self.total_cores)
+        else:
+            self.shares = dict(schedule)
+        for stage in graph.stages:
+            share = self.shares.get(stage.name)
+            if share is None or share <= 0:
+                raise ValueError(
+                    f"stage {stage.name!r} has no positive core share")
+        self.stop = stop
+        if watch is None:
+            terminals = graph.terminal_stages()
+            watch = {terminals[0].output.name} if len(terminals) == 1 \
+                else {t.output.name for t in terminals}
+        self.watch = set(watch)
+        self.meter = EnergyMeter(table=energy_table or EnergyTable())
+
+    # -- kernel ----------------------------------------------------------
+
+    def run(self) -> SimResult:
+        procs = {s.name: _Process(s) for s in self.graph.stages}
+        channel_consumer: dict[int, _Process] = {}
+        channel_producer: dict[int, _Process] = {}
+        for p in procs.values():
+            if isinstance(p.stage, SynchronousStage):
+                channel_consumer[id(p.stage.channel)] = p
+            if p.stage.emit_to is not None:
+                channel_producer[id(p.stage.emit_to)] = p
+        buffer_waiters: dict[str, list[_Process]] = {}
+
+        timeline = Timeline()
+        heap: list[tuple[float, int, str, Any]] = []
+        seq = 0
+        for name in sorted(procs):
+            heapq.heappush(heap, (0.0, seq, name, None))
+            seq += 1
+        now = 0.0
+        stopped = False
+        pool = None
+        if self.dynamic_shares:
+            from .procsharing import ProcessorPool
+
+            pool = ProcessorPool(self.total_cores, self.shares)
+        # Deadlines are enforced by the kernel itself: no event past the
+        # deadline executes, so the timeline never contains an output
+        # version the deadline would not actually have allowed.
+        deadline = _find_deadline(self.stop)
+
+        def snapshots(stage: Stage) -> dict[str, Snapshot]:
+            return {b.name: b.snapshot() for b in stage.inputs}
+
+        def wait_satisfied(stage: Stage, seen: dict[str, int],
+                           ) -> dict[str, Snapshot] | None:
+            snaps = snapshots(stage)
+            if not snaps:
+                return snaps
+            if any(s.empty for s in snaps.values()):
+                return None
+            if any(s.version > seen.get(n, 0) for n, s in snaps.items()):
+                return snaps
+            return None
+
+        def schedule(proc: _Process, at: float, payload: Any) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (at, seq, proc.stage.name, payload))
+            seq += 1
+
+        while not stopped:
+            # Pick the next event: the heap's head or, under dynamic
+            # sharing, the processor pool's earliest compute completion.
+            heap_time = heap[0][0] if heap else None
+            completion = pool.next_completion() if pool else None
+            if heap_time is None and completion is None:
+                break
+            use_pool = completion is not None and (
+                heap_time is None or completion[0] < heap_time)
+            next_time = completion[0] if use_pool else heap_time
+            if deadline is not None and next_time > deadline:
+                stopped = True
+                break
+            if use_pool:
+                now, name = completion
+                pool.complete(name, now)
+                payload = None
+            else:
+                now, _, name, payload = heapq.heappop(heap)
+            proc = procs[name]
+            if proc.done:
+                continue
+            if payload is _WAKE:
+                # Wake-up from a buffer write.  Stale wakes (the process
+                # was already resumed via another input's write) and
+                # unsatisfied wakes re-block without touching the
+                # generator.
+                if proc.waiting_inputs is None:
+                    continue
+                snaps = wait_satisfied(proc.stage, proc.waiting_inputs)
+                if snaps is None:
+                    continue
+                proc.waiting_inputs = None
+                payload = snaps
+            send_value = payload
+            while True:
+                try:
+                    cmd = proc.gen.send(send_value)
+                except StopIteration:
+                    proc.done = True
+                    break
+                send_value = None
+                if isinstance(cmd, Compute):
+                    self.meter.charge(cmd.energy if cmd.energy is not None
+                                      else cmd.cost)
+                    if pool is not None:
+                        pool.start(name, cmd.cost, now)
+                    else:
+                        schedule(proc, now + cmd.cost / self.shares[name],
+                                 None)
+                    break
+                elif isinstance(cmd, Write):
+                    stage = proc.stage
+                    version = stage.output.write(cmd.value, cmd.final,
+                                                 writer=stage.name)
+                    watched = stage.output.name in self.watch
+                    record = WriteRecord(
+                        now, stage.output.name, version, cmd.final,
+                        self.meter.total,
+                        cmd.value if watched else None)
+                    timeline.add(record)
+                    for waiter in buffer_waiters.pop(
+                            stage.output.name, []):
+                        if not waiter.done:
+                            schedule(waiter, now, _WAKE)
+                    if watched and self.stop is not None \
+                            and self.stop.should_stop(record):
+                        stopped = True
+                        break
+                elif isinstance(cmd, WaitInputs):
+                    snaps = wait_satisfied(proc.stage, cmd.seen)
+                    if snaps is not None:
+                        send_value = snaps
+                        continue
+                    proc.waiting_inputs = dict(cmd.seen)
+                    for b in proc.stage.inputs:
+                        buffer_waiters.setdefault(b.name, []).append(proc)
+                    break
+                elif isinstance(cmd, PollInputs):
+                    send_value = wait_satisfied(
+                        proc.stage, cmd.seen) is not None
+                elif isinstance(cmd, Emit):
+                    channel = proc.stage.emit_to
+                    assert channel is not None
+                    if channel.full:
+                        proc.waiting_emit = cmd.update
+                        break
+                    channel.emit(cmd.update)
+                    consumer = channel_consumer[id(channel)]
+                    if consumer.waiting_recv:
+                        consumer.waiting_recv = False
+                        ok, update = channel.try_recv()
+                        assert ok
+                        schedule(consumer, now, update)
+                elif isinstance(cmd, CloseChannel):
+                    channel = proc.stage.emit_to
+                    assert channel is not None
+                    channel.close()
+                    consumer = channel_consumer[id(channel)]
+                    if consumer.waiting_recv and len(channel) == 0:
+                        consumer.waiting_recv = False
+                        schedule(consumer, now, CHANNEL_END)
+                elif isinstance(cmd, Recv):
+                    channel = proc.stage.channel  # type: ignore[attr-defined]
+                    was_full = channel.full
+                    try:
+                        ok, update = channel.try_recv()
+                    except ChannelClosed:
+                        send_value = CHANNEL_END
+                        continue
+                    if ok:
+                        send_value = update
+                        if was_full:
+                            producer = channel_producer[id(channel)]
+                            pending = producer.waiting_emit
+                            if pending is not _NO_PENDING:
+                                producer.waiting_emit = _NO_PENDING
+                                channel.emit(pending)
+                                schedule(producer, now, None)
+                        continue
+                    proc.waiting_recv = True
+                    break
+                else:
+                    raise ExecutionError(
+                        f"stage {name!r} yielded unknown command "
+                        f"{cmd!r}")
+
+        completed = all(p.done for p in procs.values())
+        if not completed and not stopped and not heap:
+            blocked = [n for n, p in procs.items() if not p.done]
+            raise ExecutionError(
+                f"execution wedged; blocked stages: {blocked}")
+        final_values = {b.name: b.snapshot().value
+                        for b in self.graph.buffers.values()}
+        return SimResult(timeline=timeline, duration=now,
+                         energy=self.meter.total, completed=completed,
+                         stopped_early=stopped, shares=dict(self.shares),
+                         final_values=final_values)

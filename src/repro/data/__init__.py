@@ -1,0 +1,8 @@
+"""Deterministic synthetic input generators."""
+
+from .images import (bayer_mosaic, clustered_image, gradient_image,
+                     scene_image, texture_image)
+from .pnm import read_pnm, write_pnm
+
+__all__ = ["bayer_mosaic", "clustered_image", "gradient_image",
+           "scene_image", "texture_image", "read_pnm", "write_pnm"]

@@ -1,0 +1,71 @@
+"""Minimal PGM/PPM image IO (no external imaging dependency).
+
+The paper's evaluation presents *visualizable* outputs (Figures 16-18
+show the halted images next to the precise ones).  These helpers let the
+examples and the figure benchmarks dump any output version as a portable
+binary PGM (grayscale) or PPM (RGB) file viewable in any image tool.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+__all__ = ["write_pnm", "read_pnm"]
+
+
+def write_pnm(path: str | pathlib.Path, image: np.ndarray) -> None:
+    """Write a uint8 image as binary PGM (2-D) or PPM (3-D, 3 channels).
+
+    The file format is chosen from the array shape; the path's suffix is
+    not consulted (use .pgm/.ppm by convention).
+    """
+    image = np.asarray(image)
+    if image.dtype != np.uint8:
+        raise TypeError(f"PNM writer needs uint8, got {image.dtype}")
+    path = pathlib.Path(path)
+    if image.ndim == 2:
+        magic = b"P5"
+        h, w = image.shape
+    elif image.ndim == 3 and image.shape[2] == 3:
+        magic = b"P6"
+        h, w = image.shape[:2]
+    else:
+        raise ValueError(
+            f"expected (H, W) or (H, W, 3) image, got {image.shape}")
+    header = magic + f"\n{w} {h}\n255\n".encode("ascii")
+    path.write_bytes(header + image.tobytes())
+
+
+def read_pnm(path: str | pathlib.Path) -> np.ndarray:
+    """Read a binary PGM (P5) or PPM (P6) file written by
+    :func:`write_pnm` (maxval 255)."""
+    data = pathlib.Path(path).read_bytes()
+    fields: list[bytes] = []
+    pos = 0
+    while len(fields) < 4:
+        # skip whitespace and comments between header tokens
+        while pos < len(data) and data[pos:pos + 1].isspace():
+            pos += 1
+        if data[pos:pos + 1] == b"#":
+            while pos < len(data) and data[pos] != 0x0A:
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos:pos + 1].isspace():
+            pos += 1
+        fields.append(data[start:pos])
+    magic, w, h, maxval = (fields[0], int(fields[1]), int(fields[2]),
+                           int(fields[3]))
+    if magic not in (b"P5", b"P6"):
+        raise ValueError(f"unsupported PNM magic {magic!r}")
+    if maxval != 255:
+        raise ValueError(f"only maxval 255 supported, got {maxval}")
+    pos += 1   # single whitespace after maxval
+    channels = 3 if magic == b"P6" else 1
+    pixels = np.frombuffer(data, dtype=np.uint8, count=h * w * channels,
+                           offset=pos)
+    if magic == b"P6":
+        return pixels.reshape(h, w, 3).copy()
+    return pixels.reshape(h, w).copy()

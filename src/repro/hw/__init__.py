@@ -1,0 +1,30 @@
+"""Simulated hardware substrates.
+
+The paper's evaluation leans on hardware we do not have (low-voltage SRAM,
+reduced-precision datapaths, a 32-thread POWER7+ box).  These modules are
+the synthetic equivalents: fixed-point arithmetic, fault-injecting
+approximate storage (SRAM and DRAM), a cache simulator with a
+permutation-aware prefetcher, and relative energy accounting.  See
+DESIGN.md for the substitution rationale.
+"""
+
+from .cache import Cache, CacheConfig, CacheStats, trace_for_permutation
+from .dram import LowRefreshDram, RetentionModel
+from .energy import EnergyMeter, EnergyTable
+from .fixedpoint import Q8, UQ8, FixedPointFormat
+from .prefetch import PermutationPrefetcher, run_prefetched_trace
+from .reorder import ReorderEngine, reorder_layout
+from .rowbuffer import DramGeometry, RowBufferModel, RowBufferStats
+from .sram import (DEFAULT_VOLTAGE_LADDER, DrowsySram, VoltageLevel,
+                   flip_bits)
+
+__all__ = [
+    "Cache", "CacheConfig", "CacheStats", "trace_for_permutation",
+    "LowRefreshDram", "RetentionModel",
+    "EnergyMeter", "EnergyTable",
+    "Q8", "UQ8", "FixedPointFormat",
+    "PermutationPrefetcher", "run_prefetched_trace",
+    "ReorderEngine", "reorder_layout",
+    "DramGeometry", "RowBufferModel", "RowBufferStats",
+    "DEFAULT_VOLTAGE_LADDER", "DrowsySram", "VoltageLevel", "flip_bits",
+]

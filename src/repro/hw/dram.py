@@ -1,0 +1,136 @@
+"""Low-refresh DRAM retention model (Flikker-style approximate storage).
+
+The paper lists low-refresh DRAM [13] alongside drowsy SRAM as an
+approximate storage substrate for iterative anytime stages.  Cells that are
+refreshed less often than their retention time lose their charge and decay
+to a fixed value; the probability a cell has decayed grows with the time
+since its last refresh.
+
+We model a DRAM row population with exponentially distributed retention
+times: after ``t`` seconds without refresh, each bit has independently
+decayed with probability ``1 - exp(-t / tau)`` scaled by the fraction of
+weak cells.  This is sufficient for the retention-sweep extension
+benchmark and for failure-injection tests of iterative stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetentionModel", "LowRefreshDram"]
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """Per-bit decay statistics of a DRAM array.
+
+    Attributes
+    ----------
+    weak_fraction:
+        Fraction of cells that are retention-weak (can decay within the
+        refresh intervals we explore); typical populations are dominated
+        by strong cells, so this is small.
+    tau_seconds:
+        Mean retention time of a weak cell.
+    decay_to_one:
+        Whether a decayed cell reads as 1 (true-cell) or 0 (anti-cell).
+    """
+
+    weak_fraction: float = 1e-4
+    tau_seconds: float = 2.0
+    decay_to_one: bool = False
+
+    def decay_probability(self, elapsed_seconds: float) -> float:
+        """Probability that a given bit has decayed after ``elapsed``."""
+        if elapsed_seconds < 0:
+            raise ValueError("elapsed time cannot be negative")
+        weak_decay = 1.0 - float(np.exp(-elapsed_seconds
+                                        / self.tau_seconds))
+        return self.weak_fraction * weak_decay
+
+
+class LowRefreshDram:
+    """A DRAM array whose refresh interval can be relaxed.
+
+    The refresh energy saved is proportional to the interval extension;
+    :attr:`refresh_energy_saved` reports the fraction saved relative to
+    the nominal (64 ms) interval.
+    """
+
+    NOMINAL_REFRESH_S = 0.064
+
+    def __init__(self, bits_per_word: int = 8,
+                 model: RetentionModel | None = None,
+                 refresh_interval_s: float = NOMINAL_REFRESH_S,
+                 seed: int = 0) -> None:
+        if refresh_interval_s < self.NOMINAL_REFRESH_S:
+            raise ValueError("refresh interval below nominal")
+        self.bits_per_word = bits_per_word
+        self.model = model or RetentionModel()
+        self.refresh_interval_s = refresh_interval_s
+        self._rng = np.random.default_rng(seed)
+        self._data: np.ndarray | None = None
+        self._since_refresh = 0.0
+
+    @property
+    def refresh_energy_saved(self) -> float:
+        """Refresh-energy fraction saved vs. the nominal interval."""
+        return 1.0 - self.NOMINAL_REFRESH_S / self.refresh_interval_s
+
+    def write(self, values: np.ndarray) -> None:
+        """Store an integer array (freshly charged cells)."""
+        values = np.asarray(values)
+        if not np.issubdtype(values.dtype, np.integer):
+            raise TypeError(
+                f"LowRefreshDram stores integers, got {values.dtype}")
+        self._data = values.copy()
+        self._since_refresh = 0.0
+
+    def refresh(self) -> None:
+        """Refresh all rows (decayed cells stay decayed — refresh only
+        re-charges whatever value is currently stored)."""
+        self._since_refresh = 0.0
+
+    def elapse(self, seconds: float) -> None:
+        """Advance time, decaying cells whose refresh is overdue.
+
+        Time beyond the configured refresh interval accumulates decay;
+        each elapsed interval applies one round of decay and an implicit
+        refresh of the (possibly corrupted) contents.
+        """
+        if self._data is None:
+            raise RuntimeError("elapse on unwritten DRAM")
+        if seconds < 0:
+            raise ValueError("seconds cannot be negative")
+        self._since_refresh += seconds
+        while self._since_refresh >= self.refresh_interval_s:
+            self._apply_decay(self.refresh_interval_s)
+            self._since_refresh -= self.refresh_interval_s
+
+    def _apply_decay(self, interval: float) -> None:
+        assert self._data is not None
+        p = self.model.decay_probability(interval)
+        if p <= 0:
+            return
+        flat = self._data.reshape(-1)
+        total_bits = flat.size * self.bits_per_word
+        n_decays = self._rng.binomial(total_bits, p)
+        if n_decays == 0:
+            return
+        positions = self._rng.choice(total_bits, size=n_decays,
+                                     replace=False)
+        elements = positions // self.bits_per_word
+        bit_index = (positions % self.bits_per_word).astype(flat.dtype)
+        bit = flat.dtype.type(1) << bit_index
+        if self.model.decay_to_one:
+            np.bitwise_or.at(flat, elements, bit)
+        else:
+            np.bitwise_and.at(flat, elements, np.bitwise_not(bit))
+
+    def read(self) -> np.ndarray:
+        """Read current contents (non-destructive in this model)."""
+        if self._data is None:
+            raise RuntimeError("read from unwritten DRAM")
+        return self._data.copy()

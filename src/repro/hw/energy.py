@@ -1,0 +1,78 @@
+"""Relative energy accounting.
+
+The automaton's promise is that stopping early saves *time and energy*
+("hold-the-power-button computing").  Absolute joules depend on hardware we
+do not have; what the model needs is a consistent relative account so that
+
+- an energy-budget stop condition can be enforced,
+- reduced-precision and low-voltage-storage variants show their savings,
+- benchmarks can report energy-to-acceptable-output next to runtime.
+
+Costs are expressed in abstract energy units per operation; the defaults
+follow the usual relative ordering (DRAM access >> cache access >> MAC)
+and scale MAC energy linearly with operand bit width (bit-serial
+arithmetic) and storage energy with the drowsy-SRAM voltage level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EnergyTable", "EnergyMeter"]
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-operation energy costs in abstract units."""
+
+    mac_per_bit: float = 0.125       # an 8-bit MAC costs 1.0
+    alu_op: float = 0.5
+    sram_access: float = 1.0         # nominal voltage
+    dram_access: float = 20.0
+    overhead_per_element: float = 0.1
+
+    def mac(self, bits: int) -> float:
+        """Energy of one multiply-accumulate at ``bits`` operand width."""
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        return self.mac_per_bit * bits
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates energy charges; used by executors and stages.
+
+    The meter is additive and supports snapshots, so an executor can
+    record cumulative energy at each output version and a stop condition
+    can cap the total.
+    """
+
+    table: EnergyTable = field(default_factory=EnergyTable)
+    total: float = 0.0
+
+    def charge(self, amount: float) -> float:
+        """Add a raw energy amount (units)."""
+        if amount < 0:
+            raise ValueError("cannot charge negative energy")
+        self.total += amount
+        return self.total
+
+    def charge_macs(self, count: float, bits: int = 8) -> float:
+        """Charge ``count`` MACs at ``bits`` operand width."""
+        return self.charge(count * self.table.mac(bits))
+
+    def charge_alu(self, count: float) -> float:
+        return self.charge(count * self.table.alu_op)
+
+    def charge_sram(self, accesses: float,
+                    energy_per_access: float = 1.0) -> float:
+        """Charge SRAM accesses scaled by a voltage level's relative
+        energy (see :class:`repro.hw.sram.VoltageLevel`)."""
+        return self.charge(accesses * self.table.sram_access
+                           * energy_per_access)
+
+    def charge_dram(self, accesses: float) -> float:
+        return self.charge(accesses * self.table.dram_access)
+
+    def reset(self) -> None:
+        self.total = 0.0

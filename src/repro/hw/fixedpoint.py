@@ -1,0 +1,121 @@
+"""Fixed-point arithmetic substrate.
+
+The paper's reduced-precision experiments (Figures 6, 10, 19) operate on
+fixed-point/integer data.  This module provides an explicit fixed-point
+format — quantization, dequantization, saturation and bit slicing — so the
+reduced-precision anytime stages can state exactly which bits they have
+computed with, and tests can assert bit-exactness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointFormat", "Q8", "UQ8"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A fixed-point number format.
+
+    Parameters
+    ----------
+    total_bits:
+        Width of the representation in bits (including the sign bit when
+        ``signed``).
+    frac_bits:
+        Number of fractional bits; the represented value of raw integer
+        ``q`` is ``q / 2**frac_bits``.
+    signed:
+        Whether the format is two's-complement signed.
+    """
+
+    total_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.total_bits <= 62:
+            raise ValueError(f"total_bits out of range: {self.total_bits}")
+        if not 0 <= self.frac_bits <= self.total_bits:
+            raise ValueError(
+                f"frac_bits must be in [0, total_bits], got "
+                f"{self.frac_bits}")
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0 ** -self.frac_bits
+
+    @property
+    def min_raw(self) -> int:
+        return -(1 << (self.total_bits - 1)) if self.signed else 0
+
+    @property
+    def max_raw(self) -> int:
+        bits = self.total_bits - 1 if self.signed else self.total_bits
+        return (1 << bits) - 1
+
+    @property
+    def min_value(self) -> float:
+        return self.min_raw * self.scale
+
+    @property
+    def max_value(self) -> float:
+        return self.max_raw * self.scale
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Real values -> raw integers, rounding to nearest, saturating."""
+        raw = np.round(np.asarray(values, dtype=np.float64)
+                       / self.scale).astype(np.int64)
+        return np.clip(raw, self.min_raw, self.max_raw)
+
+    def dequantize(self, raw: np.ndarray) -> np.ndarray:
+        """Raw integers -> real values."""
+        return np.asarray(raw, dtype=np.float64) * self.scale
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """Quantize then dequantize (the representable approximation)."""
+        return self.dequantize(self.quantize(values))
+
+    def saturate(self, raw: np.ndarray) -> np.ndarray:
+        """Clamp raw integers into the representable range."""
+        return np.clip(np.asarray(raw, dtype=np.int64),
+                       self.min_raw, self.max_raw)
+
+    def truncate(self, raw: np.ndarray, keep_bits: int) -> np.ndarray:
+        """Keep only the top ``keep_bits`` magnitude bits of raw values.
+
+        This is the reduced-precision view: the value a computation sees
+        when only the most significant ``keep_bits`` have been processed.
+        Signs are preserved; magnitude bits below the kept window are
+        zeroed.
+        """
+        if not 0 <= keep_bits <= self.total_bits:
+            raise ValueError(
+                f"keep_bits must be in [0, {self.total_bits}]")
+        raw = np.asarray(raw, dtype=np.int64)
+        magnitude_bits = (self.total_bits - 1 if self.signed
+                          else self.total_bits)
+        drop = max(magnitude_bits - keep_bits, 0)
+        mask = ~((1 << drop) - 1)
+        return np.where(raw < 0, -((-raw) & mask), raw & mask)
+
+    def quantization_snr_db(self, values: np.ndarray) -> float:
+        """SNR (dB) of representing ``values`` in this format."""
+        values = np.asarray(values, dtype=np.float64)
+        approx = self.roundtrip(values)
+        noise = float(((values - approx) ** 2).sum())
+        signal = float((values ** 2).sum())
+        if noise == 0.0:
+            return float("inf")
+        return 10.0 * np.log10(signal / noise)
+
+
+#: signed Q0.8-style byte format (8 bits, all fractional)
+Q8 = FixedPointFormat(total_bits=8, frac_bits=7, signed=True)
+
+#: unsigned 8-bit integer pixels (the apps' default pixel format)
+UQ8 = FixedPointFormat(total_bits=8, frac_bits=0, signed=False)

@@ -1,0 +1,70 @@
+"""Permutation-aware prefetcher (paper Section IV-C3).
+
+"Both permutations are deterministic.  As a result, simple hardware
+prefetchers can be implemented to alleviate the high miss rates due to poor
+locality.  The overhead and complexity of such prefetchers is minimal: an
+address computation unit coupled with the deterministic tree or
+pseudo-random (e.g., LFSR) counters."
+
+:class:`PermutationPrefetcher` models exactly that: it owns a copy of the
+sampling permutation, tracks the stage's position in the sequence, and on
+every demand access issues prefetches for the next ``depth`` elements of
+the sequence.  The locality ablation benchmark compares miss rates with
+and without it for sequential, tree and LFSR permutations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cache import Cache, CacheStats
+
+__all__ = ["PermutationPrefetcher", "run_prefetched_trace"]
+
+
+class PermutationPrefetcher:
+    """Prefetches future elements of a known deterministic permutation.
+
+    Parameters
+    ----------
+    cache:
+        The cache to install prefetched lines into.
+    addresses:
+        The full byte-address sequence the computation will access, in
+        access order (i.e. the permutation already applied).
+    depth:
+        Prefetch lookahead in elements.
+    """
+
+    def __init__(self, cache: Cache, addresses: np.ndarray,
+                 depth: int = 8) -> None:
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.cache = cache
+        self.addresses = np.asarray(addresses, dtype=np.int64)
+        self.depth = depth
+        self._pos = 0
+
+    def access_next(self) -> bool:
+        """Perform the next demand access, then prefetch ahead."""
+        if self._pos >= len(self.addresses):
+            raise IndexError("trace exhausted")
+        hit = self.cache.access(int(self.addresses[self._pos]))
+        self._pos += 1
+        stop = min(self._pos + self.depth, len(self.addresses))
+        for i in range(self._pos, stop):
+            self.cache.prefetch(int(self.addresses[i]))
+        return hit
+
+    def run(self) -> CacheStats:
+        """Run the remaining trace to completion."""
+        while self._pos < len(self.addresses):
+            self.access_next()
+        return self.cache.stats
+
+
+def run_prefetched_trace(addresses: np.ndarray, cache: Cache | None = None,
+                         depth: int = 8) -> CacheStats:
+    """Convenience: run a whole trace through a prefetching cache."""
+    cache = cache or Cache()
+    return PermutationPrefetcher(cache, addresses, depth=depth).run()

@@ -1,0 +1,98 @@
+"""DRAM row-buffer locality model (paper Section IV-C3).
+
+"In conventional architectures, the anytime automaton can suffer from
+poor cache **and row buffer** locality when sampling with the
+non-sequential tree and pseudo-random permutations."
+
+An open-page DRAM bank keeps the most recently activated row latched in
+its row buffer; an access to the same row is a cheap *row hit*, while a
+different row forces precharge + activate (a *row conflict*).  This model
+replays an address trace over a multi-bank open-page DRAM and reports the
+row-hit rate — the second half of the paper's locality claim, next to the
+cache simulator in :mod:`repro.hw.cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DramGeometry", "RowBufferStats", "RowBufferModel"]
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Address mapping of the modelled DRAM."""
+
+    row_bytes: int = 2 * 1024      # row (page) size per bank
+    banks: int = 8
+
+    def __post_init__(self) -> None:
+        if self.row_bytes <= 0 or self.banks <= 0:
+            raise ValueError("geometry must be positive")
+
+    def locate(self, address: int) -> tuple[int, int]:
+        """(bank, row) of a byte address — row-interleaved banks."""
+        row_global = address // self.row_bytes
+        return row_global % self.banks, row_global // self.banks
+
+
+@dataclass
+class RowBufferStats:
+    accesses: int = 0
+    row_hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+
+class RowBufferModel:
+    """Open-page policy: each bank latches its last-activated row."""
+
+    def __init__(self, geometry: DramGeometry | None = None) -> None:
+        self.geometry = geometry or DramGeometry()
+        self._open_row = np.full(self.geometry.banks, -1,
+                                 dtype=np.int64)
+        self.stats = RowBufferStats()
+
+    def access(self, address: int) -> bool:
+        """Access a byte address; True on a row-buffer hit."""
+        bank, row = self.geometry.locate(int(address))
+        self.stats.accesses += 1
+        if self._open_row[bank] == row:
+            self.stats.row_hits += 1
+            return True
+        self._open_row[bank] = row
+        return False
+
+    def run_trace(self, addresses: np.ndarray) -> RowBufferStats:
+        """Replay a whole trace (vectorized: per-bank hit detection).
+
+        Equivalent to calling :meth:`access` per address, but computed
+        with NumPy: an access hits iff the previous access *to the same
+        bank* touched the same row.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64).reshape(-1)
+        if addresses.size == 0:
+            return self.stats
+        rows_global = addresses // self.geometry.row_bytes
+        banks = rows_global % self.geometry.banks
+        rows = rows_global // self.geometry.banks
+        hits = 0
+        for b in range(self.geometry.banks):
+            sel = banks == b
+            series = rows[sel]
+            if series.size == 0:
+                continue
+            same = series[1:] == series[:-1]
+            hits += int(same.sum())
+            # the first access to the bank hits only if the row was
+            # already open from a previous trace
+            if self._open_row[b] == series[0]:
+                hits += 1
+            self._open_row[b] = series[-1]
+        self.stats.accesses += addresses.size
+        self.stats.row_hits += hits
+        return self.stats

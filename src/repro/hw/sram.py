@@ -1,0 +1,176 @@
+"""Drowsy-SRAM approximate storage model (paper Figures 19-20 substrate).
+
+The paper evaluates iterative anytime approximation via approximate storage
+— low-voltage SRAM whose cells suffer *read upsets* with some probability
+per bit per read.  This module models such a storage device:
+
+- a :class:`VoltageLevel` maps a supply-voltage setting to a per-bit read
+  upset probability and a relative energy-per-access (the paper cites up to
+  ~90% supply power savings at a 0.001% upset rate, via EnerJ [19]);
+- :class:`DrowsySram` stores integer arrays and injects deterministic,
+  seeded bit flips on every read;
+- upsets are **data-destructive** (paper III-B1): a flipped bit stays
+  flipped in the array until :meth:`DrowsySram.flush` rewrites precise
+  values, which is why the iterative construction must flush (or use a
+  separate device) between intermediate computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["VoltageLevel", "DEFAULT_VOLTAGE_LADDER", "DrowsySram",
+           "flip_bits"]
+
+
+@dataclass(frozen=True)
+class VoltageLevel:
+    """One operating point of the drowsy SRAM.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label (e.g. ``"0.001%"``).
+    read_upset_prob:
+        Probability that any single bit flips on a read.
+    energy_per_access:
+        Energy of one access relative to nominal voltage (1.0).
+    """
+
+    name: str
+    read_upset_prob: float
+    energy_per_access: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_upset_prob <= 1.0:
+            raise ValueError(
+                f"read_upset_prob must be a probability, got "
+                f"{self.read_upset_prob}")
+        if self.energy_per_access <= 0:
+            raise ValueError("energy_per_access must be positive")
+
+
+#: Paper Figure 20 operating points: nominal, 0.00001% and 0.001% read
+#: upset probability; the 0.001% point is "estimated to yield up to 90%
+#: supply power savings".
+DEFAULT_VOLTAGE_LADDER: tuple[VoltageLevel, ...] = (
+    VoltageLevel("0.001%", 1e-5, 0.10),
+    VoltageLevel("0.00001%", 1e-7, 0.35),
+    VoltageLevel("nominal", 0.0, 1.00),
+)
+
+
+def flip_bits(values: np.ndarray, prob: float, bits: int,
+              rng: np.random.Generator) -> np.ndarray:
+    """Return ``values`` with each of the low ``bits`` bits independently
+    flipped with probability ``prob``.
+
+    Vectorized exact Bernoulli-per-bit injection; dtype is preserved.
+    """
+    if prob < 0 or prob > 1:
+        raise ValueError(f"prob must be a probability, got {prob}")
+    values = np.asarray(values)
+    if not np.issubdtype(values.dtype, np.integer):
+        raise TypeError(f"bit flips need integer data, got {values.dtype}")
+    if prob == 0.0 or values.size == 0:
+        return values.copy()
+    out = values.copy()
+    flat = out.reshape(-1)
+    # Expected flips are tiny at the paper's probabilities; draw the number
+    # of flips binomially, then place them uniformly over (element, bit).
+    total_bits = flat.size * bits
+    n_flips = rng.binomial(total_bits, prob)
+    if n_flips == 0:
+        return out
+    positions = rng.choice(total_bits, size=n_flips, replace=False)
+    elements = positions // bits
+    bit_index = (positions % bits).astype(flat.dtype)
+    np.bitwise_xor.at(flat, elements,
+                      flat.dtype.type(1) << bit_index)
+    return out
+
+
+class DrowsySram:
+    """An approximate SRAM storing one integer array.
+
+    Parameters
+    ----------
+    bits_per_word:
+        How many low-order bits of each stored element are physically held
+        in (and can be corrupted by) the array — 8 for pixel data.
+    level:
+        Initial :class:`VoltageLevel`.
+    seed:
+        RNG seed; the same seed reproduces the same upsets, which keeps
+        the Figure 20 experiment deterministic.
+    """
+
+    def __init__(self, bits_per_word: int = 8,
+                 level: VoltageLevel = DEFAULT_VOLTAGE_LADDER[-1],
+                 seed: int = 0) -> None:
+        if not 1 <= bits_per_word <= 62:
+            raise ValueError(
+                f"bits_per_word out of range: {bits_per_word}")
+        self.bits_per_word = bits_per_word
+        self.level = level
+        self._rng = np.random.default_rng(seed)
+        self._data: np.ndarray | None = None
+        self.reads = 0
+        self.writes = 0
+        self.energy = 0.0
+        self.bit_flips = 0
+
+    def set_level(self, level: VoltageLevel) -> None:
+        """Change the operating voltage (takes effect on future reads)."""
+        self.level = level
+
+    def write(self, values: np.ndarray) -> None:
+        """Store an integer array at full fidelity."""
+        values = np.asarray(values)
+        if not np.issubdtype(values.dtype, np.integer):
+            raise TypeError(
+                f"DrowsySram stores integers, got {values.dtype}")
+        if values.size and (int(values.max()) >= (1 << self.bits_per_word)
+                            or int(values.min()) < 0):
+            raise ValueError(
+                f"values do not fit in {self.bits_per_word} unsigned bits")
+        self._data = values.copy()
+        self.writes += values.size
+        self.energy += values.size * self.level.energy_per_access
+
+    def flush(self, precise: np.ndarray) -> None:
+        """Reinitialize the array to precise values.
+
+        Required between the intermediate computations of an iterative
+        stage: upsets are destructive, so without a flush the corruption
+        accumulated at a low-voltage level would degrade the higher-
+        accuracy levels that follow (paper III-B1).
+        """
+        self.write(precise)
+
+    def read(self) -> np.ndarray:
+        """Read the whole array, injecting read upsets.
+
+        The injected flips are written back into the stored data
+        (destructive read), modelling a cell whose content was lost.
+        """
+        if self._data is None:
+            raise RuntimeError("read from unwritten SRAM")
+        corrupted = flip_bits(self._data, self.level.read_upset_prob,
+                              self.bits_per_word, self._rng)
+        diff = np.bitwise_xor(corrupted, self._data)
+        self.bit_flips += int(
+            np.bitwise_count(diff.astype(np.uint64)).sum())
+        self._data = corrupted
+        self.reads += corrupted.size
+        self.energy += corrupted.size * self.level.energy_per_access
+        return corrupted.copy()
+
+    @property
+    def stored(self) -> np.ndarray:
+        """Current (possibly corrupted) contents, without an access."""
+        if self._data is None:
+            raise RuntimeError("SRAM has no contents")
+        return self._data.copy()

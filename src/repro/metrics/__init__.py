@@ -1,0 +1,14 @@
+"""Accuracy metrics, runtime-accuracy profiles, online estimators."""
+
+from .confidence import SamplingConfidence, normal_quantile
+from .estimators import (ConvergenceEstimator, ConvergenceStop,
+                         SampleAgreementEstimator)
+from .planning import DeadlinePlanner
+from .profiles import ProfilePoint, RuntimeAccuracyProfile
+from .snr import mse, nrmse, psnr_db, rmse, snr_db
+
+__all__ = ["SamplingConfidence", "normal_quantile",
+           "ConvergenceEstimator", "ConvergenceStop",
+           "SampleAgreementEstimator", "DeadlinePlanner",
+           "ProfilePoint", "RuntimeAccuracyProfile",
+           "mse", "nrmse", "psnr_db", "rmse", "snr_db"]

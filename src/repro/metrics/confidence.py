@@ -1,0 +1,120 @@
+"""Confidence intervals for input-sampled reductions.
+
+A weighted anytime reduction publishes ``O'_i = O_i · n / i`` — an
+unbiased estimate of the final total under a uniform (LFSR) sampling
+permutation.  Because the samples are drawn without replacement from a
+finite population, the estimator's variance is the classic
+finite-population-corrected form
+
+    Var[O'_i] = n² · (1 − i/n) · s² / i
+
+with ``s²`` the sample variance of the per-element contributions.  This
+module tracks the running moments chunk by chunk and reports the
+estimate with a normal-approximation confidence interval — the
+statistical footing for an online controller that stops a sampled
+reduction once the total is known tightly enough, without ever seeing
+the precise answer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["SamplingConfidence", "normal_quantile"]
+
+# two-sided normal quantiles for the common confidence levels
+_QUANTILES = {0.80: 1.2816, 0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def normal_quantile(confidence: float) -> float:
+    """Two-sided z-value for a confidence level in (0, 1)."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(
+            f"confidence must be in (0, 1), got {confidence}")
+    if confidence in _QUANTILES:
+        return _QUANTILES[confidence]
+    from scipy import stats
+
+    return float(stats.norm.ppf(0.5 + confidence / 2.0))
+
+
+class SamplingConfidence:
+    """Running estimate-with-interval for a sampled sum.
+
+    Feed it the per-element contributions of each processed chunk (the
+    ``x_{p(i)}`` values); query :meth:`estimate` for the scaled total
+    and :meth:`halfwidth` for the CI half-width.  Assumes uniform
+    sampling without replacement — exactly what a bijective pseudo-
+    random permutation's prefix provides.
+    """
+
+    def __init__(self, population: int) -> None:
+        if population < 1:
+            raise ValueError(
+                f"population must be >= 1, got {population}")
+        self.population = population
+        self._count = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+
+    def update(self, contributions: np.ndarray) -> None:
+        """Fold in one chunk of per-element contributions."""
+        values = np.asarray(contributions, dtype=np.float64).reshape(-1)
+        if self._count + values.size > self.population:
+            raise ValueError(
+                f"more samples than the population of "
+                f"{self.population}")
+        self._count += values.size
+        self._sum += float(values.sum())
+        self._sumsq += float((values ** 2).sum())
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def complete(self) -> bool:
+        return self._count >= self.population
+
+    def estimate(self) -> float:
+        """The scaled total ``O'_i = O_i · n / i`` (exact when done)."""
+        if self._count == 0:
+            raise ValueError("no samples yet")
+        return self._sum * self.population / self._count
+
+    def sample_variance(self) -> float:
+        """Unbiased per-element sample variance ``s²``."""
+        if self._count < 2:
+            return math.inf
+        mean = self._sum / self._count
+        return max(0.0, (self._sumsq - self._count * mean * mean)
+                   / (self._count - 1))
+
+    def halfwidth(self, confidence: float = 0.95) -> float:
+        """CI half-width of :meth:`estimate` (0 once the sample is the
+        whole population — the anytime guarantee in statistical form)."""
+        if self._count < 2:
+            return math.inf
+        n, i = self.population, self._count
+        fpc = max(0.0, 1.0 - i / n)
+        variance = n * n * fpc * self.sample_variance() / i
+        return normal_quantile(confidence) * math.sqrt(variance)
+
+    def relative_halfwidth(self, confidence: float = 0.95) -> float:
+        """Half-width over |estimate| (inf when the estimate is 0)."""
+        est = abs(self.estimate())
+        if est == 0.0:
+            return math.inf
+        return self.halfwidth(confidence) / est
+
+    def satisfied(self, relative_error: float,
+                  confidence: float = 0.95) -> bool:
+        """Is the total known to within ``relative_error``?"""
+        if relative_error <= 0:
+            raise ValueError(
+                f"relative_error must be positive: {relative_error}")
+        if self.complete:
+            return True
+        return self.relative_halfwidth(confidence) <= relative_error

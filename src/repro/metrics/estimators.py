@@ -1,0 +1,161 @@
+"""Online output-quality estimation without a reference.
+
+The paper positions the automaton as the natural partner for dynamic
+error control (Green, SAGE, Rumba): because whole-application outputs are
+available early, an online controller can watch *them* rather than
+per-segment accuracies.  But at runtime there is no precise reference to
+compute SNR against.  Two practical estimators:
+
+- :class:`ConvergenceEstimator` — measures the change between
+  consecutive output versions; as a diffusive automaton approaches the
+  precise output, inter-version deltas shrink, so a small delta is
+  evidence of convergence.  (It is a heuristic: an iterative stage's
+  versions can plateau before the precise pass.)
+- :class:`SampleAgreementEstimator` — holds out a pinned set of sample
+  positions and compares the current version against their precisely
+  computed values; gives a true (if noisy) SNR estimate at the cost of
+  computing the holdout up front.
+
+Both integrate with the executor through
+:class:`~repro.core.controller.StopCondition` adapters (see
+:class:`ConvergenceStop`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.controller import StopCondition
+from ..core.recording import WriteRecord
+from .snr import snr_db
+
+__all__ = ["ConvergenceEstimator", "SampleAgreementEstimator",
+           "ConvergenceStop"]
+
+
+class ConvergenceEstimator:
+    """Tracks relative change between consecutive output versions.
+
+    :meth:`update` feeds the next version and returns the relative delta
+    ``rms(v_k - v_{k-1}) / rms(v_k)`` (``inf`` for the first version).
+    :attr:`converged` becomes True once ``patience`` consecutive deltas
+    fall below ``threshold``.
+    """
+
+    def __init__(self, threshold: float = 0.01,
+                 patience: int = 2) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive: {threshold}")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1: {patience}")
+        self.threshold = threshold
+        self.patience = patience
+        self._previous: np.ndarray | None = None
+        self._streak = 0
+        self.deltas: list[float] = []
+
+    def update(self, value: np.ndarray) -> float:
+        value = np.asarray(value, dtype=np.float64)
+        if self._previous is None:
+            delta = float("inf")
+        else:
+            diff = float(np.sqrt(np.mean(
+                (value - self._previous) ** 2)))
+            scale = float(np.sqrt(np.mean(value ** 2)))
+            delta = diff / scale if scale > 0 else (
+                0.0 if diff == 0 else float("inf"))
+        self._previous = value.copy()
+        self.deltas.append(delta)
+        if delta < self.threshold:
+            self._streak += 1
+        else:
+            self._streak = 0
+        return delta
+
+    @property
+    def converged(self) -> bool:
+        return self._streak >= self.patience
+
+
+class SampleAgreementEstimator:
+    """Estimates output SNR from a precomputed holdout sample.
+
+    Parameters
+    ----------
+    positions:
+        Flat indices of the holdout elements.
+    truth:
+        Their precisely computed values (the up-front cost of this
+        estimator; typically a tiny fraction of the output).
+    """
+
+    def __init__(self, positions: np.ndarray,
+                 truth: np.ndarray) -> None:
+        positions = np.asarray(positions, dtype=np.int64)
+        truth = np.asarray(truth, dtype=np.float64)
+        if len(positions) != len(truth):
+            raise ValueError(
+                f"positions ({len(positions)}) and truth "
+                f"({len(truth)}) lengths differ")
+        if len(positions) == 0:
+            raise ValueError("holdout sample cannot be empty")
+        self.positions = positions
+        self.truth = truth
+
+    @classmethod
+    def from_element_fn(cls, element_fn: Callable[..., np.ndarray],
+                        positions: np.ndarray,
+                        *inputs: Any) -> "SampleAgreementEstimator":
+        """Build the holdout by running a map stage's element function
+        on the pinned positions."""
+        truth = element_fn(np.asarray(positions, dtype=np.int64),
+                           *inputs)
+        return cls(positions, np.asarray(truth, dtype=np.float64))
+
+    def estimate_snr_db(self, value: np.ndarray) -> float:
+        """SNR of the current version, measured on the holdout only.
+
+        The value's spatial axes are flattened; trailing per-element
+        axes (e.g. RGB channels) must match the truth's trailing shape.
+        """
+        value = np.asarray(value, dtype=np.float64)
+        if self.truth.ndim > 1:
+            flat = value.reshape(-1, *self.truth.shape[1:])
+        else:
+            flat = value.reshape(-1)
+        return snr_db(flat[self.positions], self.truth)
+
+
+class ConvergenceStop(StopCondition):
+    """Halt when consecutive output versions stop changing.
+
+    ``extract`` maps a record's value to the array to compare (identity
+    by default; pass e.g. ``lambda v: v["image"]`` for dict outputs).
+    A ``min_versions`` guard prevents stopping on the very first
+    plateau of an automaton that is still warming up.
+    """
+
+    def __init__(self, threshold: float = 0.01, patience: int = 2,
+                 min_versions: int = 3,
+                 extract: Callable[[Any], np.ndarray] | None = None,
+                 ) -> None:
+        if min_versions < 1:
+            raise ValueError(
+                f"min_versions must be >= 1: {min_versions}")
+        self.estimator = ConvergenceEstimator(threshold=threshold,
+                                              patience=patience)
+        self.min_versions = min_versions
+        self.extract = extract or (lambda v: v)
+        self._seen = 0
+
+    def should_stop(self, record: WriteRecord) -> bool:
+        if record.value is None:
+            raise ValueError(
+                "ConvergenceStop needs a watched terminal buffer")
+        self._seen += 1
+        self.estimator.update(np.asarray(self.extract(record.value),
+                                         dtype=np.float64))
+        return (self._seen >= self.min_versions
+                and self.estimator.converged)

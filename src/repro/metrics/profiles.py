@@ -1,0 +1,196 @@
+"""Runtime-accuracy profiles (the paper's Figures 11-15 data structure).
+
+A :class:`RuntimeAccuracyProfile` is the series of (normalized runtime,
+SNR dB) points traced by an anytime automaton's terminal output buffer.
+The x-axis is virtual (or wall) time normalized to the baseline precise
+execution; the y-axis is SNR of the output version produced at that time
+relative to the precise output.
+
+The profile offers the queries the evaluation needs: SNR available at a
+given time budget, time needed to reach a target SNR, monotonicity audit
+(the model's headline guarantee), and tabular export for the benchmark
+reports.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import dataclass, field
+
+__all__ = ["ProfilePoint", "RuntimeAccuracyProfile"]
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """One output version: when it appeared and how accurate it was."""
+
+    runtime: float          # normalized to baseline precise runtime
+    snr_db: float           # math.inf when bit-exact
+    version: int = 0
+    energy: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.runtime < 0:
+            raise ValueError(f"runtime cannot be negative: {self.runtime}")
+
+
+@dataclass
+class RuntimeAccuracyProfile:
+    """An ordered series of :class:`ProfilePoint`.
+
+    Points must be appended in non-decreasing runtime order (output
+    versions appear in time order by construction of the model).
+    """
+
+    label: str = ""
+    points: list[ProfilePoint] = field(default_factory=list)
+
+    def add(self, runtime: float, snr_db: float, version: int = 0,
+            energy: float = 0.0) -> ProfilePoint:
+        """Append a point; enforces time ordering."""
+        if self.points and runtime < self.points[-1].runtime:
+            raise ValueError(
+                f"points must be time-ordered: {runtime} after "
+                f"{self.points[-1].runtime}")
+        point = ProfilePoint(runtime, snr_db, version, energy)
+        self.points.append(point)
+        return point
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @property
+    def final_snr_db(self) -> float:
+        """SNR of the last output version (∞ when precise was reached)."""
+        if not self.points:
+            raise ValueError("empty profile")
+        return self.points[-1].snr_db
+
+    @property
+    def time_to_precise(self) -> float | None:
+        """Normalized runtime at which SNR first hit ∞, if it did."""
+        for p in self.points:
+            if math.isinf(p.snr_db) and p.snr_db > 0:
+                return p.runtime
+        return None
+
+    def snr_at(self, runtime: float) -> float:
+        """Best SNR available if stopped at ``runtime``.
+
+        This is the accuracy of the newest output version no later than
+        ``runtime``; before the first version the output buffer holds the
+        initial value, reported as -inf.
+        """
+        best = -math.inf
+        for p in self.points:
+            if p.runtime <= runtime:
+                best = p.snr_db
+            else:
+                break
+        return best
+
+    def time_to_snr(self, target_db: float) -> float | None:
+        """Earliest normalized runtime achieving at least ``target_db``.
+
+        Returns None when the profile never reaches the target.  Because
+        accuracy is monotone for well-formed automata, this is the
+        "let it run longer" query a user or controller would pose.
+        """
+        for p in self.points:
+            if p.snr_db >= target_db:
+                return p.runtime
+        return None
+
+    def energy_to_snr(self, target_db: float) -> float | None:
+        """Energy spent by the first version meeting ``target_db``."""
+        for p in self.points:
+            if p.snr_db >= target_db:
+                return p.energy
+        return None
+
+    def is_monotonic(self, tolerance_db: float = 0.0) -> bool:
+        """Check the anytime guarantee: SNR never drops (beyond tolerance).
+
+        Tiny non-monotonicity at very small sample sizes is a measurement
+        artifact the paper's plots also show; ``tolerance_db`` admits it.
+        """
+        best = -math.inf
+        for p in self.points:
+            if p.snr_db < best - tolerance_db:
+                return False
+            best = max(best, p.snr_db)
+        return True
+
+    def monotonicity_violations(self,
+                                tolerance_db: float = 0.0,
+                                ) -> list[tuple[ProfilePoint, float]]:
+        """All points whose SNR drops below the running best."""
+        best = -math.inf
+        out = []
+        for p in self.points:
+            if p.snr_db < best - tolerance_db:
+                out.append((p, best))
+            best = max(best, p.snr_db)
+        return out
+
+    def to_rows(self) -> list[tuple[float, float]]:
+        """Export as (runtime, snr_db) pairs — the figure's data series."""
+        return [(p.runtime, p.snr_db) for p in self.points]
+
+    def to_json(self) -> str:
+        """Serialize to JSON (infinities encoded as strings)."""
+        def encode(v: float):
+            if math.isinf(v):
+                return "inf" if v > 0 else "-inf"
+            return v
+
+        return json.dumps({
+            "label": self.label,
+            "points": [[p.runtime, encode(p.snr_db), p.version,
+                        p.energy] for p in self.points],
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "RuntimeAccuracyProfile":
+        """Inverse of :meth:`to_json`."""
+        def decode(v):
+            if v == "inf":
+                return math.inf
+            if v == "-inf":
+                return -math.inf
+            return float(v)
+
+        data = json.loads(text)
+        profile = cls(label=data["label"])
+        for runtime, snr, version, energy in data["points"]:
+            profile.add(float(runtime), decode(snr),
+                        version=int(version), energy=float(energy))
+        return profile
+
+    def save(self, path) -> None:
+        """Write the profile to a JSON file (e.g. planner calibration)."""
+        pathlib.Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "RuntimeAccuracyProfile":
+        """Read a profile written by :meth:`save`."""
+        return cls.from_json(pathlib.Path(path).read_text())
+
+    def format_table(self, max_rows: int = 0) -> str:
+        """Human-readable table, optionally thinned to ``max_rows``."""
+        pts = self.points
+        if max_rows and len(pts) > max_rows:
+            step = (len(pts) - 1) / (max_rows - 1)
+            idx = sorted({round(i * step) for i in range(max_rows)})
+            pts = [self.points[i] for i in idx]
+        lines = [f"# {self.label}" if self.label else "# profile",
+                 f"{'runtime':>10}  {'SNR (dB)':>10}"]
+        for p in pts:
+            snr = "inf" if math.isinf(p.snr_db) else f"{p.snr_db:.2f}"
+            lines.append(f"{p.runtime:>10.3f}  {snr:>10}")
+        return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Accuracy metrics.
+
+The paper measures accuracy as "signal-to-noise ratio (SNR) — a standard
+metric in image processing — of the approximate output relative to the
+baseline precise.  SNR is measured in decibels (dB) where ∞ dB is perfect
+accuracy."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "rmse", "snr_db", "psnr_db", "nrmse"]
+
+
+def _as_float_pair(approx: np.ndarray,
+                   reference: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    approx = np.asarray(approx, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if approx.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch: approx {approx.shape} vs reference "
+            f"{reference.shape}")
+    return approx, reference
+
+
+def mse(approx: np.ndarray, reference: np.ndarray) -> float:
+    """Mean squared error."""
+    approx, reference = _as_float_pair(approx, reference)
+    return float(np.mean((approx - reference) ** 2))
+
+
+def rmse(approx: np.ndarray, reference: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(approx, reference)))
+
+
+def nrmse(approx: np.ndarray, reference: np.ndarray) -> float:
+    """RMSE normalized by the reference's value range."""
+    approx, reference = _as_float_pair(approx, reference)
+    span = float(reference.max() - reference.min())
+    if span == 0.0:
+        return 0.0 if np.array_equal(approx, reference) else float("inf")
+    return rmse(approx, reference) / span
+
+def snr_db(approx: np.ndarray, reference: np.ndarray) -> float:
+    """Signal-to-noise ratio in decibels (∞ for an exact match).
+
+    ``SNR = 10 log10( sum(reference²) / sum((reference - approx)²) )``.
+    """
+    approx, reference = _as_float_pair(approx, reference)
+    noise = float(((reference - approx) ** 2).sum())
+    if noise == 0.0:
+        return float("inf")
+    signal = float((reference ** 2).sum())
+    if signal == 0.0:
+        return float("-inf")
+    return 10.0 * float(np.log10(signal / noise))
+
+
+def psnr_db(approx: np.ndarray, reference: np.ndarray,
+            peak: float | None = None) -> float:
+    """Peak signal-to-noise ratio in decibels.
+
+    ``peak`` defaults to the reference's max value (255 for 8-bit images
+    when passed explicitly by callers).
+    """
+    approx, reference = _as_float_pair(approx, reference)
+    err = mse(approx, reference)
+    if err == 0.0:
+        return float("inf")
+    if peak is None:
+        peak = float(np.abs(reference).max())
+    if peak == 0.0:
+        return float("-inf")
+    return 10.0 * float(np.log10(peak * peak / err))

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data import bayer_mosaic, clustered_image, scene_image
+
+
+@pytest.fixture(scope="session")
+def small_image():
+    """A 64x64 grayscale scene (uint8), session-cached."""
+    return scene_image(64, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_mosaic():
+    """A 64x64 Bayer mosaic (uint8), session-cached."""
+    return bayer_mosaic(64, seed=12)
+
+
+@pytest.fixture(scope="session")
+def small_rgb():
+    """A 32x32 cluster-structured RGB image (uint8), session-cached."""
+    return clustered_image(32, seed=13, clusters=4)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,92 @@
+"""Tests for the approximate-storage (drowsy SRAM) conv2d automaton."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.conv2d import conv2d_precise
+from repro.apps.conv2d_storage import (build_conv2d_sram_automaton,
+                                       sram_energy_report)
+from repro.hw.sram import DEFAULT_VOLTAGE_LADDER, VoltageLevel
+from repro.metrics.snr import snr_db
+
+HOT_LADDER = (VoltageLevel("hot", 1e-3, 0.05),
+              VoltageLevel("warm", 1e-4, 0.2),
+              VoltageLevel("nominal", 0.0, 1.0))
+
+
+class TestValidation:
+    def test_final_level_must_be_nominal(self, small_image):
+        bad = (VoltageLevel("a", 1e-3, 0.1),)
+        with pytest.raises(ValueError, match="nominal"):
+            build_conv2d_sram_automaton(small_image, ladder=bad)
+
+    def test_ladder_must_increase_accuracy(self, small_image):
+        bad = (VoltageLevel("a", 1e-5, 0.1),
+               VoltageLevel("b", 1e-3, 0.2),
+               VoltageLevel("c", 0.0, 1.0))
+        with pytest.raises(ValueError, match="non-increasing"):
+            build_conv2d_sram_automaton(small_image, ladder=bad)
+
+
+class TestExecution:
+    def test_final_version_is_precise(self, small_image):
+        """The nominal (zero-upset) last level, after a flush, computes
+        the exact blur despite earlier corruption."""
+        auto = build_conv2d_sram_automaton(small_image,
+                                           ladder=HOT_LADDER, seed=2)
+        res = auto.run_simulated(total_cores=8.0)
+        final = res.timeline.final_record("filtered")
+        assert np.array_equal(final.value, conv2d_precise(small_image))
+
+    def test_versions_improve_statistically(self, small_image):
+        auto = build_conv2d_sram_automaton(small_image,
+                                           ladder=HOT_LADDER, seed=3)
+        ref = conv2d_precise(small_image)
+        res = auto.run_simulated(total_cores=8.0)
+        snrs = [snr_db(r.value, ref)
+                for r in res.output_records("filtered")]
+        assert len(snrs) == 3
+        assert snrs[0] < snrs[1] < snrs[2]
+        assert math.isinf(snrs[2])
+
+    def test_low_voltage_levels_show_corruption(self, small_image):
+        auto = build_conv2d_sram_automaton(small_image,
+                                           ladder=HOT_LADDER, seed=4)
+        res = auto.run_simulated(total_cores=8.0)
+        first = res.output_records("filtered")[0]
+        ref = conv2d_precise(small_image)
+        assert not np.array_equal(first.value, ref)
+        assert auto.sram.bit_flips > 0
+
+    def test_default_ladder_runs(self, small_image):
+        auto = build_conv2d_sram_automaton(small_image, seed=5)
+        res = auto.run_simulated(total_cores=8.0)
+        assert res.completed
+        assert len(res.output_records("filtered")) == \
+            len(DEFAULT_VOLTAGE_LADDER)
+
+    def test_deterministic_under_seed(self, small_image):
+        outs = []
+        for _ in range(2):
+            auto = build_conv2d_sram_automaton(small_image,
+                                               ladder=HOT_LADDER,
+                                               seed=6)
+            res = auto.run_simulated(total_cores=8.0)
+            outs.append(res.output_records("filtered")[0].value)
+        assert np.array_equal(outs[0], outs[1])
+
+
+class TestEnergyReport:
+    def test_low_voltage_cheaper(self, small_image):
+        rows = sram_energy_report(small_image)
+        by_name = {name: rel for name, _, rel in rows}
+        assert by_name["0.001%"] < by_name["0.00001%"] < \
+            by_name["nominal"]
+
+    def test_paper_anchor_90_percent_saving(self, small_image):
+        rows = sram_energy_report(small_image)
+        by_name = {name: rel for name, _, rel in rows}
+        assert by_name["0.001%"] == pytest.approx(0.10)
+        assert by_name["nominal"] == pytest.approx(1.0)

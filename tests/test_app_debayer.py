@@ -1,0 +1,85 @@
+"""Tests for the debayer application (paper Figure 14)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.debayer import (build_debayer_automaton, debayer_elements,
+                                debayer_precise)
+from repro.data.images import bayer_mosaic
+
+
+class TestDemosaic:
+    def test_constant_mosaic_gives_constant_rgb(self):
+        mosaic = np.full((16, 16), 99, dtype=np.uint8)
+        rgb = debayer_precise(mosaic)
+        assert (rgb == 99).all()
+        assert rgb.shape == (16, 16, 3)
+
+    def test_known_sites_pass_through(self):
+        """At an R site the red output equals the mosaic value; same for
+        G and B sites."""
+        rng = np.random.default_rng(3)
+        mosaic = rng.integers(0, 256, size=(8, 8)).astype(np.uint8)
+        rgb = debayer_precise(mosaic)
+        assert np.array_equal(rgb[0::2, 0::2, 0], mosaic[0::2, 0::2])
+        assert np.array_equal(rgb[0::2, 1::2, 1], mosaic[0::2, 1::2])
+        assert np.array_equal(rgb[1::2, 0::2, 1], mosaic[1::2, 0::2])
+        assert np.array_equal(rgb[1::2, 1::2, 2], mosaic[1::2, 1::2])
+
+    def test_interpolation_averages_neighbours(self):
+        """A G value at an R site is the rounded mean of its four
+        cross neighbours."""
+        mosaic = np.zeros((6, 6), dtype=np.uint8)
+        mosaic[1, 2] = 100   # G above (2,2)
+        mosaic[3, 2] = 50    # G below
+        mosaic[2, 1] = 30    # G left
+        mosaic[2, 3] = 20    # G right
+        rgb = debayer_precise(mosaic)
+        assert rgb[2, 2, 1] == (100 + 50 + 30 + 20 + 2) // 4
+
+    def test_elements_match_precise(self, small_mosaic):
+        ref = debayer_precise(small_mosaic)
+        idx = np.array([0, 17, 999, small_mosaic.size - 1])
+        vals = debayer_elements(idx, small_mosaic)
+        flat_ref = ref.reshape(-1, 3)
+        assert np.array_equal(vals, flat_ref[idx])
+
+    def test_smooth_scene_reconstruction_close(self):
+        """On a smooth scene, demosaicing nearly recovers the original
+        colours."""
+        from repro.data.images import clustered_image
+        rgb = clustered_image(32, seed=2, clusters=0)
+        mosaic = bayer_mosaic(32, seed=2)
+        rec = debayer_precise(mosaic).astype(np.float64)
+        err = np.abs(rec - rgb.astype(np.float64)).mean()
+        assert err < 30.0
+
+
+class TestAutomaton:
+    def test_single_diffusive_stage(self, small_mosaic):
+        auto = build_debayer_automaton(small_mosaic)
+        assert len(auto.graph.stages) == 1
+        assert auto.graph.stages[0].anytime
+
+    def test_final_output_bit_exact(self, small_mosaic):
+        auto = build_debayer_automaton(small_mosaic, chunks=8)
+        ref = debayer_precise(small_mosaic)
+        res = auto.run_simulated(total_cores=8.0)
+        final = res.timeline.final_record("rgb")
+        assert np.array_equal(final.value, ref)
+
+    def test_intermediate_versions_are_rgb_shaped(self, small_mosaic):
+        auto = build_debayer_automaton(small_mosaic, chunks=8)
+        res = auto.run_simulated(total_cores=8.0)
+        for rec in res.output_records("rgb"):
+            assert rec.value.shape == small_mosaic.shape + (3,)
+            assert rec.value.dtype == np.uint8
+
+    def test_profile_monotone(self, small_mosaic):
+        auto = build_debayer_automaton(small_mosaic, chunks=8)
+        res = auto.run_simulated(total_cores=8.0)
+        prof = auto.profile(res, total_cores=8.0)
+        assert prof.is_monotonic(1.0)
+        assert math.isinf(prof.final_snr_db)

@@ -1,0 +1,100 @@
+"""Tests for the histeq application (paper Figure 12)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.histeq import (build_histeq_automaton, equalization_lut,
+                               histeq_precise, histogram, lut_from_cdf)
+
+
+class TestHistogram:
+    def test_counts(self):
+        img = np.array([[0, 0], [255, 3]], dtype=np.uint8)
+        h = histogram(img)
+        assert h[0] == 2 and h[3] == 1 and h[255] == 1
+        assert h.sum() == 4
+
+    def test_length_256(self, small_image):
+        assert histogram(small_image).shape == (256,)
+
+
+class TestLut:
+    def test_monotone_nondecreasing(self, small_image):
+        lut = equalization_lut(histogram(small_image))
+        assert (np.diff(lut.astype(np.int64)) >= 0).all()
+
+    def test_full_range_mapping(self, small_image):
+        lut = equalization_lut(histogram(small_image))
+        assert lut.max() == 255
+
+    def test_uniform_histogram_is_near_identity(self):
+        lut = equalization_lut(np.ones(256))
+        assert np.abs(lut.astype(np.int64)
+                      - np.arange(256)).max() <= 2
+
+    def test_empty_histogram_degrades_gracefully(self):
+        assert lut_from_cdf(np.zeros(256)).tolist() == \
+            list(range(256))
+
+    def test_single_bin_histogram(self):
+        h = np.zeros(256)
+        h[77] = 100
+        lut = equalization_lut(h)
+        assert lut.dtype == np.uint8
+
+    def test_works_on_weighted_estimates(self, small_image):
+        """The anytime pipeline feeds n/i-scaled histograms; scaling
+        must not change the LUT (equalization is scale-invariant)."""
+        h = histogram(small_image)
+        assert np.array_equal(equalization_lut(h),
+                              equalization_lut(h * 7.5))
+
+
+class TestPrecise:
+    def test_improves_contrast(self, small_image):
+        out = histeq_precise(small_image)
+        assert out.dtype == np.uint8
+        assert out.std() >= small_image.std() * 0.9
+        assert out.max() == 255
+
+    def test_preserves_intensity_ordering(self, small_image):
+        out = histeq_precise(small_image)
+        a, b = small_image[0, 0], small_image[1, 1]
+        if a < b:
+            assert out[0, 0] <= out[1, 1]
+
+
+class TestAutomaton:
+    def test_four_stages_async_pipeline(self, small_image):
+        auto = build_histeq_automaton(small_image)
+        names = [s.name for s in auto.graph.stages]
+        assert names == ["hist", "cdf", "lut", "apply"]
+        anytime_flags = [s.anytime for s in auto.graph.stages]
+        assert anytime_flags == [True, False, False, True], \
+            "paper: stages 2 and 3 are not anytime"
+
+    def test_final_output_bit_exact(self, small_image):
+        auto = build_histeq_automaton(small_image, chunks=8)
+        ref = histeq_precise(small_image)
+        assert np.array_equal(auto.precise_output(), ref)
+        res = auto.run_simulated(total_cores=8.0)
+        final = res.timeline.final_record("equalized")
+        assert np.array_equal(final.value, ref)
+
+    def test_profile_reaches_precise_late(self, small_image):
+        """The non-anytime middle stages push time-to-precise well past
+        baseline (paper: ~6x)."""
+        auto = build_histeq_automaton(small_image, chunks=8)
+        res = auto.run_simulated(total_cores=8.0)
+        prof = auto.profile(res, total_cores=8.0)
+        assert math.isinf(prof.final_snr_db)
+        assert prof.time_to_precise > 2.0
+
+    def test_profile_roughly_monotone(self, small_image):
+        auto = build_histeq_automaton(small_image, chunks=8)
+        res = auto.run_simulated(total_cores=8.0)
+        prof = auto.profile(res, total_cores=8.0)
+        assert prof.is_monotonic(tolerance_db=4.0), \
+            prof.monotonicity_violations(4.0)[:3]

@@ -1,0 +1,90 @@
+"""Tests for the Figure 10 organization demo."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pipeline_demo import (ORGANIZATIONS, build_organization,
+                                      precise_result, sensor_input,
+                                      weight_matrix)
+from repro.core.scheduling import equal_shares
+
+
+@pytest.fixture(scope="module")
+def org_runs():
+    """Run all five organizations once at m=32 (module-cached)."""
+    out = {}
+    for org in ORGANIZATIONS:
+        auto = build_organization(org, m=32)
+        res = auto.run_simulated(
+            total_cores=float(len(auto.graph.stages)),
+            schedule=equal_shares)
+        out[org] = (auto, res)
+    return out
+
+
+class TestInputs:
+    def test_sensor_deterministic(self):
+        assert np.array_equal(sensor_input(16, seed=1),
+                              sensor_input(16, seed=1))
+
+    def test_reference_product(self):
+        s = sensor_input(16)
+        w = weight_matrix(16)
+        assert np.array_equal(precise_result(s, w), s @ w)
+
+
+class TestOrganizations:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="known"):
+            build_organization("quantum")
+
+    def test_all_reach_identical_precise_output(self, org_runs):
+        """Every organization computes the same application; only the
+        schedule of intermediate outputs differs."""
+        finals = {}
+        for org, (auto, res) in org_runs.items():
+            rec = res.timeline.final_record(auto.terminal_buffer_name)
+            assert rec is not None, org
+            finals[org] = rec.value
+        ref = finals["baseline"]
+        for org, value in finals.items():
+            assert np.array_equal(value, ref), org
+
+    def test_figure10_time_ordering(self, org_runs):
+        times = {org: res.timeline.final_record(
+            auto.terminal_buffer_name).time
+            for org, (auto, res) in org_runs.items()}
+        assert times["sync"] < times["baseline"]
+        assert times["baseline"] == pytest.approx(
+            times["diffusive-async"], rel=0.05)
+        assert times["baseline"] < times["iterative-async"]
+        assert times["iterative-async"] < times["iterative"]
+
+    def test_exact_figure10_ratios(self, org_runs):
+        """With one core per stage and cf = cg the completion times are
+        analytically 1.0 / 1.5 / 1.25 / 1.0 / 0.75 of baseline."""
+        times = {org: res.timeline.final_record(
+            auto.terminal_buffer_name).time
+            for org, (auto, res) in org_runs.items()}
+        base = times["baseline"]
+        assert times["iterative"] / base == pytest.approx(1.5)
+        assert times["iterative-async"] / base == pytest.approx(1.25)
+        assert times["diffusive-async"] / base == pytest.approx(1.0)
+        assert times["sync"] / base == pytest.approx(0.75)
+
+    def test_pipelined_orgs_emit_early_approximations(self, org_runs):
+        for org in ("iterative-async", "diffusive-async", "sync"):
+            auto, res = org_runs[org]
+            recs = res.output_records(auto.terminal_buffer_name)
+            assert len(recs) >= 2, org
+            assert not recs[0].final
+
+    def test_half_precision_first_output(self, org_runs):
+        """The first output of the pipelined organizations is the
+        half-precision product: the dot of the high-nibble input."""
+        auto, res = org_runs["diffusive-async"]
+        first = res.output_records(auto.terminal_buffer_name)[0]
+        sensor = sensor_input(32)
+        weights = weight_matrix(32, seed=1)
+        assert np.array_equal(first.value,
+                              (sensor & 0xF0) @ weights)

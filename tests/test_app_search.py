@@ -1,0 +1,146 @@
+"""Tests for the anytime document-search application."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.search import (build_search_automaton, make_corpus,
+                               recall_at_k, recall_metric,
+                               score_documents, search_precise,
+                               topk_merge_operator)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus(n_docs=1024, n_terms=32, seed=3)
+
+
+@pytest.fixture(scope="module")
+def query(corpus):
+    rng = np.random.default_rng(9)
+    return rng.dirichlet(np.ones(corpus.n_terms) * 0.3)
+
+
+class TestCorpus:
+    def test_shape_and_determinism(self):
+        a = make_corpus(128, 16, seed=1)
+        b = make_corpus(128, 16, seed=1)
+        assert a.weights.shape == (128, 16)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            make_corpus(0, 16)
+
+    def test_score_validates_query(self, corpus):
+        with pytest.raises(ValueError, match="terms"):
+            score_documents(corpus, np.ones(3), np.array([0]))
+
+
+class TestTopkOperator:
+    def test_commutative_and_idempotent(self):
+        op = topk_merge_operator(3)
+        a = np.array([[1.0, 5.0], [2.0, 3.0]])
+        b = np.array([[3.0, 4.0], [4.0, 1.0]])
+        ab = op.combine(a, b)
+        ba = op.combine(b, a)
+        assert np.array_equal(ab, ba)
+        assert np.array_equal(op.combine(ab, ab), ab)
+        assert op.idempotent
+
+    def test_keeps_best_k_by_score(self):
+        op = topk_merge_operator(2)
+        a = np.array([[1.0, 5.0], [2.0, 3.0], [3.0, 9.0]])
+        out = op.combine(op.identity((), np.float64), a)
+        assert out[:, 0].tolist() == [3.0, 1.0]
+
+    def test_tie_break_by_doc_id(self):
+        op = topk_merge_operator(1)
+        a = np.array([[7.0, 5.0], [2.0, 5.0]])
+        out = op.combine(op.identity((), np.float64), a)
+        assert out[0, 0] == 2.0
+
+    def test_duplicate_ids_collapse(self):
+        op = topk_merge_operator(5)
+        a = np.array([[1.0, 5.0]])
+        out = op.combine(a, a)
+        assert out.shape == (1, 2)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            topk_merge_operator(0)
+
+
+class TestRecall:
+    def test_exact_result_full_recall(self):
+        ref = np.array([[1.0, 9.0], [2.0, 8.0]])
+        assert recall_at_k(ref, ref) == 1.0
+        assert math.isinf(recall_metric(ref, ref))
+
+    def test_partial_recall(self):
+        ref = np.array([[1.0, 9.0], [2.0, 8.0]])
+        got = np.array([[1.0, 9.0], [7.0, 5.0]])
+        assert recall_at_k(got, ref) == 0.5
+        assert recall_metric(got, ref) == pytest.approx(
+            -10 * math.log10(0.5))
+
+    def test_empty_result(self):
+        ref = np.array([[1.0, 9.0]])
+        assert recall_at_k(np.empty((0, 2)), ref) == 0.0
+
+
+class TestAutomaton:
+    def test_final_result_is_exact_topk(self, corpus, query):
+        auto = build_search_automaton(corpus, query, k=10, chunks=8)
+        ref = search_precise(corpus, query, k=10)
+        assert np.array_equal(auto.precise_output(), ref)
+        res = auto.run_simulated(total_cores=8.0)
+        final = res.timeline.final_record("hits")
+        assert np.array_equal(final.value, ref)
+
+    def test_recall_monotone_over_versions(self, corpus, query):
+        """A running top-k can only improve: an in-truth document is
+        evicted only by a higher-scoring document, which is then also
+        in the truth set."""
+        auto = build_search_automaton(corpus, query, k=10, chunks=16)
+        ref = search_precise(corpus, query, k=10)
+        res = auto.run_simulated(total_cores=8.0)
+        recalls = [recall_at_k(r.value, ref)
+                   for r in res.output_records("hits")]
+        assert all(b >= a for a, b in zip(recalls, recalls[1:]))
+        assert recalls[-1] == 1.0
+
+    def test_early_versions_are_valid_result_sets(self, corpus, query):
+        auto = build_search_automaton(corpus, query, k=10, chunks=16)
+        res = auto.run_simulated(total_cores=8.0)
+        for rec in res.output_records("hits"):
+            hits = rec.value
+            assert hits.shape[1] == 2
+            assert len(hits) <= 10
+            # scores sorted descending
+            assert (np.diff(hits[:, 1]) <= 1e-12).all()
+
+    def test_good_recall_early(self, corpus, query):
+        """Half the corpus scanned already recovers most of the top-k
+        (the hold-the-enter-key payoff)."""
+        auto = build_search_automaton(corpus, query, k=10, chunks=16)
+        ref = search_precise(corpus, query, k=10)
+        res = auto.run_simulated(total_cores=8.0)
+        recs = res.output_records("hits")
+        halfway = recs[len(recs) // 2]
+        assert recall_at_k(halfway.value, ref) >= 0.5
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=15, deadline=None)
+    def test_exactness_for_random_queries(self, seed):
+        corpus = make_corpus(256, 16, seed=4)
+        rng = np.random.default_rng(seed)
+        query = rng.uniform(0, 1, size=16)
+        auto = build_search_automaton(corpus, query, k=5, chunks=4)
+        ref = search_precise(corpus, query, k=5)
+        res = auto.run_simulated(total_cores=4.0)
+        final = res.timeline.final_record("hits")
+        assert np.array_equal(final.value, ref)

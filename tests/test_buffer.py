@@ -1,0 +1,145 @@
+"""Tests for versioned buffers (paper Properties 2 and 3)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.buffer import Snapshot, VersionedBuffer
+
+
+class TestVersioning:
+    def test_initial_state_is_empty(self):
+        b = VersionedBuffer("b")
+        snap = b.snapshot()
+        assert snap.empty and snap.version == 0 and snap.value is None
+        assert not snap.final
+
+    def test_writes_increment_versions(self):
+        b = VersionedBuffer("b")
+        assert b.write(1) == 1
+        assert b.write(2) == 2
+        assert b.snapshot().value == 2
+
+    def test_final_freezes_buffer(self):
+        """The precise output must never regress."""
+        b = VersionedBuffer("b")
+        b.write(1, final=True)
+        with pytest.raises(ValueError, match="final"):
+            b.write(2)
+
+    def test_snapshot_is_atomic_triple(self):
+        b = VersionedBuffer("b")
+        b.write("x", final=True)
+        snap = b.snapshot()
+        assert (snap.value, snap.version, snap.final) == ("x", 1, True)
+        assert snap.name == "b"
+
+
+class TestPropertyTwo:
+    def test_register_writer_claims_buffer(self):
+        b = VersionedBuffer("b")
+        b.register_writer("f")
+        with pytest.raises(ValueError, match="Property 2"):
+            b.register_writer("g")
+
+    def test_same_writer_may_reregister(self):
+        b = VersionedBuffer("b")
+        b.register_writer("f")
+        b.register_writer("f")
+        assert b.writer == "f"
+
+    def test_write_with_wrong_writer_token_rejected(self):
+        b = VersionedBuffer("b")
+        b.register_writer("f")
+        with pytest.raises(ValueError, match="Property 2"):
+            b.write(1, writer="g")
+        b.write(1, writer="f")
+
+
+class TestPropertyThree:
+    def test_array_snapshots_are_frozen(self):
+        """A consumer must not be able to corrupt a published version."""
+        b = VersionedBuffer("b")
+        b.write(np.arange(4))
+        snap = b.snapshot()
+        with pytest.raises(ValueError):
+            snap.value[0] = 99
+
+    def test_writer_mutation_after_write_is_invisible(self):
+        """write() copies: later mutation of the source array does not
+        leak into the published version."""
+        b = VersionedBuffer("b")
+        src = np.arange(4)
+        b.write(src)
+        src[0] = 99
+        assert b.snapshot().value[0] == 0
+
+    def test_concurrent_writers_and_readers_see_whole_versions(self):
+        """Hammer the buffer from a writer thread while readers snapshot;
+        every observed array must be internally consistent (all elements
+        equal — each version is a constant array)."""
+        b = VersionedBuffer("b")
+        b.write(np.zeros(64, dtype=np.int64))
+        stop = threading.Event()
+        torn = []
+
+        def writer():
+            v = 0
+            while not stop.is_set():
+                v += 1
+                b.write(np.full(64, v, dtype=np.int64))
+
+        def reader():
+            for _ in range(500):
+                value = b.snapshot().value
+                if not (value == value[0]).all():
+                    torn.append(value.copy())
+
+        wt = threading.Thread(target=writer, daemon=True)
+        rt = threading.Thread(target=reader, daemon=True)
+        wt.start()
+        rt.start()
+        rt.join()
+        stop.set()
+        wt.join()
+        assert not torn, "readers observed a torn write (Property 3)"
+
+
+class TestWaitNewer:
+    def test_returns_immediately_when_newer_exists(self):
+        b = VersionedBuffer("b")
+        b.write(1)
+        snap = b.wait_newer(0, timeout=0.01)
+        assert snap.version == 1
+
+    def test_wakes_on_write(self):
+        b = VersionedBuffer("b")
+        got = []
+
+        def waiter():
+            got.append(b.wait_newer(0, timeout=5.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        b.write("hello")
+        t.join(timeout=5.0)
+        assert got and got[0].value == "hello"
+
+    def test_timeout_returns_stale_snapshot(self):
+        b = VersionedBuffer("b")
+        snap = b.wait_newer(0, timeout=0.01)
+        assert snap.empty
+
+    def test_final_buffer_returns_without_wait(self):
+        b = VersionedBuffer("b")
+        b.write(1, final=True)
+        snap = b.wait_newer(5, timeout=0.01)
+        assert snap.final
+
+
+class TestSnapshotValueSemantics:
+    def test_non_array_values_pass_through(self):
+        b = VersionedBuffer("b")
+        b.write({"k": 1})
+        assert b.snapshot().value == {"k": 1}

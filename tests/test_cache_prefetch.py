@@ -1,0 +1,143 @@
+"""Tests for the cache simulator and permutation-aware prefetcher."""
+
+import numpy as np
+import pytest
+
+from repro.anytime.permutations import (LfsrPermutation,
+                                        SequentialPermutation,
+                                        TreePermutation)
+from repro.hw.cache import (Cache, CacheConfig, CacheStats,
+                            trace_for_permutation)
+from repro.hw.prefetch import PermutationPrefetcher, run_prefetched_trace
+
+SMALL = CacheConfig(size_bytes=1024, line_bytes=64, ways=2)
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        assert SMALL.num_sets == 8
+
+    def test_rejects_nonmultiple_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=64, ways=2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, line_bytes=64, ways=1)
+
+
+class TestCacheBasics:
+    def test_first_access_misses_second_hits(self):
+        c = Cache(SMALL)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(63)          # same line
+        assert not c.access(64)      # next line
+
+    def test_miss_rate(self):
+        c = Cache(SMALL)
+        c.access(0)
+        c.access(0)
+        assert c.stats.miss_rate == pytest.approx(0.5)
+        assert c.stats.hits == 1
+
+    def test_empty_stats(self):
+        assert CacheStats().miss_rate == 0.0
+
+    def test_lru_eviction_order(self):
+        """2-way set: the least recently used line is evicted."""
+        c = Cache(SMALL)
+        set_stride = SMALL.num_sets * SMALL.line_bytes
+        a, b, d = 0, set_stride, 2 * set_stride   # all map to set 0
+        c.access(a)
+        c.access(b)
+        c.access(a)          # a is now most recent
+        c.access(d)          # evicts b
+        assert c.access(a)
+        assert not c.access(b)
+
+    def test_sequential_trace_miss_rate_is_line_reuse(self):
+        c = Cache(SMALL)
+        trace = trace_for_permutation(np.arange(4096), element_bytes=4)
+        stats = c.run_trace(trace)
+        # 16 elements per 64-byte line -> 1/16 misses
+        assert stats.miss_rate == pytest.approx(1 / 16, abs=0.01)
+
+
+class TestTraceForPermutation:
+    def test_addresses(self):
+        trace = trace_for_permutation(np.array([0, 2, 1]),
+                                      element_bytes=8, base=100)
+        assert trace.tolist() == [100, 116, 108]
+
+    def test_rejects_bad_element_size(self):
+        with pytest.raises(ValueError):
+            trace_for_permutation(np.arange(3), element_bytes=0)
+
+
+class TestLocality:
+    """The paper's IV-C3 claim, quantified."""
+
+    def test_nonsequential_permutations_miss_more(self):
+        results = {}
+        for perm in (SequentialPermutation(), TreePermutation(),
+                     LfsrPermutation(seed=5)):
+            cache = Cache(SMALL)
+            cache.run_trace(trace_for_permutation(perm.order(4096), 4))
+            results[perm.name] = cache.stats.miss_rate
+        assert results["sequential"] < 0.1
+        assert results["tree"] > 3 * results["sequential"]
+        assert results["lfsr"] > 3 * results["sequential"]
+
+
+class TestPrefetcher:
+    def test_recovers_lfsr_locality(self):
+        # the cache must be larger than the prefetch window, or the
+        # lookahead installs evict each other (set-conflict thrashing)
+        big = CacheConfig(size_bytes=8 * 1024, line_bytes=64, ways=4)
+        order = LfsrPermutation(seed=5).order(4096)
+        trace = trace_for_permutation(order, 4)
+        plain = Cache(big)
+        plain.run_trace(trace)
+        fetched = run_prefetched_trace(trace, Cache(big), depth=16)
+        assert fetched.miss_rate < 0.5 * plain.stats.miss_rate
+        assert fetched.prefetch_hits > 0
+
+    def test_window_larger_than_cache_thrashes(self):
+        """Lookahead beyond cache capacity stops helping — the
+        prefetched lines evict each other before use."""
+        order = LfsrPermutation(seed=5).order(4096)
+        trace = trace_for_permutation(order, 4)
+        fetched = run_prefetched_trace(trace, Cache(SMALL), depth=16)
+        assert fetched.miss_rate > 0.5   # 16 lines of capacity
+
+    def test_sequential_unharmed(self):
+        trace = trace_for_permutation(np.arange(2048), 4)
+        plain = Cache(SMALL)
+        plain.run_trace(trace)
+        fetched = run_prefetched_trace(trace, Cache(SMALL), depth=8)
+        assert fetched.miss_rate <= plain.stats.miss_rate + 1e-9
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            PermutationPrefetcher(Cache(SMALL), np.arange(4), depth=0)
+
+    def test_exhausted_trace_raises(self):
+        p = PermutationPrefetcher(Cache(SMALL), np.array([0]), depth=1)
+        p.access_next()
+        with pytest.raises(IndexError):
+            p.access_next()
+
+    def test_prefetch_does_not_count_accesses(self):
+        c = Cache(SMALL)
+        c.prefetch(0)
+        assert c.stats.accesses == 0
+        assert c.access(0)
+        assert c.stats.prefetch_hits == 1
+
+    def test_prefetch_existing_line_is_noop(self):
+        c = Cache(SMALL)
+        c.access(0)
+        c.prefetch(0)
+        assert c.access(0)
+        assert c.stats.prefetch_hits == 0

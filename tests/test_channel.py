@@ -1,0 +1,128 @@
+"""Tests for synchronous-pipeline update channels (paper III-C2)."""
+
+import threading
+
+import pytest
+
+from repro.core.channel import ChannelClosed, UpdateChannel
+
+
+class TestFifo:
+    def test_order_preserved(self):
+        ch = UpdateChannel("x")
+        for i in range(5):
+            ch.emit(i)
+        assert [ch.recv(timeout=0.1) for _ in range(5)] == list(range(5))
+        assert ch.emitted == 5 and ch.received == 5
+
+    def test_len(self):
+        ch = UpdateChannel("x")
+        ch.emit(1)
+        ch.emit(2)
+        assert len(ch) == 2
+
+
+class TestClose:
+    def test_recv_drains_then_raises(self):
+        """Every update must be deliverable after close — the paper's
+        requirement that all g_S(X_i) are computed."""
+        ch = UpdateChannel("x")
+        ch.emit("a")
+        ch.close()
+        assert ch.recv(timeout=0.1) == "a"
+        with pytest.raises(ChannelClosed):
+            ch.recv(timeout=0.1)
+
+    def test_emit_after_close_rejected(self):
+        ch = UpdateChannel("x")
+        ch.close()
+        with pytest.raises(ChannelClosed):
+            ch.emit(1)
+
+    def test_try_recv_after_close(self):
+        ch = UpdateChannel("x")
+        ch.emit(1)
+        ch.close()
+        assert ch.try_recv() == (True, 1)
+        with pytest.raises(ChannelClosed):
+            ch.try_recv()
+
+
+class TestCapacity:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            UpdateChannel("x", capacity=0)
+
+    def test_try_emit_full(self):
+        ch = UpdateChannel("x", capacity=1)
+        assert ch.try_emit(1)
+        assert not ch.try_emit(2)
+        assert ch.full
+
+    def test_emit_blocks_until_consumer_pops(self):
+        """Capacity 1 is the paper's synchronization: the producer may
+        not overwrite X_i before g_S(X_i) starts."""
+        ch = UpdateChannel("x", capacity=1)
+        ch.emit("X1")
+        done = []
+
+        def producer():
+            ch.emit("X2", timeout=5.0)
+            done.append(True)
+
+        t = threading.Thread(target=producer)
+        t.start()
+        assert ch.recv(timeout=1.0) == "X1"
+        t.join(timeout=5.0)
+        assert done
+        assert ch.recv(timeout=1.0) == "X2"
+
+    def test_emit_timeout_on_stuck_consumer(self):
+        ch = UpdateChannel("x", capacity=1)
+        ch.emit(1)
+        with pytest.raises(TimeoutError):
+            ch.emit(2, timeout=0.02)
+
+    def test_unbounded_never_full(self):
+        ch = UpdateChannel("x")
+        for i in range(1000):
+            ch.try_emit(i)
+        assert not ch.full
+
+
+class TestBlockingRecv:
+    def test_recv_timeout(self):
+        with pytest.raises(TimeoutError):
+            UpdateChannel("x").recv(timeout=0.02)
+
+    def test_try_recv_empty(self):
+        assert UpdateChannel("x").try_recv() == (False, None)
+
+    def test_recv_wakes_on_emit(self):
+        ch = UpdateChannel("x")
+        got = []
+
+        def consumer():
+            got.append(ch.recv(timeout=5.0))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        ch.emit("late")
+        t.join(timeout=5.0)
+        assert got == ["late"]
+
+    def test_recv_wakes_on_close(self):
+        ch = UpdateChannel("x")
+        got = []
+
+        def consumer():
+            try:
+                ch.recv(timeout=5.0)
+            except ChannelClosed:
+                got.append("closed")
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        ch.close()
+        t.join(timeout=5.0)
+        assert got == ["closed"]

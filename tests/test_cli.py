@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import APP_REGISTRY, get_app
+from repro.cli import main
+from repro.data.pnm import read_pnm
+
+
+class TestRegistry:
+    def test_all_five_apps_registered(self):
+        assert sorted(APP_REGISTRY) == ["2dconv", "debayer", "dwt53",
+                                        "histeq", "kmeans"]
+
+    def test_get_unknown_lists_options(self):
+        with pytest.raises(KeyError, match="known"):
+            get_app("fft")
+
+    @pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+    def test_specs_are_runnable(self, name):
+        spec = get_app(name)
+        image = spec.make_input(32, 0)
+        automaton = spec.build(image)
+        reference = (spec.reference(image)
+                     if spec.reference_kind != "input" else image)
+        result = automaton.run_simulated(total_cores=8.0,
+                                         schedule=spec.schedule)
+        final = result.timeline.final_record(
+            automaton.terminal_buffer_name)
+        assert spec.metric(final.value, reference) == float("inf")
+        if spec.to_image is not None:
+            img = spec.to_image(final.value)
+            assert np.asarray(img).dtype == np.uint8
+
+
+class TestCli:
+    def test_apps_command(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in APP_REGISTRY:
+            assert name in out
+
+    def test_run_completes(self, capsys):
+        assert main(["run", "2dconv", "--size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+        assert "inf" in out
+
+    def test_run_with_deadline(self, capsys):
+        assert main(["run", "dwt53", "--size", "32",
+                     "--deadline", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "stopped early" in out
+
+    def test_run_with_target_snr(self, capsys):
+        assert main(["run", "debayer", "--size", "32",
+                     "--target-snr", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "stopped early" in out or "completed" in out
+
+    def test_run_with_energy_budget(self, capsys):
+        assert main(["run", "2dconv", "--size", "32",
+                     "--energy-budget", "0.5"]) == 0
+        capsys.readouterr()
+
+    def test_run_contract_requires_deadline(self, capsys):
+        assert main(["run", "dwt53", "--size", "32",
+                     "--contract"]) == 2
+
+    def test_run_contract(self, capsys):
+        assert main(["run", "dwt53", "--size", "32",
+                     "--deadline", "0.7", "--contract"]) == 0
+        out = capsys.readouterr().out
+        assert "contract plan" in out
+
+    def test_run_save_image(self, tmp_path, capsys):
+        path = tmp_path / "out.ppm"
+        assert main(["run", "kmeans", "--size", "32",
+                     "--save", str(path)]) == 0
+        capsys.readouterr()
+        assert read_pnm(path).shape == (32, 32, 3)
+
+    def test_run_rejects_unknown_app(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "unknown-app"])
+        capsys.readouterr()
+
+    def test_figures_selected(self, capsys):
+        assert main(["figures", "fig10_organizations"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+
+    def test_figures_unknown_name(self, capsys):
+        assert main(["figures", "fig99_nonsense"]) == 2
+        assert "unknown" in capsys.readouterr().err

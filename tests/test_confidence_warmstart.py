@@ -1,0 +1,156 @@
+"""Tests for sampling confidence intervals and warm-start streaming."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.anytime.permutations import LfsrPermutation
+from repro.metrics.confidence import SamplingConfidence, normal_quantile
+
+
+class TestNormalQuantile:
+    def test_known_values(self):
+        assert normal_quantile(0.95) == pytest.approx(1.96, abs=0.001)
+        assert normal_quantile(0.99) == pytest.approx(2.576, abs=0.001)
+
+    def test_scipy_fallback(self):
+        assert normal_quantile(0.5) == pytest.approx(0.6745, abs=0.001)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            normal_quantile(1.0)
+
+
+class TestSamplingConfidence:
+    def test_estimate_is_scaled_partial_sum(self):
+        sc = SamplingConfidence(population=100)
+        sc.update(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert sc.estimate() == pytest.approx(10.0 * 25)
+
+    def test_full_sample_is_exact_with_zero_halfwidth(self):
+        data = np.arange(50, dtype=np.float64)
+        sc = SamplingConfidence(population=50)
+        sc.update(data)
+        assert sc.complete
+        assert sc.estimate() == pytest.approx(data.sum())
+        assert sc.halfwidth() == 0.0
+        assert sc.satisfied(1e-9)
+
+    def test_halfwidth_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        data = rng.uniform(0, 100, 10_000)
+        order = LfsrPermutation(seed=2).order(len(data))
+        sc = SamplingConfidence(population=len(data))
+        widths = []
+        for cut in (100, 1000, 5000):
+            sc.update(data[order[sc.count:cut]])
+            widths.append(sc.halfwidth())
+        assert widths[0] > widths[1] > widths[2]
+
+    def test_interval_covers_truth(self):
+        """~95% coverage over seeds: check a generous majority."""
+        rng = np.random.default_rng(7)
+        data = rng.gamma(2.0, 10.0, 4096)
+        truth = data.sum()
+        hits = 0
+        trials = 40
+        for seed in range(1, trials + 1):
+            order = LfsrPermutation(seed=seed).order(len(data))
+            sc = SamplingConfidence(population=len(data))
+            sc.update(data[order[:256]])
+            if abs(sc.estimate() - truth) <= sc.halfwidth(0.95):
+                hits += 1
+        assert hits >= int(0.80 * trials)
+
+    def test_no_samples_raises(self):
+        with pytest.raises(ValueError):
+            SamplingConfidence(10).estimate()
+
+    def test_over_population_rejected(self):
+        sc = SamplingConfidence(population=3)
+        with pytest.raises(ValueError, match="population"):
+            sc.update(np.arange(4.0))
+
+    def test_single_sample_infinite_width(self):
+        sc = SamplingConfidence(population=10)
+        sc.update(np.array([5.0]))
+        assert math.isinf(sc.halfwidth())
+        assert not sc.satisfied(0.1)
+
+    def test_satisfied_threshold(self):
+        rng = np.random.default_rng(1)
+        data = rng.uniform(10, 11, 1000)  # low variance: tight CI fast
+        sc = SamplingConfidence(population=1000)
+        sc.update(data[:50])
+        assert sc.satisfied(relative_error=0.05)
+        assert not sc.satisfied(relative_error=1e-6)
+
+    def test_rejects_bad_relative_error(self):
+        sc = SamplingConfidence(10)
+        with pytest.raises(ValueError):
+            sc.satisfied(0.0)
+
+
+class TestWarmStart:
+    def make_frames(self):
+        from repro.data.images import bayer_mosaic
+
+        f0 = bayer_mosaic(64, seed=3)
+        rng = np.random.default_rng(1)
+        f1 = np.clip(f0.astype(np.int64)
+                     + rng.integers(-4, 5, f0.shape),
+                     0, 255).astype(np.uint8)
+        return f0, f1
+
+    def test_warm_start_boosts_first_version(self):
+        from repro.apps.debayer import (build_debayer_automaton,
+                                        debayer_precise)
+        from repro.metrics.snr import snr_db
+
+        f0, f1 = self.make_frames()
+        prev = debayer_precise(f0)
+        ref1 = debayer_precise(f1)
+        firsts = {}
+        for warm in (None, prev):
+            auto = build_debayer_automaton(f1, chunks=32,
+                                           warm_start=warm)
+            res = auto.run_simulated(total_cores=8.0)
+            firsts[warm is not None] = snr_db(
+                res.output_records("rgb")[0].value, ref1)
+        assert firsts[True] > firsts[False] + 10.0
+
+    def test_warm_start_final_still_exact(self):
+        from repro.apps.debayer import (build_debayer_automaton,
+                                        debayer_precise)
+
+        f0, f1 = self.make_frames()
+        auto = build_debayer_automaton(f1, chunks=8,
+                                       warm_start=debayer_precise(f0))
+        res = auto.run_simulated(total_cores=8.0)
+        final = res.timeline.final_record("rgb")
+        assert np.array_equal(final.value, debayer_precise(f1))
+
+    def test_warm_start_shape_validated(self):
+        from repro.apps.conv2d import build_conv2d_automaton
+        from repro.data.images import scene_image
+
+        img = scene_image(32, seed=0)
+        with pytest.raises(ValueError, match="warm_start"):
+            build_conv2d_automaton(
+                img, warm_start=np.zeros((8, 8), dtype=np.uint8))
+
+    def test_dissimilar_warm_start_still_converges(self):
+        """A *wrong* warm start costs quality early but never
+        correctness — the guarantee is content-independent."""
+        from repro.apps.conv2d import (build_conv2d_automaton,
+                                       conv2d_precise)
+        from repro.data.images import scene_image
+
+        img = scene_image(32, seed=5)
+        garbage = np.full((32, 32), 255, dtype=np.uint8)
+        auto = build_conv2d_automaton(img, chunks=4,
+                                      warm_start=garbage)
+        res = auto.run_simulated(total_cores=8.0)
+        final = res.timeline.final_record("filtered")
+        assert np.array_equal(final.value, conv2d_precise(img))

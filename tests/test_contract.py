@@ -1,0 +1,136 @@
+"""Tests for contract-mode execution (paper Section II-B)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.conv2d import build_conv2d_automaton, conv2d_precise
+from repro.apps.dwt53 import (build_dwt53_automaton,
+                              reconstruction_metric)
+from repro.core.contract import (ContractPlan, plan_contract,
+                                 run_contract)
+from repro.data.images import scene_image
+from repro.metrics.snr import snr_db
+
+
+@pytest.fixture(scope="module")
+def image():
+    return scene_image(64, seed=7)
+
+
+class TestPlanner:
+    def test_generous_budget_plans_precise(self, image):
+        plan = plan_contract(build_dwt53_automaton(image), 10.0)
+        assert plan.achieves_precise
+        assert plan.iterative_levels["forward"] == 3   # stride 1
+
+    def test_tight_budget_trims_iterative_stage(self, image):
+        """A budget for roughly half the baseline picks an intermediate
+        stride instead of the precise pass."""
+        plan = plan_contract(build_dwt53_automaton(image), 0.5)
+        assert not plan.achieves_precise
+        assert "forward" in plan.trimmed_stages
+        assert plan.iterative_levels["forward"] < 3
+
+    def test_tiny_budget_still_plans_coarsest_level(self, image):
+        plan = plan_contract(build_dwt53_automaton(image), 0.01)
+        assert plan.iterative_levels["forward"] == 0
+
+    def test_diffusive_stage_gets_element_prefix(self, image):
+        plan = plan_contract(build_conv2d_automaton(image), 0.5)
+        limit = plan.element_limits["conv"]
+        assert limit is not None
+        assert 0 < limit < image.size
+
+    def test_diffusive_full_budget_runs_everything(self, image):
+        plan = plan_contract(build_conv2d_automaton(image), 5.0)
+        assert plan.element_limits["conv"] is None
+        assert plan.achieves_precise
+
+    def test_planned_work_within_reasonable_bounds(self, image):
+        auto = build_conv2d_automaton(image)
+        plan = plan_contract(auto, 0.5)
+        # the plan may not exceed the budget by more than one level /
+        # chunk of slack
+        assert plan.planned_work <= plan.budget_work * 1.05
+
+    def test_rejects_nonpositive_deadline(self, image):
+        with pytest.raises(ValueError):
+            plan_contract(build_conv2d_automaton(image), 0.0)
+
+    def test_mandatory_work_must_fit(self, image):
+        """histeq's non-anytime stages alone exceed a near-zero budget."""
+        from repro.apps.histeq import build_histeq_automaton
+        with pytest.raises(ValueError, match="non-anytime"):
+            plan_contract(build_histeq_automaton(image), 1e-6)
+
+
+class TestContractRun:
+    def test_contract_beats_interruptible_at_deadline(self, image):
+        """The contract advantage: with the deadline known up front, an
+        iterative application skips its coarse passes and lands a better
+        output than interruptible execution stopped at the same time."""
+        from repro.core.controller import DeadlineStop
+
+        fraction = 0.6
+        metric = reconstruction_metric()
+        # interruptible: run, stop at the deadline
+        inter = build_dwt53_automaton(image)
+        deadline = inter.baseline_duration(32.0) * fraction
+        res = inter.run_simulated(total_cores=32.0,
+                                  stop=DeadlineStop(deadline))
+        records = res.output_records("coeffs")
+        inter_snr = metric(records[-1].value, image) if records \
+            else -math.inf
+        # contract: plan for the deadline, run the single chosen level
+        plan, cres, cauto = run_contract(
+            lambda: build_dwt53_automaton(image), fraction,
+            total_cores=32.0)
+        crecords = cres.output_records("coeffs")
+        contract_snr = metric(crecords[-1].value, image)
+        assert contract_snr >= inter_snr
+
+    def test_contract_output_is_single_version(self, image):
+        plan, res, auto = run_contract(
+            lambda: build_dwt53_automaton(image), 0.5,
+            total_cores=32.0)
+        records = res.output_records("coeffs")
+        assert len(records) == 1, \
+            "a contract run trades interruptibility away"
+        assert records[0].final
+
+    def test_contract_respects_the_budget(self, image):
+        plan, res, auto = run_contract(
+            lambda: build_dwt53_automaton(image), 0.5,
+            total_cores=32.0)
+        budget_time = plan.budget_work / 32.0
+        assert res.duration <= budget_time * 1.05
+
+    def test_contract_map_stage_output_valid(self, image):
+        plan, res, auto = run_contract(
+            lambda: build_conv2d_automaton(image, chunks=4), 0.4,
+            total_cores=32.0)
+        final = res.timeline.final_record("filtered")
+        assert final.value.shape == image.shape
+        ref = conv2d_precise(image)
+        assert snr_db(final.value, ref) > 10.0
+
+    def test_generous_contract_is_bit_exact(self, image):
+        plan, res, auto = run_contract(
+            lambda: build_conv2d_automaton(image, chunks=4), 5.0,
+            total_cores=32.0)
+        assert plan.achieves_precise
+        final = res.timeline.final_record("filtered")
+        assert np.array_equal(final.value, conv2d_precise(image))
+
+
+class TestPlanDataclass:
+    def test_achieves_precise_logic(self):
+        plan = ContractPlan(budget_work=100.0)
+        assert plan.achieves_precise
+        plan.element_limits["m"] = 10
+        assert not plan.achieves_precise
+        plan.element_limits["m"] = None
+        plan.trimmed_stages.add("f")
+        assert not plan.achieves_precise

@@ -1,0 +1,122 @@
+"""Tests for the low-refresh DRAM model and energy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.hw.dram import LowRefreshDram, RetentionModel
+from repro.hw.energy import EnergyMeter, EnergyTable
+
+
+class TestRetentionModel:
+    def test_probability_grows_with_time(self):
+        m = RetentionModel(weak_fraction=0.1, tau_seconds=1.0)
+        p1 = m.decay_probability(0.5)
+        p2 = m.decay_probability(2.0)
+        assert 0 < p1 < p2 < 0.1
+
+    def test_zero_elapsed_no_decay(self):
+        assert RetentionModel().decay_probability(0.0) == 0.0
+
+    def test_bounded_by_weak_fraction(self):
+        m = RetentionModel(weak_fraction=0.01)
+        assert m.decay_probability(1e9) <= 0.01
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            RetentionModel().decay_probability(-1.0)
+
+
+class TestLowRefreshDram:
+    def test_nominal_interval_no_decay(self):
+        d = LowRefreshDram(seed=1)
+        data = np.full(1000, 255, dtype=np.int64)
+        d.write(data)
+        d.elapse(0.05)
+        assert np.array_equal(d.read(), data)
+        assert d.refresh_energy_saved == 0.0
+
+    def test_relaxed_interval_decays_to_zero(self):
+        d = LowRefreshDram(
+            refresh_interval_s=1.0,
+            model=RetentionModel(weak_fraction=0.5, tau_seconds=0.5),
+            seed=2)
+        d.write(np.full(2000, 255, dtype=np.int64))
+        d.elapse(10.0)
+        assert d.read().sum() < 255 * 2000
+
+    def test_decay_to_one_mode(self):
+        d = LowRefreshDram(
+            refresh_interval_s=1.0,
+            model=RetentionModel(weak_fraction=0.5, tau_seconds=0.5,
+                                 decay_to_one=True),
+            seed=3)
+        d.write(np.zeros(2000, dtype=np.int64))
+        d.elapse(10.0)
+        assert d.read().sum() > 0
+
+    def test_energy_saving_formula(self):
+        d = LowRefreshDram(refresh_interval_s=0.64)
+        assert d.refresh_energy_saved == pytest.approx(0.9)
+
+    def test_rejects_interval_below_nominal(self):
+        with pytest.raises(ValueError):
+            LowRefreshDram(refresh_interval_s=0.01)
+
+    def test_refresh_does_not_restore_decayed_bits(self):
+        """Refresh re-charges whatever is stored — corrupted included."""
+        d = LowRefreshDram(
+            refresh_interval_s=1.0,
+            model=RetentionModel(weak_fraction=0.9, tau_seconds=0.1),
+            seed=4)
+        d.write(np.full(500, 255, dtype=np.int64))
+        d.elapse(5.0)
+        corrupted = d.read()
+        d.refresh()
+        assert np.array_equal(d.read(), corrupted)
+
+    def test_read_before_write_raises(self):
+        with pytest.raises(RuntimeError):
+            LowRefreshDram().read()
+
+    def test_rejects_float_data(self):
+        with pytest.raises(TypeError):
+            LowRefreshDram().write(np.array([1.5]))
+
+    def test_elapse_rejects_negative(self):
+        d = LowRefreshDram()
+        d.write(np.zeros(4, dtype=np.int64))
+        with pytest.raises(ValueError):
+            d.elapse(-1.0)
+
+
+class TestEnergyMeter:
+    def test_mac_scales_with_bits(self):
+        t = EnergyTable()
+        assert t.mac(8) == pytest.approx(1.0)
+        assert t.mac(4) == pytest.approx(0.5)
+
+    def test_mac_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            EnergyTable().mac(0)
+
+    def test_charges_accumulate(self):
+        m = EnergyMeter()
+        m.charge_macs(10, bits=8)
+        m.charge_alu(4)
+        m.charge_sram(10, energy_per_access=0.1)
+        m.charge_dram(1)
+        assert m.total == pytest.approx(10 + 2 + 1 + 20)
+
+    def test_reset(self):
+        m = EnergyMeter()
+        m.charge(5.0)
+        m.reset()
+        assert m.total == 0.0
+
+    def test_rejects_negative_charge(self):
+        with pytest.raises(ValueError):
+            EnergyMeter().charge(-1.0)
+
+    def test_dram_much_costlier_than_sram(self):
+        t = EnergyTable()
+        assert t.dram_access > 10 * t.sram_access

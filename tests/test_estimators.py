@@ -1,0 +1,135 @@
+"""Tests for online quality estimators (reference-free stopping)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.anytime.permutations import TreePermutation
+from repro.apps.conv2d import (build_conv2d_automaton, conv2d_elements,
+                               blur_kernel, conv2d_precise)
+from repro.metrics.estimators import (ConvergenceEstimator,
+                                      ConvergenceStop,
+                                      SampleAgreementEstimator)
+from repro.metrics.snr import snr_db
+
+
+class TestConvergenceEstimator:
+    def test_first_update_is_inf(self):
+        est = ConvergenceEstimator()
+        assert est.update(np.zeros(4)) == math.inf
+
+    def test_identical_versions_converge(self):
+        est = ConvergenceEstimator(threshold=0.01, patience=2)
+        v = np.arange(10.0)
+        est.update(v)
+        est.update(v)
+        assert not est.converged          # streak = 1
+        est.update(v)
+        assert est.converged
+
+    def test_changing_versions_reset_streak(self):
+        est = ConvergenceEstimator(threshold=0.01, patience=2)
+        est.update(np.zeros(4) + 1.0)
+        est.update(np.zeros(4) + 1.0)
+        est.update(np.zeros(4) + 50.0)    # big jump
+        assert not est.converged
+
+    def test_relative_delta_value(self):
+        est = ConvergenceEstimator()
+        est.update(np.full(4, 10.0))
+        delta = est.update(np.full(4, 11.0))
+        assert delta == pytest.approx(1.0 / 11.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ConvergenceEstimator(threshold=0.0)
+        with pytest.raises(ValueError):
+            ConvergenceEstimator(patience=0)
+
+    def test_zero_signal_edge_cases(self):
+        est = ConvergenceEstimator()
+        est.update(np.zeros(4))
+        assert est.update(np.zeros(4)) == 0.0
+
+
+class TestSampleAgreement:
+    def test_estimates_track_true_snr(self, small_image):
+        """The holdout SNR estimate correlates with the true whole-
+        output SNR as a tree-sampled blur converges."""
+        kernel = blur_kernel()
+        n = small_image.size
+        rng = np.random.default_rng(5)
+        positions = rng.choice(n, size=256, replace=False)
+        est = SampleAgreementEstimator.from_element_fn(
+            lambda idx, im: conv2d_elements(idx, im, kernel),
+            positions, small_image)
+        auto = build_conv2d_automaton(small_image, chunks=8)
+        ref = conv2d_precise(small_image)
+        res = auto.run_simulated(total_cores=8.0)
+        for rec in res.output_records("filtered"):
+            true = snr_db(rec.value, ref)
+            approx = est.estimate_snr_db(rec.value)
+            if math.isinf(true):
+                assert math.isinf(approx)
+            else:
+                assert abs(true - approx) < 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="lengths"):
+            SampleAgreementEstimator(np.arange(3), np.arange(4))
+        with pytest.raises(ValueError, match="empty"):
+            SampleAgreementEstimator(np.arange(0), np.arange(0))
+
+    def test_multichannel_truth(self):
+        positions = np.array([0, 2])
+        truth = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        est = SampleAgreementEstimator(positions, truth)
+        value = np.zeros((2, 2, 3))
+        value[0, 0] = [1, 2, 3]
+        value[1, 0] = [4, 5, 6]
+        assert math.isinf(est.estimate_snr_db(value))
+
+
+class TestConvergenceStop:
+    def test_stops_converging_automaton(self, small_image):
+        auto = build_conv2d_automaton(small_image, chunks=32)
+        stop = ConvergenceStop(threshold=0.005, patience=2,
+                               min_versions=4)
+        res = auto.run_simulated(total_cores=8.0, stop=stop)
+        recs = res.output_records("filtered")
+        assert res.stopped_early or recs[-1].final
+        if res.stopped_early:
+            # stopping early must still have delivered decent accuracy
+            ref = conv2d_precise(small_image)
+            assert snr_db(recs[-1].value, ref) > 15.0
+
+    def test_min_versions_guard(self):
+        from repro.core.recording import WriteRecord
+        stop = ConvergenceStop(threshold=1.0, patience=1,
+                               min_versions=5)
+        v = np.zeros(4)
+        for k in range(1, 5):
+            rec = WriteRecord(float(k), "b", k, False, 0.0, v)
+            assert not stop.should_stop(rec)
+        rec = WriteRecord(5.0, "b", 5, False, 0.0, v)
+        assert stop.should_stop(rec)
+
+    def test_extract_for_dict_outputs(self):
+        from repro.core.recording import WriteRecord
+        stop = ConvergenceStop(threshold=1.0, patience=1,
+                               min_versions=1,
+                               extract=lambda v: v["image"])
+        rec = WriteRecord(1.0, "b", 1, False, 0.0,
+                          {"image": np.zeros(4)})
+        stop.should_stop(rec)   # must not raise
+
+    def test_requires_watched_buffer(self):
+        from repro.core.recording import WriteRecord
+        stop = ConvergenceStop()
+        with pytest.raises(ValueError, match="watched"):
+            stop.should_stop(WriteRecord(1.0, "b", 1, False, 0.0, None))
+
+    def test_rejects_bad_min_versions(self):
+        with pytest.raises(ValueError):
+            ConvergenceStop(min_versions=0)

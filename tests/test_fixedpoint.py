@@ -1,0 +1,102 @@
+"""Tests for the fixed-point substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.fixedpoint import Q8, UQ8, FixedPointFormat
+
+
+class TestFormatValidation:
+    def test_rejects_bad_total_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(0, 0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(63, 0)
+
+    def test_rejects_frac_exceeding_total(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(8, 9)
+
+
+class TestRanges:
+    def test_signed_range(self):
+        f = FixedPointFormat(8, 0, signed=True)
+        assert (f.min_raw, f.max_raw) == (-128, 127)
+
+    def test_unsigned_range(self):
+        assert (UQ8.min_raw, UQ8.max_raw) == (0, 255)
+
+    def test_scale(self):
+        assert FixedPointFormat(8, 4).scale == 0.0625
+
+    def test_value_range(self):
+        f = FixedPointFormat(8, 4)
+        assert f.min_value == -8.0
+        assert f.max_value == 127 / 16
+
+
+class TestQuantize:
+    def test_exact_values_roundtrip(self):
+        f = FixedPointFormat(8, 4)
+        values = np.array([0.0, 1.25, -2.5, 3.0625])
+        assert np.array_equal(f.roundtrip(values), values)
+
+    def test_rounds_to_nearest(self):
+        f = FixedPointFormat(8, 0)
+        assert f.quantize(np.array([2.4, 2.6])).tolist() == [2, 3]
+
+    def test_saturates(self):
+        f = FixedPointFormat(8, 0)
+        assert f.quantize(np.array([1e6, -1e6])).tolist() == [127, -128]
+
+    def test_unsigned_saturates_at_zero(self):
+        assert UQ8.quantize(np.array([-5.0])).tolist() == [0]
+
+    @given(st.lists(st.floats(min_value=-7.9, max_value=7.9,
+                              allow_nan=False), min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_roundtrip_error_bounded_by_half_lsb(self, values):
+        f = FixedPointFormat(8, 4)
+        approx = f.roundtrip(np.array(values))
+        assert np.all(np.abs(approx - np.array(values))
+                      <= f.scale / 2 + 1e-12)
+
+
+class TestTruncate:
+    def test_keeps_top_magnitude_bits(self):
+        # 63 has 7 magnitude bits (0111111); keeping the top 3 zeroes
+        # the low 4: 0110000 = 48
+        f = FixedPointFormat(8, 0, signed=True)
+        assert f.truncate(np.array([0b0111111]), 3).tolist() == \
+            [0b0110000]
+
+    def test_preserves_sign(self):
+        f = FixedPointFormat(8, 0, signed=True)
+        assert f.truncate(np.array([-100]), 3).tolist() == [-96]
+
+    def test_full_precision_is_identity(self):
+        f = FixedPointFormat(8, 0)
+        v = np.array([123, -45])
+        assert np.array_equal(f.truncate(v, 8), v)
+
+    def test_rejects_out_of_range_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(8, 0).truncate(np.array([1]), 9)
+
+
+class TestQuantizationSnr:
+    def test_exact_is_inf(self):
+        f = FixedPointFormat(8, 4)
+        assert f.quantization_snr_db(np.array([1.25, 2.5])) == \
+            float("inf")
+
+    def test_more_bits_more_snr(self, rng):
+        values = rng.uniform(-1, 1, 100)
+        coarse = FixedPointFormat(6, 5).quantization_snr_db(values)
+        fine = FixedPointFormat(12, 11).quantization_snr_db(values)
+        assert fine > coarse
+
+    def test_q8_constant_sane(self):
+        assert Q8.total_bits == 8 and Q8.signed

@@ -1,0 +1,126 @@
+"""Tests for automaton graph construction and validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffer import VersionedBuffer
+from repro.core.channel import UpdateChannel
+from repro.core.graph import AutomatonGraph, GraphError
+from repro.core.stage import PreciseStage
+from repro.core.syncstage import SynchronousStage
+
+
+def precise(name, out, ins, fn=lambda *a: 0, cost=1.0):
+    return PreciseStage(name, out, tuple(ins), fn, cost=cost)
+
+
+class TestValidation:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError, match="at least one"):
+            AutomatonGraph([])
+
+    def test_duplicate_stage_names_rejected(self):
+        b1, b2 = VersionedBuffer("a"), VersionedBuffer("b")
+        with pytest.raises(GraphError, match="duplicate"):
+            AutomatonGraph([precise("s", b1, ()), precise("s", b2, ())])
+
+    def test_property2_multiple_writers_rejected(self):
+        """Two stages writing one buffer violate Property 2; the buffer
+        itself rejects the second registration."""
+        b = VersionedBuffer("shared")
+        precise("f", b, ())
+        with pytest.raises(ValueError, match="Property 2"):
+            precise("g", b, ())
+
+    def test_cycle_rejected(self):
+        b1, b2 = VersionedBuffer("a"), VersionedBuffer("b")
+        f = precise("f", b1, (b2,))
+        g = precise("g", b2, (b1,))
+        with pytest.raises(GraphError, match="cycle"):
+            AutomatonGraph([f, g])
+
+    def test_self_loop_rejected(self):
+        b = VersionedBuffer("a")
+        with pytest.raises(GraphError, match="cycle"):
+            AutomatonGraph([PreciseStage("f", b, (b,), lambda x: x,
+                                         cost=1.0)])
+
+    def test_unconsumed_channel_rejected(self):
+        b = VersionedBuffer("a")
+        ch = UpdateChannel("ch")
+        f = PreciseStage("f", b, (), lambda: 0, cost=1.0)
+        f.emit_to = ch
+        with pytest.raises(GraphError, match="nobody"):
+            AutomatonGraph([f])
+
+    def test_unproduced_channel_rejected(self):
+        b = VersionedBuffer("a")
+        ch = UpdateChannel("ch")
+        g = SynchronousStage("g", b, ch, lambda: 0,
+                             lambda acc, x: acc, lambda x: 1.0,
+                             lambda fv: fv, 1.0)
+        with pytest.raises(GraphError, match="nobody"):
+            AutomatonGraph([g])
+
+
+class TestTopology:
+    def build_diamond(self):
+        """The paper's Figure 1 shape: f -> (g, h) -> i."""
+        b_in = VersionedBuffer("in")
+        b_f = VersionedBuffer("F")
+        b_g = VersionedBuffer("G")
+        b_h = VersionedBuffer("H")
+        b_o = VersionedBuffer("O")
+        f = precise("f", b_f, (b_in,), lambda x: x + 1, cost=4.0)
+        g = precise("g", b_g, (b_f,), lambda F: F * 2, cost=2.0)
+        h = precise("h", b_h, (b_f,), lambda F: F * 3, cost=2.0)
+        i = precise("i", b_o, (b_g, b_h), lambda G, H: G + H, cost=1.0)
+        return AutomatonGraph([i, h, g, f]), b_in
+
+    def test_topological_order(self):
+        graph, _ = self.build_diamond()
+        order = [s.name for s in graph.topological_order()]
+        assert order.index("f") < order.index("g")
+        assert order.index("f") < order.index("h")
+        assert order.index("g") < order.index("i")
+        assert order.index("h") < order.index("i")
+
+    def test_sources_and_terminals(self):
+        graph, _ = self.build_diamond()
+        assert [s.name for s in graph.source_stages()] == ["f"]
+        assert [s.name for s in graph.terminal_stages()] == ["i"]
+        assert graph.terminal_buffer().name == "O"
+
+    def test_producers_consumers(self):
+        graph, _ = self.build_diamond()
+        assert graph.producer_of("F").name == "f"
+        assert graph.producer_of("in") is None
+        assert sorted(s.name for s in graph.consumers_of("F")) == \
+            ["g", "h"]
+
+    def test_run_precise_follows_dependencies(self):
+        graph, _ = self.build_diamond()
+        values = graph.run_precise({"in": 10})
+        assert values["F"] == 11
+        assert values["O"] == 11 * 2 + 11 * 3
+
+    def test_run_precise_missing_external_raises(self):
+        graph, _ = self.build_diamond()
+        with pytest.raises(GraphError, match="no value"):
+            graph.run_precise({})
+
+    def test_baseline_cost_sums_precise_costs(self):
+        graph, _ = self.build_diamond()
+        assert graph.baseline_cost() == pytest.approx(9.0)
+
+    def test_buffers_collects_all(self):
+        graph, _ = self.build_diamond()
+        assert sorted(graph.buffers) == ["F", "G", "H", "O", "in"]
+
+    def test_multiple_terminals_reported(self):
+        b_in = VersionedBuffer("in")
+        b_a, b_b = VersionedBuffer("A"), VersionedBuffer("B")
+        g = AutomatonGraph([precise("a", b_a, (b_in,)),
+                            precise("b", b_b, (b_in,))])
+        with pytest.raises(GraphError, match="one terminal"):
+            g.terminal_buffer()

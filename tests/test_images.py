@@ -1,0 +1,97 @@
+"""Tests for the synthetic input generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.images import (bayer_mosaic, clustered_image,
+                               gradient_image, scene_image,
+                               texture_image)
+
+
+class TestGradient:
+    def test_shape_and_dtype(self):
+        img = gradient_image(32)
+        assert img.shape == (32, 32) and img.dtype == np.uint8
+
+    def test_spans_full_range(self):
+        img = gradient_image(64)
+        assert img.min() == 0 and img.max() == 255
+
+    def test_is_smooth(self):
+        img = gradient_image(64).astype(np.int64)
+        assert np.abs(np.diff(img, axis=1)).max() <= 8
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            gradient_image(0)
+
+
+class TestTexture:
+    def test_deterministic(self):
+        assert np.array_equal(texture_image(32, seed=5),
+                              texture_image(32, seed=5))
+
+    def test_seed_changes_content(self):
+        assert not np.array_equal(texture_image(32, seed=5),
+                                  texture_image(32, seed=6))
+
+
+class TestScene:
+    def test_shape_dtype_determinism(self):
+        a = scene_image(64, seed=1)
+        b = scene_image(64, seed=1)
+        assert a.shape == (64, 64) and a.dtype == np.uint8
+        assert np.array_equal(a, b)
+
+    def test_has_smooth_and_edge_content(self):
+        """The runtime-accuracy curves need both: edges drive mid-sample
+        SNR, texture drives the tail."""
+        img = scene_image(128, seed=0).astype(np.int64)
+        grad = np.abs(np.diff(img, axis=0))
+        assert (grad == 0).mean() > 0.05      # flat regions exist
+        assert (grad > 30).mean() > 0.005     # hard edges exist
+
+    def test_intensity_spread(self):
+        img = scene_image(128, seed=0)
+        assert img.std() > 30
+
+
+class TestBayer:
+    def test_shape_and_determinism(self):
+        a = bayer_mosaic(64, seed=2)
+        assert a.shape == (64, 64) and a.dtype == np.uint8
+        assert np.array_equal(a, bayer_mosaic(64, seed=2))
+
+    def test_rggb_pattern_sites_come_from_planes(self):
+        """Each mosaic site equals the corresponding colour plane of the
+        underlying RGB scene."""
+        rgb = clustered_image(32, seed=2, clusters=0)
+        mosaic = bayer_mosaic(32, seed=2)
+        assert np.array_equal(mosaic[0::2, 0::2], rgb[0::2, 0::2, 0])
+        assert np.array_equal(mosaic[0::2, 1::2], rgb[0::2, 1::2, 1])
+        assert np.array_equal(mosaic[1::2, 0::2], rgb[1::2, 0::2, 1])
+        assert np.array_equal(mosaic[1::2, 1::2], rgb[1::2, 1::2, 2])
+
+
+class TestClustered:
+    def test_shape_and_channels(self):
+        img = clustered_image(32, seed=3, clusters=5)
+        assert img.shape == (32, 32, 3) and img.dtype == np.uint8
+
+    def test_colours_cluster(self):
+        """Pixels concentrate around a handful of colour centres: a
+        k-colour quantization captures far more variance than a single
+        global mean colour would."""
+        from repro.apps.kmeans import kmeans_precise
+
+        img = clustered_image(64, seed=3, clusters=4)
+        flat = img.reshape(-1, 3).astype(np.float64)
+        quantized = kmeans_precise(img, k=4, epochs=3)
+        sse = ((quantized.reshape(-1, 3).astype(np.float64)
+                - flat) ** 2).sum()
+        total = ((flat - flat.mean(axis=0)) ** 2).sum()
+        assert sse < 0.5 * total
+
+    def test_zero_clusters_gives_plain_scene(self):
+        img = clustered_image(32, seed=3, clusters=0)
+        assert img.shape == (32, 32, 3)

@@ -1,0 +1,128 @@
+"""Tests for the commutative operator registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.anytime.operators import (REGISTRY, Operator, get_operator,
+                                     register_operator)
+
+ARRAY_OPS = ["add", "min", "max", "bitor", "bitand"]
+
+
+def _arrays(dtype=np.int64):
+    return hnp.arrays(dtype=dtype, shape=st.integers(1, 20),
+                      elements=st.integers(-1000, 1000))
+
+
+class TestRegistry:
+    def test_known_operators_present(self):
+        for name in ARRAY_OPS + ["union"]:
+            assert name in REGISTRY
+
+    def test_get_unknown_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known"):
+            get_operator("frobnicate")
+
+    def test_reregistration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_operator(REGISTRY["add"])
+
+
+class TestAlgebraicLaws:
+    @pytest.mark.parametrize("name", ARRAY_OPS)
+    @given(a=_arrays(), b=_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_commutativity(self, name, a, b):
+        if a.shape != b.shape:
+            b = np.resize(b, a.shape)
+        op = get_operator(name)
+        assert np.array_equal(op.combine(a, b), op.combine(b, a))
+
+    @pytest.mark.parametrize("name", ["min", "max", "bitor", "bitand"])
+    @given(a=_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_idempotent_operators_satisfy_law(self, name, a):
+        op = get_operator(name)
+        assert op.idempotent
+        assert np.array_equal(op.combine(a, a), a)
+
+    def test_add_is_not_idempotent(self):
+        assert not get_operator("add").idempotent
+
+    @pytest.mark.parametrize("name", ARRAY_OPS)
+    @given(a=_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_identity_element(self, name, a):
+        op = get_operator(name)
+        ident = op.identity(a.shape, a.dtype)
+        assert np.array_equal(op.combine(ident, a), a)
+
+
+class TestWeighting:
+    """Paper III-B2: non-idempotent reductions publish O'_i = O_i * n/i."""
+
+    def test_add_weights_partial_sums(self):
+        op = get_operator("add")
+        partial = np.array([10.0, 20.0])
+        assert np.allclose(op.weighted(partial, 5, 10),
+                           [20.0, 40.0])
+
+    def test_full_sample_weight_is_identity(self):
+        op = get_operator("add")
+        partial = np.array([3.0, 4.0])
+        assert np.array_equal(op.weighted(partial, 8, 8), partial)
+
+    def test_idempotent_weight_is_identity(self):
+        op = get_operator("min")
+        partial = np.array([3, 4])
+        assert np.array_equal(op.weighted(partial, 1, 100), partial)
+
+    def test_zero_sample_guard(self):
+        op = get_operator("add")
+        assert np.array_equal(op.weighted(np.zeros(2), 0, 10),
+                              np.zeros(2))
+
+    @given(values=_arrays(np.float64).map(np.abs),
+           cut=st.integers(min_value=1, max_value=19))
+    @settings(max_examples=30, deadline=None)
+    def test_weighted_estimate_is_unbiased_under_random_order(
+            self, values, cut):
+        """The weighted partial sum of a prefix estimates the total; at
+        the full sample it is exact."""
+        op = get_operator("add")
+        n = len(values)
+        cut = min(cut, n)
+        partial = values[:cut].sum()
+        weighted = op.weighted(partial, cut, n)
+        assert np.isclose(op.weighted(values.sum(), n, n),
+                          values.sum())
+        # weighted estimate has the right scale (no n/i missing factor)
+        if partial > 0:
+            assert weighted >= partial
+
+
+class TestUnionOperator:
+    def test_accumulates_sets(self):
+        op = get_operator("union")
+        acc = op.identity((), np.dtype(object))
+        acc = op.combine(acc, {1, 2})
+        acc = op.combine(acc, {2, 3})
+        assert acc == {1, 2, 3}
+
+
+class TestIdentityFactories:
+    def test_bitand_identity_requires_integers(self):
+        op = get_operator("bitand")
+        with pytest.raises(TypeError):
+            op.identity((3,), np.float64)
+
+    def test_min_identity_float_is_inf(self):
+        ident = get_operator("min").identity((2,), np.float64)
+        assert np.all(np.isinf(ident)) and np.all(ident > 0)
+
+    def test_max_identity_int_is_iinfo_min(self):
+        ident = get_operator("max").identity((2,), np.int32)
+        assert (ident == np.iinfo(np.int32).min).all()

@@ -1,0 +1,90 @@
+"""Tests for loop-perforation schedules (paper III-B1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anytime.perforation import (StrideSchedule, geometric_strides,
+                                       perforated_indices)
+
+
+class TestPerforatedIndices:
+    def test_stride_one_is_all_iterations(self):
+        assert perforated_indices(10, 1).tolist() == list(range(10))
+
+    def test_stride_skips(self):
+        assert perforated_indices(10, 3).tolist() == [0, 3, 6, 9]
+
+    def test_offset(self):
+        assert perforated_indices(10, 3, offset=1).tolist() == [1, 4, 7]
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            perforated_indices(10, 0)
+
+    def test_rejects_bad_offset(self):
+        with pytest.raises(ValueError):
+            perforated_indices(10, 3, offset=3)
+
+
+class TestGeometricStrides:
+    def test_default_ladder(self):
+        assert geometric_strides(8) == (8, 4, 2, 1)
+
+    def test_factor_four(self):
+        assert geometric_strides(16, factor=4) == (16, 4, 1)
+
+    def test_start_one(self):
+        assert geometric_strides(1) == (1,)
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError, match="power"):
+            geometric_strides(6)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            geometric_strides(8, factor=1)
+
+
+class TestStrideSchedule:
+    def test_valid_schedule(self):
+        s = StrideSchedule((8, 4, 2, 1))
+        assert s.levels == 4
+
+    def test_rejects_non_decreasing(self):
+        with pytest.raises(ValueError, match="decrease"):
+            StrideSchedule((4, 4, 1))
+
+    def test_rejects_missing_precise_level(self):
+        """The final computation must be the precise one (stride 1)."""
+        with pytest.raises(ValueError, match="final stride"):
+            StrideSchedule((8, 4, 2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StrideSchedule(())
+
+    def test_work_per_level(self):
+        s = StrideSchedule((4, 2, 1))
+        assert [s.work(16, lv) for lv in range(3)] == [4, 8, 16]
+
+    def test_total_and_redundant_work(self):
+        """Paper III-B1: iterative perforation re-executes common
+        multiples and the entire precise pass."""
+        s = StrideSchedule((4, 2, 1))
+        assert s.total_work(16) == 28
+        assert s.redundant_work(16) == 12
+
+    @given(st.integers(min_value=0, max_value=5),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40)
+    def test_redundancy_ratio_bounds(self, k, n):
+        """A geometric /2 ladder costs at most 2x the precise work."""
+        s = StrideSchedule(geometric_strides(2 ** k))
+        ratio = s.redundancy_ratio(n)
+        # ceil() at each level adds at most one iteration per level
+        assert 1.0 <= ratio <= 2.0 + s.levels / max(n, 1)
+
+    def test_level_indices_end_with_full_coverage(self):
+        s = StrideSchedule((8, 4, 2, 1))
+        assert s.indices(32, 3).tolist() == list(range(32))

@@ -1,0 +1,87 @@
+"""Tests for offline-profile-guided deadline planning."""
+
+import math
+
+import pytest
+
+from repro.apps.conv2d import build_conv2d_automaton, conv2d_precise
+from repro.data.images import scene_image
+from repro.metrics.planning import DeadlinePlanner
+from repro.metrics.profiles import RuntimeAccuracyProfile
+from repro.metrics.snr import snr_db
+
+
+def synthetic_profile(points):
+    p = RuntimeAccuracyProfile(label="cal")
+    for t, s in points:
+        p.add(t, s)
+    return p
+
+
+class TestBudgetLookup:
+    def test_requires_calibration(self):
+        with pytest.raises(RuntimeError, match="calibration"):
+            DeadlinePlanner().budget_for(10.0)
+
+    def test_rejects_sub_one_margin(self):
+        with pytest.raises(ValueError):
+            DeadlinePlanner(margin=0.9)
+
+    def test_rejects_empty_profile(self):
+        with pytest.raises(ValueError):
+            DeadlinePlanner().calibrate(RuntimeAccuracyProfile())
+
+    def test_budget_reads_profile_with_margin(self):
+        planner = DeadlinePlanner(margin=1.5)
+        planner.calibrate(synthetic_profile(
+            [(0.2, 10.0), (0.5, 20.0), (1.0, math.inf)]))
+        assert planner.budget_for(15.0) == pytest.approx(0.75)
+
+    def test_worst_case_across_profiles(self):
+        planner = DeadlinePlanner(margin=1.0)
+        planner.calibrate(synthetic_profile([(0.3, 20.0)]))
+        planner.calibrate(synthetic_profile([(0.6, 20.0)]))
+        assert planner.budget_for(20.0) == pytest.approx(0.6)
+
+    def test_unreached_target_falls_back_to_profile_end(self):
+        planner = DeadlinePlanner(margin=1.0)
+        planner.calibrate(synthetic_profile([(0.5, 12.0)]))
+        assert planner.budget_for(40.0) == pytest.approx(0.5)
+
+
+class TestEndToEnd:
+    def test_calibrate_on_one_image_plan_for_another(self):
+        """The profile measured on seed-A scenes transfers to seed-B
+        scenes of the same class: the planned budget achieves the
+        target (the anytime property absorbs the approximation error of
+        the transfer)."""
+        target = 18.0
+        cal_image = scene_image(64, seed=21)
+        cal_auto = build_conv2d_automaton(cal_image, chunks=16)
+        cal_res = cal_auto.run_simulated(total_cores=8.0)
+        planner = DeadlinePlanner(margin=1.3)
+        planner.calibrate(cal_auto.profile(cal_res, total_cores=8.0))
+
+        test_image = scene_image(64, seed=22)
+        reference = conv2d_precise(test_image)
+        result, budget = planner.run(
+            lambda: build_conv2d_automaton(test_image, chunks=16),
+            target, total_cores=8.0)
+        records = result.output_records("filtered")
+        assert records
+        achieved = snr_db(records[-1].value, reference)
+        assert achieved >= target - 3.0, \
+            f"planned budget {budget:.2f}x missed badly: {achieved:.1f}"
+
+    def test_let_it_run_longer_recovers_misses(self):
+        """If the planned budget misses, a bigger margin only helps."""
+        cal = scene_image(64, seed=23)
+        auto = build_conv2d_automaton(cal, chunks=16)
+        res = auto.run_simulated(total_cores=8.0)
+        profile = auto.profile(res, total_cores=8.0)
+
+        tight = DeadlinePlanner(margin=1.0)
+        tight.calibrate(profile)
+        loose = DeadlinePlanner(margin=2.0)
+        loose.calibrate(profile)
+        assert loose.budget_for(20.0) > tight.budget_for(20.0)

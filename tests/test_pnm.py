@@ -1,0 +1,50 @@
+"""Tests for the PGM/PPM image IO helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data.pnm import read_pnm, write_pnm
+
+
+class TestRoundtrip:
+    def test_grayscale(self, tmp_path, rng):
+        img = rng.integers(0, 256, size=(13, 7)).astype(np.uint8)
+        path = tmp_path / "x.pgm"
+        write_pnm(path, img)
+        assert np.array_equal(read_pnm(path), img)
+
+    def test_rgb(self, tmp_path, rng):
+        img = rng.integers(0, 256, size=(5, 9, 3)).astype(np.uint8)
+        path = tmp_path / "x.ppm"
+        write_pnm(path, img)
+        assert np.array_equal(read_pnm(path), img)
+
+    def test_magic_bytes(self, tmp_path):
+        gray = np.zeros((2, 2), dtype=np.uint8)
+        rgb = np.zeros((2, 2, 3), dtype=np.uint8)
+        write_pnm(tmp_path / "g.pgm", gray)
+        write_pnm(tmp_path / "c.ppm", rgb)
+        assert (tmp_path / "g.pgm").read_bytes()[:2] == b"P5"
+        assert (tmp_path / "c.ppm").read_bytes()[:2] == b"P6"
+
+
+class TestValidation:
+    def test_rejects_non_uint8(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_pnm(tmp_path / "x.pgm", np.zeros((2, 2)))
+
+    def test_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pnm(tmp_path / "x.pgm",
+                      np.zeros((2, 2, 4), dtype=np.uint8))
+
+    def test_read_rejects_unknown_magic(self, tmp_path):
+        path = tmp_path / "bad.pnm"
+        path.write_bytes(b"P3\n1 1\n255\n0 0 0\n")
+        with pytest.raises(ValueError, match="magic"):
+            read_pnm(path)
+
+    def test_read_handles_comments(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_bytes(b"P5\n# a comment\n2 1\n255\n\x07\x09")
+        assert read_pnm(path).tolist() == [[7, 9]]

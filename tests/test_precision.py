@@ -1,0 +1,126 @@
+"""Tests for reduced fixed-point precision (paper III-B2, Figure 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.anytime.precision import (AnytimeDotProduct, anytime_dot,
+                                     bit_planes, keep_top_bits,
+                                     quantize_to_bits)
+
+
+class TestBitPlanes:
+    def test_reconstruction(self):
+        values = np.array([0, 1, 127, 128, 255])
+        planes = bit_planes(values, 8)
+        assert len(planes) == 8
+        assert np.array_equal(sum(planes), values)
+
+    def test_most_significant_first(self):
+        planes = bit_planes(np.array([0b10000001]), 8)
+        assert planes[0].tolist() == [128]
+        assert planes[-1].tolist() == [1]
+
+    @given(hnp.arrays(np.int64, st.integers(1, 30),
+                      elements=st.integers(0, 2 ** 16 - 1)))
+    @settings(max_examples=40, deadline=None)
+    def test_reconstruction_property(self, values):
+        assert np.array_equal(sum(bit_planes(values, 16)), values)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            bit_planes(np.array([-1]), 8)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError, match="exceed"):
+            bit_planes(np.array([256]), 8)
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            bit_planes(np.array([1.5]), 8)
+
+
+class TestKeepTopBits:
+    def test_masks_low_bits(self):
+        assert keep_top_bits(np.array([0xFF]), 4, 8).tolist() == [0xF0]
+
+    def test_zero_bits_zeroes_everything(self):
+        assert keep_top_bits(np.array([0xFF]), 0, 8).tolist() == [0]
+
+    def test_all_bits_is_identity(self):
+        v = np.array([0xAB])
+        assert keep_top_bits(v, 8, 8).tolist() == [0xAB]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            keep_top_bits(np.array([1]), 9, 8)
+
+    def test_quantize_alias(self):
+        assert quantize_to_bits(np.array([0b10111111]), 2).tolist() == \
+            [0b10000000]
+
+
+class TestAnytimeDot:
+    @given(hnp.arrays(np.int64, st.tuples(st.integers(1, 6),
+                                          st.integers(1, 6)),
+                      elements=st.integers(-100, 100)),
+           st.integers(0, 10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_final_partial_equals_precise(self, inputs, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(0, 256, size=(inputs.shape[1], 3))
+        partials = list(anytime_dot(inputs, weights, bits=8))
+        assert len(partials) == 8
+        assert np.array_equal(partials[-1], inputs @ weights)
+
+    def test_error_decreases_msb_first(self, rng):
+        """Sequential (MSB-first) bit sampling: each partial is at least
+        as close to the precise product as the one before."""
+        inputs = rng.integers(0, 50, size=(8, 16))
+        weights = rng.integers(0, 256, size=(16, 4))
+        precise = inputs @ weights
+        errors = [np.abs(precise - p).sum()
+                  for p in anytime_dot(inputs, weights, bits=8)]
+        assert all(b <= a for a, b in zip(errors, errors[1:]))
+        assert errors[-1] == 0
+
+    def test_partial_matches_masked_weights(self, rng):
+        """After k planes the partial equals I @ (W & topk-mask) — the
+        paper's f_i(I, O_{i-1}) = O_{i-1} + (I . (W & mask))."""
+        inputs = rng.integers(-20, 20, size=(4, 8))
+        weights = rng.integers(0, 256, size=(8, 2))
+        for k, partial in enumerate(anytime_dot(inputs, weights, 8),
+                                    start=1):
+            masked = keep_top_bits(weights, k, 8)
+            assert np.array_equal(partial, inputs @ masked)
+
+
+class TestAnytimeDotProduct:
+    def test_step_by_step(self, rng):
+        inputs = rng.integers(0, 10, size=(3, 5))
+        weights = rng.integers(0, 16, size=(5, 2))
+        ad = AnytimeDotProduct(inputs, weights, bits=4)
+        assert ad.steps_done == 0 and not ad.done
+        ad.step()
+        assert ad.steps_done == 1
+        out = ad.run_to_completion()
+        assert ad.done
+        assert np.array_equal(out, ad.precise())
+
+    def test_step_after_done_raises(self, rng):
+        ad = AnytimeDotProduct(np.ones((2, 2), np.int64),
+                               np.ones((2, 2), np.int64), bits=2)
+        ad.run_to_completion()
+        with pytest.raises(StopIteration):
+            ad.step()
+
+    def test_no_extra_work(self):
+        """Total per-plane contributions equal one full dot product's
+        worth of partial products (the paper: bit-serial computation
+        does not add work)."""
+        inputs = np.array([[3]])
+        weights = np.array([[0b101]])
+        partials = list(anytime_dot(inputs, weights, bits=3))
+        assert [int(p[0, 0]) for p in partials] == [12, 12, 15]

@@ -1,0 +1,125 @@
+"""Tests for dynamic core reallocation (processor sharing, IV-C2)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.histeq import build_histeq_automaton, histeq_precise
+from repro.apps.kmeans import build_kmeans_automaton, kmeans_precise
+from repro.core.procsharing import ProcessorPool
+from repro.data.images import clustered_image, scene_image
+
+
+class TestProcessorPool:
+    def test_single_stage_gets_all_cores(self):
+        pool = ProcessorPool(8.0, {"a": 1.0, "b": 1.0})
+        pool.start("a", 80.0, now=0.0)
+        assert pool.next_completion() == (10.0, "a")
+
+    def test_active_stages_share_by_weight(self):
+        pool = ProcessorPool(8.0, {"a": 3.0, "b": 1.0})
+        pool.start("a", 60.0, now=0.0)
+        pool.start("b", 60.0, now=0.0)
+        # a runs at 6 cores, b at 2: completions at 10 and 30
+        assert pool.next_completion() == (10.0, "a")
+        pool.complete("a", 10.0)
+        # b inherits the whole machine: 40 units left at 8 cores
+        eta, name = pool.next_completion()
+        assert name == "b" and eta == pytest.approx(15.0)
+
+    def test_lazy_advance_is_exact(self):
+        pool = ProcessorPool(4.0, {"a": 1.0, "b": 1.0})
+        pool.start("a", 40.0, now=0.0)
+        pool.start("b", 10.0, now=0.0)   # both at 2 cores
+        assert pool.next_completion() == (5.0, "b")
+        pool.complete("b", 5.0)
+        # a did 10 units by t=5, 30 left at 4 cores -> done at 12.5
+        assert pool.next_completion() == (pytest.approx(12.5), "a")
+
+    def test_completion_requires_zero_remaining(self):
+        pool = ProcessorPool(4.0, {"a": 1.0})
+        pool.start("a", 40.0, now=0.0)
+        with pytest.raises(ValueError, match="work left"):
+            pool.complete("a", 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorPool(0.0, {"a": 1.0})
+        with pytest.raises(ValueError):
+            ProcessorPool(4.0, {"a": 0.0})
+        pool = ProcessorPool(4.0, {"a": 1.0})
+        with pytest.raises(KeyError):
+            pool.start("zz", 1.0, now=0.0)
+        pool.start("a", 1.0, now=0.0)
+        with pytest.raises(ValueError, match="already"):
+            pool.start("a", 1.0, now=0.0)
+
+    def test_time_cannot_go_backwards(self):
+        pool = ProcessorPool(4.0, {"a": 1.0, "b": 1.0})
+        pool.start("a", 10.0, now=5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            pool.start("b", 10.0, now=1.0)
+
+    def test_ties_break_by_name(self):
+        pool = ProcessorPool(4.0, {"a": 1.0, "b": 1.0})
+        pool.start("b", 20.0, now=0.0)
+        pool.start("a", 20.0, now=0.0)
+        assert pool.next_completion()[1] == "a"
+
+    def test_empty_pool(self):
+        assert ProcessorPool(4.0, {"a": 1.0}).next_completion() is None
+
+
+class TestDynamicExecution:
+    def test_output_unchanged(self, small_image):
+        """Dynamic sharing is a performance knob, never a correctness
+        one: the final output is bit-identical."""
+        ref = histeq_precise(small_image)
+        for dyn in (False, True):
+            auto = build_histeq_automaton(small_image, chunks=8)
+            res = auto.run_simulated(total_cores=16.0,
+                                     dynamic_shares=dyn)
+            final = res.timeline.final_record("equalized")
+            assert np.array_equal(final.value, ref), dyn
+
+    def test_dynamic_is_faster_for_pipelines(self, small_image):
+        """Idle stages donate cores: histeq's apply stage inherits the
+        machine once the histogram finishes."""
+        times = {}
+        for dyn in (False, True):
+            auto = build_histeq_automaton(small_image, chunks=8)
+            res = auto.run_simulated(total_cores=16.0,
+                                     dynamic_shares=dyn)
+            times[dyn] = res.timeline.final_record("equalized").time
+        assert times[True] < 0.8 * times[False]
+
+    def test_dynamic_kmeans(self, small_rgb):
+        ref = kmeans_precise(small_rgb, k=4)
+        auto = build_kmeans_automaton(small_rgb, k=4, chunks=8)
+        res = auto.run_simulated(total_cores=16.0, dynamic_shares=True)
+        final = res.timeline.final_record("clustered1")
+        assert np.array_equal(final.value["image"], ref)
+
+    def test_single_stage_unaffected_shape(self, small_image):
+        """A single-stage automaton already holds all cores either way;
+        dynamic sharing must not change its timeline."""
+        from repro.apps.conv2d import build_conv2d_automaton
+
+        timelines = []
+        for dyn in (False, True):
+            auto = build_conv2d_automaton(small_image, chunks=4)
+            res = auto.run_simulated(total_cores=8.0,
+                                     schedule={"conv": 8.0},
+                                     dynamic_shares=dyn)
+            timelines.append([(r.time, r.version)
+                              for r in res.output_records("filtered")])
+        assert timelines[0] == pytest.approx(timelines[1])
+
+    def test_deterministic(self, small_image):
+        runs = []
+        for _ in range(2):
+            auto = build_histeq_automaton(small_image, chunks=8)
+            res = auto.run_simulated(total_cores=16.0,
+                                     dynamic_shares=True)
+            runs.append([(r.time, r.buffer, r.version)
+                         for r in res.timeline.records])
+        assert runs[0] == runs[1]

@@ -1,0 +1,149 @@
+"""Property-based tests over randomly generated automata.
+
+Hypothesis builds random DAGs of precise/iterative/diffusive stages with
+random costs, shapes and core allocations, and we assert the model's
+universal guarantees on every one:
+
+- the execution completes (no deadlock) and is deterministic;
+- the terminal buffer's final version equals the precise evaluation of
+  the graph, bit for bit;
+- exactly the last terminal version is marked final;
+- versions appear in non-decreasing time order, and every stage's
+  version count is at least one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anytime.permutations import TreePermutation
+from repro.core.automaton import AnytimeAutomaton
+from repro.core.buffer import VersionedBuffer
+from repro.core.iterative import AccuracyLevel, IterativeStage
+from repro.core.mapstage import MapStage
+from repro.core.stage import PreciseStage
+
+VEC = 16   # every buffer carries an int64 vector of this length
+
+
+def _unary_op(kind: int):
+    return [lambda v: v + 3,
+            lambda v: v * 2,
+            lambda v: np.maximum(v - 5, 0),
+            lambda v: v // 2][kind % 4]
+
+
+def _coarse(v: np.ndarray) -> np.ndarray:
+    return (np.asarray(v, np.int64) >> 3) << 3
+
+
+@st.composite
+def automata(draw) -> AnytimeAutomaton:
+    """A random linear-ish DAG: each stage consumes 1-2 earlier buffers."""
+    n_stages = draw(st.integers(min_value=1, max_value=6))
+    b_in = VersionedBuffer("in")
+    buffers = [b_in]
+    stages = []
+    for i in range(n_stages):
+        kind = draw(st.integers(min_value=0, max_value=2))
+        op = _unary_op(draw(st.integers(min_value=0, max_value=3)))
+        cost = float(draw(st.integers(min_value=1, max_value=50)))
+        out = VersionedBuffer(f"b{i}")
+        n_inputs = draw(st.integers(
+            min_value=1, max_value=min(2, len(buffers))))
+        picks = draw(st.permutations(range(len(buffers))))[:n_inputs]
+        inputs = tuple(buffers[p] for p in picks)
+
+        if kind == 0 or n_inputs == 2:
+            def fn(*vals, op=op):
+                acc = vals[0]
+                for v in vals[1:]:
+                    acc = acc + v
+                return op(acc)
+
+            stages.append(PreciseStage(f"s{i}", out, inputs, fn,
+                                       cost=cost))
+        elif kind == 1:
+            levels = [
+                AccuracyLevel(lambda v, op=op: _coarse(op(v)),
+                              cost=cost),
+                AccuracyLevel(lambda v, op=op: op(v), cost=cost * 2),
+            ]
+            stages.append(IterativeStage(f"s{i}", out, inputs, levels))
+        else:
+            def elem(idx, v, op=op):
+                return op(np.asarray(v, np.int64))[idx]
+
+            stages.append(MapStage(
+                f"s{i}", out, inputs, elem, shape=VEC,
+                dtype=np.int64, permutation=TreePermutation(),
+                chunks=draw(st.integers(min_value=1, max_value=4)),
+                cost_per_element=cost / VEC))
+        buffers.append(out)
+    # guarantee a single terminal: chain any dangling buffers into a sum
+    consumed = {b.name for s in stages for b in s.inputs}
+    dangling = [b for b in buffers[:-1]
+                if b.name not in consumed and b.name != "in"]
+    if dangling:
+        out = VersionedBuffer("sink")
+        stages.append(PreciseStage(
+            "sink", out, tuple(dangling) + (buffers[-1],),
+            lambda *vs: sum(vs[1:], vs[0]), cost=1.0))
+    data = np.asarray(
+        draw(st.lists(st.integers(min_value=0, max_value=1000),
+                      min_size=VEC, max_size=VEC)), dtype=np.int64)
+    return AnytimeAutomaton(stages, name="random",
+                            external={"in": data})
+
+
+class TestRandomAutomata:
+    @given(automata(), st.floats(min_value=1.0, max_value=32.0))
+    @settings(max_examples=60, deadline=None)
+    def test_final_output_equals_precise_evaluation(self, automaton,
+                                                    cores):
+        terminal = automaton.terminal_buffer_name
+        reference = automaton.precise_output()
+        result = automaton.run_simulated(total_cores=cores)
+        assert result.completed
+        records = result.output_records(terminal)
+        assert records, "terminal stage must publish at least once"
+        final = records[-1]
+        assert final.final
+        assert not any(r.final for r in records[:-1])
+        assert np.array_equal(final.value, reference)
+        times = [r.time for r in records]
+        assert times == sorted(times)
+
+    @given(automata())
+    @settings(max_examples=20, deadline=None)
+    def test_every_stage_publishes(self, automaton):
+        result = automaton.run_simulated(total_cores=4.0)
+        for stage in automaton.graph.stages:
+            assert result.timeline.for_buffer(stage.output.name), \
+                stage.name
+
+    @given(automata())
+    @settings(max_examples=15, deadline=None)
+    def test_global_write_order_is_time_ordered(self, automaton):
+        """The kernel's event ordering: across *all* buffers, records
+        appear in non-decreasing virtual time, and per-buffer versions
+        are strictly increasing."""
+        result = automaton.run_simulated(total_cores=4.0)
+        times = [r.time for r in result.timeline.records]
+        assert times == sorted(times)
+        per_buffer: dict[str, int] = {}
+        for r in result.timeline.records:
+            assert r.version == per_buffer.get(r.buffer, 0) + 1
+            per_buffer[r.buffer] = r.version
+
+    @given(automata())
+    @settings(max_examples=20, deadline=None)
+    def test_threaded_executor_agrees_on_final_value(self, automaton):
+        reference = automaton.precise_output()
+        result = automaton.run_threaded(timeout_s=60.0)
+        final = result.timeline.final_record(
+            automaton.terminal_buffer_name)
+        assert final is not None
+        assert np.array_equal(final.value, reference)

@@ -1,0 +1,73 @@
+"""Tests for the near-data in-memory reordering model (IV-C3)."""
+
+import numpy as np
+import pytest
+
+from repro.anytime.permutations import TreePermutation
+from repro.apps.conv2d import build_conv2d_automaton, conv2d_precise
+from repro.hw.reorder import ReorderEngine, reorder_layout
+
+
+class TestEngine:
+    def test_cost_is_linear(self):
+        engine = ReorderEngine(cost_per_element=0.5)
+        assert engine.reorder_cost(1000) == 500.0
+        assert engine.reorder_cost(0) == 0.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ReorderEngine(cost_per_element=0.0)
+        with pytest.raises(ValueError):
+            ReorderEngine().reorder_cost(-1)
+
+    def test_breakeven(self):
+        engine = ReorderEngine(cost_per_element=0.5)
+        # an 81-op/pixel kernel amortizes the reorder almost for free
+        assert engine.breakeven_penalty(100, 81.0) < 1.01
+        # a 1-op/pixel kernel needs a 1.5x penalty to justify it
+        assert engine.breakeven_penalty(100, 1.0) == pytest.approx(1.5)
+
+
+class TestLayout:
+    def test_reordered_sequential_walk_matches_permuted_gather(self):
+        data = np.arange(64, dtype=np.int64)
+        order = TreePermutation().order(64)
+        laid_out = reorder_layout(data, order)
+        assert np.array_equal(laid_out, data[order])
+
+    def test_multi_axis_payload(self):
+        data = np.arange(24, dtype=np.int64).reshape(8, 3)
+        order = np.arange(7, -1, -1)
+        out = reorder_layout(data, order)
+        assert np.array_equal(out, data[::-1])
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            reorder_layout(np.arange(4), np.array([0, 0, 1, 2]))
+
+
+class TestStageIntegration:
+    def test_reorder_removes_penalty_plus_stream_pass(self, small_image):
+        plain = build_conv2d_automaton(small_image, chunks=4)
+        reordered = build_conv2d_automaton(small_image, chunks=4,
+                                           reorder=True)
+        r_plain = plain.run_simulated(total_cores=8.0)
+        r_re = reordered.run_simulated(total_cores=8.0)
+        assert r_re.duration < r_plain.duration
+        # exact model: work = reorder pass + sequential compute
+        stage = reordered.graph.stages[0]
+        expected = (stage.reorder_engine.reorder_cost(stage.n_elements)
+                    + stage.n_elements * stage.cost_per_element) / 8.0
+        assert r_re.duration == pytest.approx(expected)
+
+    def test_reorder_preserves_output(self, small_image):
+        auto = build_conv2d_automaton(small_image, chunks=4,
+                                      reorder=True)
+        res = auto.run_simulated(total_cores=8.0)
+        final = res.timeline.final_record("filtered")
+        assert np.array_equal(final.value, conv2d_precise(small_image))
+
+    def test_prefetcher_and_reorder_mutually_exclusive(self, small_image):
+        with pytest.raises(ValueError, match="one locality"):
+            build_conv2d_automaton(small_image, prefetcher=True,
+                                   reorder=True)

@@ -1,0 +1,82 @@
+"""Tests for the DRAM row-buffer locality model."""
+
+import numpy as np
+import pytest
+
+from repro.anytime.permutations import (LfsrPermutation,
+                                        SequentialPermutation,
+                                        TreePermutation)
+from repro.hw.cache import trace_for_permutation
+from repro.hw.rowbuffer import (DramGeometry, RowBufferModel,
+                                RowBufferStats)
+
+
+class TestGeometry:
+    def test_locate(self):
+        g = DramGeometry(row_bytes=1024, banks=4)
+        assert g.locate(0) == (0, 0)
+        assert g.locate(1023) == (0, 0)
+        assert g.locate(1024) == (1, 0)
+        assert g.locate(4096) == (0, 1)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            DramGeometry(row_bytes=0)
+
+
+class TestAccess:
+    def test_same_row_hits(self):
+        m = RowBufferModel(DramGeometry(row_bytes=1024, banks=1))
+        assert not m.access(0)
+        assert m.access(512)
+        assert not m.access(2048)
+        assert m.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_banks_are_independent(self):
+        m = RowBufferModel(DramGeometry(row_bytes=1024, banks=2))
+        m.access(0)        # bank 0 row 0
+        m.access(1024)     # bank 1 row 0
+        assert m.access(512)    # bank 0 row 0 still open
+        assert m.access(1536)   # bank 1 row 0 still open
+
+    def test_empty_stats(self):
+        assert RowBufferStats().hit_rate == 0.0
+
+
+class TestVectorizedTrace:
+    def test_matches_scalar_replay(self, rng):
+        addresses = rng.integers(0, 64 * 1024, size=500)
+        scalar = RowBufferModel()
+        for a in addresses:
+            scalar.access(int(a))
+        vector = RowBufferModel()
+        vector.run_trace(addresses)
+        assert vector.stats.row_hits == scalar.stats.row_hits
+        assert vector.stats.accesses == scalar.stats.accesses
+
+    def test_incremental_traces_keep_open_rows(self):
+        m = RowBufferModel(DramGeometry(row_bytes=1024, banks=1))
+        m.run_trace(np.array([0, 100]))
+        m.run_trace(np.array([200]))    # row still open -> hit
+        assert m.stats.row_hits == 2
+
+    def test_empty_trace(self):
+        m = RowBufferModel()
+        stats = m.run_trace(np.array([], dtype=np.int64))
+        assert stats.accesses == 0
+
+
+class TestLocalityClaim:
+    """Paper IV-C3: tree/LFSR sampling also hurts row-buffer locality."""
+
+    def test_sequential_dominates_row_hits(self):
+        rates = {}
+        for perm in (SequentialPermutation(), TreePermutation(),
+                     LfsrPermutation(seed=5)):
+            trace = trace_for_permutation(perm.order(16384),
+                                          element_bytes=4)
+            model = RowBufferModel()
+            rates[perm.name] = model.run_trace(trace).hit_rate
+        assert rates["sequential"] > 0.9
+        assert rates["tree"] < 0.5 * rates["sequential"]
+        assert rates["lfsr"] < 0.5 * rates["sequential"]

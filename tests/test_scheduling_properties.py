@@ -1,0 +1,125 @@
+"""Tests for scheduling policies and the Property 1-3 validators."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import build_fig2_automaton
+from repro.core.buffer import VersionedBuffer
+from repro.core.graph import AutomatonGraph
+from repro.core.properties import (PurityViolation, check_atomicity,
+                                   check_purity, check_single_writer)
+from repro.core.scheduling import (POLICIES, equal_shares,
+                                   final_stage_shares,
+                                   first_output_shares,
+                                   proportional_shares)
+from repro.core.stage import PreciseStage
+
+
+@pytest.fixture
+def graph():
+    return build_fig2_automaton(cost=100.0).graph
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", list(POLICIES.values()),
+                             ids=list(POLICIES))
+    def test_shares_sum_to_total(self, graph, policy):
+        shares = policy(graph, 16.0)
+        assert sum(shares.values()) == pytest.approx(16.0)
+        assert set(shares) == {s.name for s in graph.stages}
+        assert all(v > 0 for v in shares.values())
+
+    def test_equal_shares(self, graph):
+        shares = equal_shares(graph, 8.0)
+        assert all(v == pytest.approx(2.0) for v in shares.values())
+
+    def test_proportional_tracks_cost(self, graph):
+        shares = proportional_shares(graph, 16.0)
+        assert shares["f"] > shares["g"]          # f costs 2x
+
+    def test_one_core_floor(self):
+        """Cheap stages keep at least one core (a real machine cannot
+        allocate a fraction of a hardware thread to a stage forever)."""
+        b_in = VersionedBuffer("in")
+        b_a = VersionedBuffer("A")
+        b_b = VersionedBuffer("B")
+        big = PreciseStage("big", b_a, (b_in,), lambda x: x,
+                           cost=1_000_000.0)
+        tiny = PreciseStage("tiny", b_b, (b_a,), lambda x: x, cost=1.0)
+        graph = AutomatonGraph([big, tiny])
+        shares = proportional_shares(graph, 32.0)
+        assert shares["tiny"] >= 1.0
+        assert sum(shares.values()) == pytest.approx(32.0)
+
+    def test_floor_with_fewer_cores_than_stages(self, graph):
+        shares = proportional_shares(graph, 2.0)
+        assert sum(shares.values()) == pytest.approx(2.0)
+        assert all(v > 0 for v in shares.values())
+
+    def test_first_output_boosts_longest(self, graph):
+        plain = proportional_shares(graph, 16.0)
+        boosted = first_output_shares(graph, 16.0)
+        assert boosted["f"] > plain["f"]
+
+    def test_final_stage_boosts_terminal(self, graph):
+        plain = proportional_shares(graph, 16.0)
+        boosted = final_stage_shares(graph, 16.0)
+        assert boosted["i"] > plain["i"]
+
+
+class TestPurityChecker:
+    def test_accepts_pure_function(self):
+        out = check_purity(lambda a: a * 2, [np.arange(4)])
+        assert np.array_equal(out, np.arange(4) * 2)
+
+    def test_catches_argument_mutation(self):
+        def impure(a):
+            a[0] = 99
+            return a.sum()
+
+        with pytest.raises(PurityViolation, match="mutated"):
+            check_purity(impure, [np.arange(4)])
+
+    def test_catches_nondeterminism(self):
+        state = {"n": 0}
+
+        def stateful(a):
+            state["n"] += 1
+            return state["n"]
+
+        with pytest.raises(PurityViolation, match="non-deterministic"):
+            check_purity(stateful, [np.arange(2)])
+
+    def test_nested_containers_copied(self):
+        def impure(d):
+            d["k"].append(1)
+            return 0
+
+        with pytest.raises(PurityViolation):
+            check_purity(impure, [{"k": []}])
+
+    def test_requires_two_trials(self):
+        with pytest.raises(ValueError):
+            check_purity(lambda: 0, [], trials=1)
+
+
+class TestSingleWriterChecker:
+    def test_valid_graph_passes(self):
+        auto = build_fig2_automaton()
+        check_single_writer(auto.graph)
+
+
+class TestAtomicityChecker:
+    def test_frozen_array_passes(self):
+        a = np.arange(3)
+        a.setflags(write=False)
+        check_atomicity(a)
+
+    def test_writable_array_fails(self):
+        with pytest.raises(AssertionError, match="Property 3"):
+            check_atomicity(np.arange(3))
+
+    def test_buffer_snapshots_satisfy_atomicity(self):
+        b = VersionedBuffer("b")
+        b.write(np.arange(5))
+        check_atomicity(b.snapshot().value)

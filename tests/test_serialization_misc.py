@@ -1,0 +1,79 @@
+"""Profile serialization and miscellaneous path coverage."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import build_fig2_automaton
+from repro.cli import main
+from repro.metrics.profiles import RuntimeAccuracyProfile
+
+
+class TestProfileJson:
+    def make(self):
+        p = RuntimeAccuracyProfile(label="cal")
+        p.add(0.1, 10.5, version=1, energy=3.0)
+        p.add(0.4, 20.0, version=2, energy=6.0)
+        p.add(1.0, math.inf, version=3, energy=9.0)
+        return p
+
+    def test_roundtrip(self):
+        p = self.make()
+        q = RuntimeAccuracyProfile.from_json(p.to_json())
+        assert q.label == p.label
+        assert q.to_rows() == p.to_rows()
+        assert [pt.energy for pt in q] == [pt.energy for pt in p]
+
+    def test_negative_infinity(self):
+        p = RuntimeAccuracyProfile()
+        p.add(0.1, -math.inf)
+        q = RuntimeAccuracyProfile.from_json(p.to_json())
+        assert q.points[0].snr_db == -math.inf
+
+    def test_save_load(self, tmp_path):
+        p = self.make()
+        path = tmp_path / "profile.json"
+        p.save(path)
+        q = RuntimeAccuracyProfile.load(path)
+        assert q.to_rows() == p.to_rows()
+
+    def test_planner_accepts_loaded_profile(self, tmp_path):
+        from repro.metrics.planning import DeadlinePlanner
+
+        path = tmp_path / "p.json"
+        self.make().save(path)
+        planner = DeadlinePlanner(margin=1.0)
+        planner.calibrate(RuntimeAccuracyProfile.load(path))
+        assert planner.budget_for(15.0) == pytest.approx(0.4)
+
+
+class TestCliDynamic:
+    def test_run_with_dynamic_flag(self, capsys):
+        assert main(["run", "histeq", "--size", "32", "--dynamic"]) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+
+
+class TestTimelineMisc:
+    def test_last_value_and_final_record(self):
+        auto = build_fig2_automaton(cost=10.0)
+        res = auto.run_simulated(total_cores=4.0)
+        tl = res.timeline
+        assert tl.final_record("O") is not None
+        assert tl.last_value("O") is not None
+        assert tl.last_value("F") is None      # unwatched
+        assert tl.final_record("nonexistent") is None
+
+    def test_profile_requires_watched_buffer(self):
+        auto = build_fig2_automaton(cost=10.0)
+        res = auto.run_simulated(total_cores=4.0)
+        with pytest.raises(ValueError, match="watched"):
+            res.timeline.profile("F", np.zeros(4), baseline_cost=1.0)
+
+    def test_profile_rejects_bad_baseline(self):
+        auto = build_fig2_automaton(cost=10.0)
+        res = auto.run_simulated(total_cores=4.0)
+        with pytest.raises(ValueError, match="positive"):
+            res.timeline.profile("O", np.zeros(4), baseline_cost=0.0)
+

@@ -1,0 +1,218 @@
+"""Tests for the deterministic discrete-event executor."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.anytime.permutations import TreePermutation
+from repro.core.automaton import AnytimeAutomaton
+from repro.core.buffer import VersionedBuffer
+from repro.core.controller import (AccuracyTarget, AnyOf, DeadlineStop,
+                                   EnergyBudget, ManualStop,
+                                   VersionCountStop)
+from repro.core.iterative import AccuracyLevel, IterativeStage
+from repro.core.mapstage import MapStage
+from repro.core.simexec import SimulatedExecutor
+from repro.core.stage import PreciseStage
+
+
+def chain_automaton(cost_f=60.0, cost_g=40.0):
+    """f (iterative, 2 levels) -> g (precise)."""
+    b_in = VersionedBuffer("in")
+    b_f = VersionedBuffer("F")
+    b_g = VersionedBuffer("G")
+    f = IterativeStage("f", b_f, (b_in,),
+                       [AccuracyLevel(lambda x: x // 2 * 2, cost_f / 2),
+                        AccuracyLevel(lambda x: x, cost_f)])
+    g = PreciseStage("g", b_g, (b_f,), lambda F: F + 1, cost=cost_g)
+    return AnytimeAutomaton([f, g], external={"in": 11})
+
+
+def map_automaton(chunks=8):
+    img = np.arange(256, dtype=np.float64).reshape(16, 16)
+    b_in = VersionedBuffer("in")
+    b_out = VersionedBuffer("out")
+    stage = MapStage("m", b_out, (b_in,),
+                     lambda idx, im: np.asarray(im).reshape(-1)[idx] + 1,
+                     shape=(16, 16), dtype=np.float64,
+                     permutation=TreePermutation(), chunks=chunks)
+    return AnytimeAutomaton([stage], external={"in": img})
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_timelines(self):
+        results = []
+        for _ in range(2):
+            auto = map_automaton()
+            res = auto.run_simulated(total_cores=4.0)
+            results.append([(r.time, r.version, r.final)
+                            for r in res.output_records("out")])
+        assert results[0] == results[1]
+
+    def test_virtual_time_matches_cost_model(self):
+        """Single stage, known shares: completion time is exactly the
+        anytime pass cost divided by the share."""
+        auto = map_automaton(chunks=4)
+        stage = auto.graph.stages[0]
+        res = auto.run_simulated(total_cores=2.0,
+                                 schedule={"m": 2.0})
+        expected = stage.anytime_pass_cost / 2.0
+        assert res.duration == pytest.approx(expected)
+
+
+class TestPipelineSemantics:
+    def test_child_processes_latest_version(self):
+        """g consumes whichever F version is in the buffer; both the
+        approximate and the final pass happen, final last (Figure 7)."""
+        auto = chain_automaton()
+        res = auto.run_simulated(total_cores=2.0)
+        recs = res.output_records("G")
+        assert len(recs) >= 2
+        assert recs[-1].final
+        assert recs[-1].value == 12
+        assert recs[0].value == 11  # 11//2*2 + 1
+
+    def test_finality_propagates_through_chain(self):
+        auto = chain_automaton()
+        res = auto.run_simulated(total_cores=2.0)
+        finals = [r.final for r in res.output_records("G")]
+        assert finals[-1] and not any(finals[:-1])
+
+    def test_completed_flag(self):
+        auto = chain_automaton()
+        res = auto.run_simulated(total_cores=2.0)
+        assert res.completed and not res.stopped_early
+
+
+class TestStopConditions:
+    def test_deadline_stop(self):
+        auto = map_automaton()
+        baseline = auto.baseline_duration(4.0)
+        res = auto.run_simulated(total_cores=4.0,
+                                 stop=DeadlineStop(baseline * 0.5))
+        assert res.stopped_early and not res.completed
+        assert res.duration <= baseline * 0.75
+        # interruption still left a valid whole output in the buffer
+        last = res.output_records("out")[-1]
+        assert last.value.shape == (16, 16)
+
+    def test_version_count_stop(self):
+        auto = map_automaton(chunks=8)
+        res = auto.run_simulated(total_cores=4.0,
+                                 stop=VersionCountStop(3))
+        assert len(res.output_records("out")) == 3
+
+    def test_accuracy_target_stop(self):
+        auto = map_automaton()
+        ref = auto.precise_output()
+        from repro.metrics.snr import snr_db
+        stop = AccuracyTarget(lambda v: snr_db(v, ref), target=25.0)
+        res = auto.run_simulated(total_cores=4.0, stop=stop)
+        assert res.stopped_early or math.isinf(stop.last_score)
+        assert stop.last_score >= 25.0
+
+    def test_energy_budget_stop(self):
+        auto = map_automaton()
+        res = auto.run_simulated(total_cores=4.0,
+                                 stop=EnergyBudget(10.0))
+        assert res.stopped_early
+        # within one chunk's energy of the budget
+        assert res.energy <= 10.0 + 256.0
+
+    def test_manual_stop_pre_set(self):
+        stop = ManualStop()
+        stop.stop()
+        auto = map_automaton()
+        res = auto.run_simulated(total_cores=4.0, stop=stop)
+        assert res.stopped_early
+        assert len(res.output_records("out")) == 1
+
+    def test_any_of_combinator(self):
+        stop = AnyOf(DeadlineStop(1e12), VersionCountStop(2))
+        auto = map_automaton()
+        res = auto.run_simulated(total_cores=4.0, stop=stop)
+        assert len(res.output_records("out")) == 2
+
+    def test_or_operator(self):
+        cond = DeadlineStop(1.0) | VersionCountStop(5)
+        assert isinstance(cond, AnyOf)
+
+
+class TestStopConditionValidation:
+    def test_deadline_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DeadlineStop(-1.0)
+
+    def test_energy_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyBudget(-1.0)
+
+    def test_version_count_rejects_zero(self):
+        with pytest.raises(ValueError):
+            VersionCountStop(0)
+
+    def test_any_of_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AnyOf()
+
+
+class TestExecutorValidation:
+    def test_rejects_nonpositive_cores(self):
+        auto = chain_automaton()
+        with pytest.raises(ValueError, match="positive"):
+            SimulatedExecutor(auto.graph, total_cores=0.0)
+
+    def test_rejects_missing_share(self):
+        auto = chain_automaton()
+        with pytest.raises(ValueError, match="share"):
+            SimulatedExecutor(auto.graph, schedule={"f": 1.0})
+
+    def test_explicit_shares_accepted(self):
+        auto = chain_automaton()
+        res = auto.run_simulated(total_cores=2.0,
+                                 schedule={"f": 1.5, "g": 0.5})
+        assert res.shares == {"f": 1.5, "g": 0.5}
+
+
+class TestEnergyAccounting:
+    def test_energy_matches_total_work(self):
+        """By default a unit of work costs a unit of energy, so a full
+        run's energy equals the total anytime work."""
+        auto = map_automaton(chunks=4)
+        stage = auto.graph.stages[0]
+        res = auto.run_simulated(total_cores=4.0)
+        assert res.energy == pytest.approx(stage.anytime_pass_cost)
+
+    def test_records_carry_cumulative_energy(self):
+        auto = map_automaton(chunks=4)
+        res = auto.run_simulated(total_cores=4.0)
+        energies = [r.energy for r in res.output_records("out")]
+        assert energies == sorted(energies)
+
+
+class TestWatch:
+    def test_unwatched_buffers_drop_values(self):
+        auto = chain_automaton()
+        res = auto.run_simulated(total_cores=2.0)
+        f_recs = res.timeline.for_buffer("F")
+        assert f_recs and all(r.value is None for r in f_recs)
+
+    def test_explicit_watch_set(self):
+        auto = chain_automaton()
+        res = auto.run_simulated(total_cores=2.0, watch={"F", "G"})
+        assert all(r.value is not None
+                   for r in res.timeline.for_buffer("F"))
+
+    def test_final_values_snapshot(self):
+        auto = chain_automaton()
+        res = auto.run_simulated(total_cores=2.0)
+        assert res.final_values["G"] == 12
+
+
+class TestSingleUse:
+    def test_second_run_rejected(self):
+        auto = chain_automaton()
+        auto.run_simulated(total_cores=2.0)
+        with pytest.raises(RuntimeError, match="already executed"):
+            auto.run_simulated(total_cores=2.0)

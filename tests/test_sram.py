@@ -1,0 +1,134 @@
+"""Tests for the drowsy-SRAM approximate storage model."""
+
+import numpy as np
+import pytest
+
+from repro.hw.sram import (DEFAULT_VOLTAGE_LADDER, DrowsySram,
+                           VoltageLevel, flip_bits)
+
+
+class TestVoltageLevel:
+    def test_ladder_is_ordered_nominal_last(self):
+        probs = [lv.read_upset_prob for lv in DEFAULT_VOLTAGE_LADDER]
+        assert probs == sorted(probs, reverse=True)
+        assert DEFAULT_VOLTAGE_LADDER[-1].read_upset_prob == 0.0
+
+    def test_lower_voltage_cheaper(self):
+        energies = [lv.energy_per_access for lv in DEFAULT_VOLTAGE_LADDER]
+        assert energies == sorted(energies)
+
+    def test_paper_energy_saving_anchor(self):
+        """EnerJ [19]: ~90% supply power saving at 0.001% upsets."""
+        risky = DEFAULT_VOLTAGE_LADDER[0]
+        assert risky.read_upset_prob == pytest.approx(1e-5)
+        assert risky.energy_per_access <= 0.15
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            VoltageLevel("x", 1.5, 1.0)
+
+    def test_rejects_bad_energy(self):
+        with pytest.raises(ValueError):
+            VoltageLevel("x", 0.0, 0.0)
+
+
+class TestFlipBits:
+    def test_zero_probability_is_identity_copy(self, rng):
+        data = np.arange(100, dtype=np.int64)
+        out = flip_bits(data, 0.0, 8, rng)
+        assert np.array_equal(out, data)
+        assert out is not data
+
+    def test_probability_one_flips_every_bit(self, rng):
+        out = flip_bits(np.zeros(50, dtype=np.int64), 1.0, 8, rng)
+        assert (out == 255).all()
+
+    def test_flip_count_statistics(self):
+        rng = np.random.default_rng(0)
+        data = np.zeros(10_000, dtype=np.int64)
+        out = flip_bits(data, 0.01, 8, rng)
+        flips = int(np.bitwise_count(out.astype(np.uint64)).sum())
+        expected = 10_000 * 8 * 0.01
+        assert 0.5 * expected < flips < 1.5 * expected
+
+    def test_only_low_bits_touched(self, rng):
+        out = flip_bits(np.zeros(1000, dtype=np.int64), 0.5, 4, rng)
+        assert (out < 16).all()
+
+    def test_deterministic_under_seed(self):
+        data = np.arange(256, dtype=np.int64)
+        a = flip_bits(data, 1e-3, 8, np.random.default_rng(7))
+        b = flip_bits(data, 1e-3, 8, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_rejects_floats(self, rng):
+        with pytest.raises(TypeError):
+            flip_bits(np.zeros(4), 0.1, 8, rng)
+
+    def test_rejects_bad_probability(self, rng):
+        with pytest.raises(ValueError):
+            flip_bits(np.zeros(4, np.int64), -0.1, 8, rng)
+
+    def test_empty_array(self, rng):
+        out = flip_bits(np.zeros(0, np.int64), 0.5, 8, rng)
+        assert out.size == 0
+
+
+class TestDrowsySram:
+    def test_nominal_reads_are_exact(self):
+        sram = DrowsySram(seed=1)
+        data = np.arange(256, dtype=np.int64)
+        sram.write(data)
+        assert np.array_equal(sram.read(), data)
+        assert sram.bit_flips == 0
+
+    def test_low_voltage_reads_corrupt(self):
+        sram = DrowsySram(level=VoltageLevel("hot", 0.01, 0.1), seed=2)
+        data = np.zeros(10_000, dtype=np.int64)
+        sram.write(data)
+        out = sram.read()
+        assert (out != 0).any()
+        assert sram.bit_flips > 0
+
+    def test_reads_are_destructive(self):
+        """Paper III-B1: a corrupted bit stays corrupted even after
+        raising the voltage."""
+        sram = DrowsySram(level=VoltageLevel("hot", 0.05, 0.1), seed=3)
+        sram.write(np.zeros(5000, dtype=np.int64))
+        sram.read()
+        corrupted = sram.stored
+        sram.set_level(DEFAULT_VOLTAGE_LADDER[-1])   # nominal
+        assert np.array_equal(sram.read(), corrupted)
+
+    def test_flush_restores_precise_values(self):
+        sram = DrowsySram(level=VoltageLevel("hot", 0.05, 0.1), seed=4)
+        data = np.arange(5000, dtype=np.int64) % 256
+        sram.write(data)
+        sram.read()
+        sram.flush(data)
+        assert np.array_equal(sram.stored, data)
+
+    def test_energy_accounting_scales_with_level(self):
+        data = np.zeros(100, dtype=np.int64)
+        cheap = DrowsySram(level=DEFAULT_VOLTAGE_LADDER[0], seed=5)
+        cheap.write(data)
+        cheap.read()
+        costly = DrowsySram(level=DEFAULT_VOLTAGE_LADDER[-1], seed=5)
+        costly.write(data)
+        costly.read()
+        assert cheap.energy < costly.energy
+
+    def test_read_before_write_raises(self):
+        with pytest.raises(RuntimeError):
+            DrowsySram().read()
+
+    def test_write_rejects_oversized_values(self):
+        sram = DrowsySram(bits_per_word=8)
+        with pytest.raises(ValueError):
+            sram.write(np.array([256]))
+        with pytest.raises(ValueError):
+            sram.write(np.array([-1]))
+
+    def test_write_rejects_floats(self):
+        with pytest.raises(TypeError):
+            DrowsySram().write(np.array([1.5]))

@@ -1,0 +1,216 @@
+"""Tests for synchronous pipelines (paper Figures 8 and 9).
+
+The paper's running example: f generates a string letter by letter
+(concatenation is the left-associative ``◊``), g capitalizes it.  In an
+asynchronous pipeline g re-capitalizes the whole prefix per version; a
+synchronous pipeline feeds g only the *new* letters, so each is
+capitalized exactly once.
+"""
+
+from typing import Any
+
+import numpy as np
+import pytest
+
+from repro.anytime.permutations import SequentialPermutation
+from repro.core.automaton import AnytimeAutomaton
+from repro.core.buffer import VersionedBuffer
+from repro.core.channel import UpdateChannel
+from repro.core.diffusive import DiffusiveStage
+from repro.core.stage import PreciseStage
+from repro.core.syncstage import SynchronousStage
+
+WORD = "hello anytime automaton"
+
+
+class LetterStage(DiffusiveStage):
+    """``f``: emits WORD one letter at a time (diffusive concatenation)."""
+
+    def __init__(self, output, emit_to=None, count_work=None):
+        super().__init__("f", output, (), shape=len(WORD),
+                         permutation=SequentialPermutation(),
+                         chunks=len(WORD), cost_per_element=1.0,
+                         emit_to=emit_to)
+        self.count_work = count_work
+
+    def init_state(self, values):
+        return {"s": ""}
+
+    def process_chunk(self, state, indices, values):
+        letters = "".join(WORD[i] for i in indices.tolist())
+        state["s"] += letters
+        return letters
+
+    def materialize(self, state, count, values):
+        return state["s"]
+
+    def precise(self, input_values):
+        return WORD
+
+
+def _capitalize(text: str, counter: list[int] | None = None) -> str:
+    if counter is not None:
+        counter[0] += len(text)
+    return text.upper()
+
+
+def build_async(counter):
+    b_f = VersionedBuffer("F")
+    b_g = VersionedBuffer("G")
+    f = LetterStage(b_f)
+    g = PreciseStage("g", b_g, (b_f,),
+                     lambda s: _capitalize(s, counter),
+                     cost=float(len(WORD)))
+    return AnytimeAutomaton([f, g], name="async")
+
+
+def build_sync(counter, capacity=None):
+    b_f = VersionedBuffer("F")
+    b_g = VersionedBuffer("G")
+    channel = UpdateChannel("F", capacity=capacity)
+    f = LetterStage(b_f, emit_to=channel)
+    g = SynchronousStage(
+        "g", b_g, channel,
+        initial_fn=lambda: "",
+        update_fn=lambda acc, x: acc + _capitalize(x, counter),
+        update_cost=lambda x: float(len(x)),
+        precise_fn=lambda fv: fv.upper(),
+        precise_cost=float(len(WORD)))
+    return AnytimeAutomaton([f, g], name="sync")
+
+
+class TestFigure8And9:
+    def test_both_pipelines_reach_the_precise_output(self):
+        for build in (build_async, build_sync):
+            auto = build([0])
+            res = auto.run_simulated(total_cores=2.0)
+            final = res.timeline.final_record("G")
+            assert final.value == WORD.upper()
+
+    def test_async_repeats_work_sync_does_not(self):
+        """The distributive child capitalizes each letter exactly once
+        under the synchronous pipeline; asynchronously it re-processes
+        the growing prefix."""
+        async_counter = [0]
+        auto = build_async(async_counter)
+        auto.run_simulated(total_cores=2.0)
+        sync_counter = [0]
+        auto = build_sync(sync_counter)
+        auto.run_simulated(total_cores=2.0)
+        assert sync_counter[0] == len(WORD)
+        assert async_counter[0] > len(WORD)
+
+    def test_sync_consumes_every_update_in_order(self):
+        """Skipping updates would corrupt the output; the channel must
+        deliver all of them (unlike buffer versions)."""
+        auto = build_sync([0])
+        res = auto.run_simulated(total_cores=2.0)
+        recs = res.output_records("G")
+        # one G version per letter, plus the final re-publish
+        assert len(recs) == len(WORD) + 1
+        lengths = [len(r.value) for r in recs]
+        assert lengths[:-1] == list(range(1, len(WORD) + 1))
+
+    def test_bounded_channel_backpressure(self):
+        """Capacity 1 (the paper's strict synchronization) still reaches
+        the precise output — the producer just stalls."""
+        auto = build_sync([0], capacity=1)
+        res = auto.run_simulated(total_cores=2.0)
+        assert res.completed
+        assert res.timeline.final_record("G").value == WORD.upper()
+
+    def test_precise_path_through_graph(self):
+        auto = build_sync([0])
+        values = auto.graph.run_precise(auto.external)
+        assert values["G"] == WORD.upper()
+
+
+class TestSyncNumeric:
+    def test_distributive_dot_product(self):
+        """Matrix flavour (paper Figure 10): g(X1 + X2) = g(X1) + g(X2)
+        for the dot product over addition."""
+        rng = np.random.default_rng(0)
+        sensor = rng.integers(0, 256, size=(8, 8)).astype(np.int64)
+        weights = rng.integers(-4, 5, size=(8, 8)).astype(np.int64)
+
+        class NibbleStage(DiffusiveStage):
+            def __init__(self, output, emit_to):
+                super().__init__("f", output, (), shape=2,
+                                 permutation=SequentialPermutation(),
+                                 chunks=2, cost_per_element=10.0,
+                                 emit_to=emit_to)
+
+            def init_state(self, values):
+                return {"acc": np.zeros_like(sensor)}
+
+            def process_chunk(self, state, indices, values):
+                mask = 0xF0 if indices[0] == 0 else 0x0F
+                part = sensor & mask
+                state["acc"] = state["acc"] + part
+                return part
+
+            def materialize(self, state, count, values):
+                return state["acc"].copy()
+
+            def precise(self, input_values):
+                return sensor.copy()
+
+        b_f = VersionedBuffer("F")
+        b_g = VersionedBuffer("G")
+        ch = UpdateChannel("F")
+        f = NibbleStage(b_f, ch)
+        g = SynchronousStage(
+            "g", b_g, ch,
+            initial_fn=lambda: np.zeros_like(sensor),
+            update_fn=lambda acc, x: acc + x @ weights,
+            update_cost=lambda x: 10.0,
+            precise_fn=lambda fv: fv @ weights,
+            precise_cost=20.0)
+        auto = AnytimeAutomaton([f, g], name="nibbles")
+        res = auto.run_simulated(total_cores=2.0)
+        final = res.timeline.final_record("G")
+        assert np.array_equal(final.value, sensor @ weights)
+
+
+class TestSyncParentGuard:
+    def test_streaming_parent_with_nonfinal_input_raises(self):
+        """A synchronous parent re-running on a second input version
+        would double-emit; the runtime guards against it."""
+        b_src = VersionedBuffer("src")
+        b_f = VersionedBuffer("F")
+        b_g = VersionedBuffer("G")
+        ch = UpdateChannel("F")
+        # producer of src emits two versions (iterative, non-final first)
+        from repro.core.iterative import AccuracyLevel, IterativeStage
+        src = IterativeStage(
+            "src", b_src, (),
+            [AccuracyLevel(lambda: "a", 1.0),
+             AccuracyLevel(lambda: "b", 1.0)])
+
+        class Echo(DiffusiveStage):
+            def __init__(self):
+                super().__init__("f", b_f, (b_src,), shape=1,
+                                 permutation=SequentialPermutation(),
+                                 chunks=1, cost_per_element=1.0,
+                                 emit_to=ch)
+
+            def init_state(self, values):
+                return {}
+
+            def process_chunk(self, state, indices, values):
+                return values[0]
+
+            def materialize(self, state, count, values):
+                return values[0]
+
+            def precise(self, input_values):
+                return input_values["src"]
+
+        g = SynchronousStage(
+            "g", b_g, ch, initial_fn=lambda: "",
+            update_fn=lambda acc, x: acc + x,
+            update_cost=lambda x: 1.0,
+            precise_fn=lambda fv: fv, precise_cost=1.0)
+        auto = AnytimeAutomaton([src, Echo(), g], name="guard")
+        with pytest.raises(Exception, match="second input version"):
+            auto.run_simulated(total_cores=3.0)
