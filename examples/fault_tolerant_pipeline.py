@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fault tolerance: the anytime property is also a *resilience* property.
+
+Because every published version of an anytime buffer is a valid
+approximation of the precise output, a stage crash does not have to
+discard the run — the automaton can degrade gracefully (freeze the
+output at its last version) or restart the stage from a fresh
+generator (legal because buffers are monotone) and still reach the
+precise result.
+
+This example runs the paper's 2dconv automaton three times with the
+same injected crash (command #40 of the "conv" stage, roughly mid-run)
+under the three failure policies:
+
+  fail     halt immediately; the result still carries every version
+           published before the crash
+  degrade  seal the output at its last version and keep going
+  restart  retry the stage from scratch (monotone state is preserved
+           on the stage object, so refinement resumes, not restarts)
+
+Run:  python examples/fault_tolerant_pipeline.py
+"""
+
+import numpy as np
+
+from repro import FaultInjector, FaultPolicy, scene_image
+from repro.apps.conv2d import build_conv2d_automaton, conv2d_precise
+from repro.metrics.snr import snr_db
+
+SIZE = 64
+CORES = 16.0
+CRASH_AT = 40          # command index within the conv stage's stream
+
+
+def run_with_policy(image, policy):
+    automaton = build_conv2d_automaton(image, chunks=32)
+    injector = FaultInjector.crash("conv", at=CRASH_AT)
+    return automaton.run_simulated(total_cores=CORES, faults=policy,
+                                   injector=injector)
+
+
+def main() -> None:
+    image = scene_image(SIZE, seed=7)
+    reference = conv2d_precise(image)
+
+    print("2dconv with an injected mid-run crash "
+          f"({SIZE}x{SIZE} input, {CORES:.0f} virtual cores, "
+          f"crash at command #{CRASH_AT})\n")
+    print(f"{'policy':>22} {'versions':>9} {'SNR (dB)':>9} "
+          f"{'precise?':>9} {'attempts':>9}")
+
+    policies = [
+        ("fail", FaultPolicy(on_failure="fail")),
+        ("degrade", FaultPolicy(on_failure="degrade")),
+        ("restart (1 retry)", FaultPolicy(on_failure="restart",
+                                          max_retries=1)),
+    ]
+    for label, policy in policies:
+        result = run_with_policy(image, policy)
+        records = result.output_records("filtered")
+        report = result.stage_reports["conv"]
+        last = records[-1].value if records else None
+        snr = snr_db(last, reference) if last is not None else float("nan")
+        precise = bool(records and records[-1].final
+                       and np.array_equal(last, reference))
+        print(f"{label:>22} {len(records):>9d} {snr:>9.1f} "
+              f"{str(precise):>9} {report.attempts:>9d}")
+
+    print("\nevery policy returns a usable image: the pre-crash "
+          "approximation is never lost.  'restart' pays one extra "
+          "attempt and recovers the precise output; 'degrade' keeps "
+          "whatever accuracy the crash allowed; 'fail' merely stops "
+          "refining sooner.")
+
+
+if __name__ == "__main__":
+    main()

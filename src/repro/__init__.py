@@ -38,7 +38,8 @@ from .apps import (build_conv2d_automaton, build_debayer_automaton,
                    build_kmeans_automaton)
 from .apps.pipeline_demo import ORGANIZATIONS, build_organization
 from .core import (AccuracyTarget, AnytimeAutomaton, DeadlineStop,
-                   EnergyBudget, ManualStop, SimulatedExecutor,
+                   EnergyBudget, FailureBudget, FaultInjector, FaultPolicy,
+                   ManualStop, SimulatedExecutor, StageReport,
                    ThreadedExecutor, VersionedBuffer)
 from .data import bayer_mosaic, clustered_image, scene_image
 from .metrics import RuntimeAccuracyProfile, snr_db
@@ -53,7 +54,8 @@ __all__ = [
     "build_kmeans_automaton",
     "ORGANIZATIONS", "build_organization",
     "AccuracyTarget", "AnytimeAutomaton", "DeadlineStop", "EnergyBudget",
-    "ManualStop", "SimulatedExecutor", "ThreadedExecutor",
+    "FailureBudget", "FaultInjector", "FaultPolicy", "ManualStop",
+    "SimulatedExecutor", "StageReport", "ThreadedExecutor",
     "VersionedBuffer",
     "bayer_mosaic", "clustered_image", "scene_image",
     "RuntimeAccuracyProfile", "snr_db",

@@ -24,6 +24,7 @@ from .apps.registry import APP_REGISTRY, get_app
 from .core.contract import run_contract
 from .core.controller import (AccuracyTarget, AnyOf, DeadlineStop,
                               EnergyBudget, StopCondition)
+from .core.faults import FaultInjector, FaultPolicy
 
 __all__ = ["main", "build_parser"]
 
@@ -62,6 +63,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the final output as PGM/PPM")
     run.add_argument("--rows", type=int, default=12,
                      help="profile rows to print (default 12)")
+    run.add_argument("--fault-inject", action="append", default=None,
+                     metavar="SPEC",
+                     help="inject a fault, repeatable; SPEC is "
+                          "STAGE:AT[:error|:delay=UNITS][:xTIMES] "
+                          "(AT = the stage's Nth command)")
+    run.add_argument("--max-retries", type=int, default=0,
+                     metavar="N",
+                     help="restarts per failing stage before it "
+                          "degrades (with --on-failure restart)")
+    run.add_argument("--on-failure",
+                     choices=("fail", "degrade", "restart"),
+                     default=None,
+                     help="stage-failure disposition (default: degrade "
+                          "when faults are injected, else fail)")
+    run.add_argument("--fault-backoff", type=float, default=0.0,
+                     metavar="UNITS",
+                     help="virtual-time backoff before each restart")
+    run.add_argument("--strict", action="store_true",
+                     help="raise on unrecovered stage failure instead "
+                          "of returning the partial result")
 
     figures = sub.add_parser("figures",
                              help="regenerate paper figures")
@@ -100,6 +121,23 @@ def _make_stop(args: argparse.Namespace, automaton: Any,
     return conditions[0] if len(conditions) == 1 else AnyOf(*conditions)
 
 
+def _make_faults(args: argparse.Namespace,
+                 ) -> tuple[FaultPolicy | None, FaultInjector | None]:
+    """Fault policy + injector from the CLI flags (None when unused)."""
+    injector = None
+    if args.fault_inject:
+        injector = FaultInjector.from_specs(args.fault_inject)
+    on_failure = args.on_failure
+    if on_failure is None:
+        if injector is None and args.max_retries == 0:
+            return None, None
+        on_failure = "restart" if args.max_retries > 0 else "degrade"
+    policy = FaultPolicy(max_retries=args.max_retries,
+                         backoff=args.fault_backoff,
+                         on_failure=on_failure)
+    return policy, injector
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = get_app(args.app)
     image = spec.make_input(args.size, args.seed)
@@ -126,10 +164,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"precise={plan.achieves_precise}")
     else:
         stop = _make_stop(args, automaton, reference, spec, full_energy)
+        try:
+            faults, injector = _make_faults(args)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if injector is not None:
+            known = {s.name for s in automaton.graph.stages}
+            unknown = {f.stage for f in injector.faults} - known
+            if unknown:
+                print(f"error: --fault-inject names unknown stage(s) "
+                      f"{sorted(unknown)}; {args.app} has "
+                      f"{sorted(known)}", file=sys.stderr)
+                return 2
         result = automaton.run_simulated(total_cores=args.cores,
                                          schedule=spec.schedule,
                                          stop=stop,
-                                         dynamic_shares=args.dynamic)
+                                         dynamic_shares=args.dynamic,
+                                         faults=faults,
+                                         injector=injector,
+                                         strict=args.strict)
+        troubled = [r for r in result.stage_reports.values()
+                    if r.failures or r.degraded or r.failed]
+        for report in troubled:
+            print(f"fault report — {report.summary()}")
 
     records = result.output_records(automaton.terminal_buffer_name)
     if not records:
@@ -142,8 +200,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     baseline = (spec.build(image).baseline_duration(args.cores)
                 if args.contract
                 else automaton.baseline_duration(args.cores))
-    print(f"\n{args.app}: {len(records)} output version(s), "
-          f"{'stopped early' if result.stopped_early else 'completed'}")
+    state = ("stopped early" if result.stopped_early
+             else "completed" if result.completed
+             else "degraded")
+    print(f"\n{args.app}: {len(records)} output version(s), {state}")
     print(f"{'runtime':>10}  {'SNR (dB)':>10}")
     step = max(1, len(records) // max(args.rows, 1))
     shown = list(records[::step])

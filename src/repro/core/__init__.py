@@ -11,9 +11,12 @@ from .buffer import Snapshot, VersionedBuffer
 from .channel import ChannelClosed, UpdateChannel
 from .contract import ContractPlan, plan_contract, run_contract
 from .controller import (AccuracyTarget, AnyOf, DeadlineStop, EnergyBudget,
-                         ManualStop, StopCondition, VersionCountStop)
+                         FailureBudget, ManualStop, StopCondition,
+                         VersionCountStop)
 from .diffusive import DiffusiveStage, chunk_boundaries
 from .executor import ThreadedExecutor, ThreadedResult
+from .faults import (FaultInjected, FaultInjector, FaultPolicy, FaultSpec,
+                     StageReport, parse_fault_spec, resolve_policy)
 from .graph import AutomatonGraph, GraphError
 from .iterative import AccuracyLevel, IterativeStage
 from .mapstage import MapStage
@@ -36,9 +39,11 @@ __all__ = [
     "ChannelClosed", "UpdateChannel",
     "ContractPlan", "plan_contract", "run_contract",
     "AccuracyTarget", "AnyOf", "DeadlineStop", "EnergyBudget",
-    "ManualStop", "StopCondition", "VersionCountStop",
+    "FailureBudget", "ManualStop", "StopCondition", "VersionCountStop",
     "DiffusiveStage", "chunk_boundaries",
     "ThreadedExecutor", "ThreadedResult",
+    "FaultInjected", "FaultInjector", "FaultPolicy", "FaultSpec",
+    "StageReport", "parse_fault_spec", "resolve_policy",
     "AutomatonGraph", "GraphError",
     "AccuracyLevel", "IterativeStage",
     "MapStage",

@@ -22,6 +22,7 @@ from ..metrics.profiles import RuntimeAccuracyProfile
 from ..metrics.snr import snr_db
 from .controller import StopCondition
 from .executor import ThreadedExecutor, ThreadedResult
+from .faults import FaultInjector, FaultPolicy
 from .graph import AutomatonGraph
 from .scheduling import SchedulingPolicy, proportional_shares
 from .simexec import SimResult, SimulatedExecutor
@@ -111,26 +112,44 @@ class AnytimeAutomaton:
                       = proportional_shares,
                       stop: StopCondition | None = None,
                       watch: set[str] | None = None,
-                      dynamic_shares: bool = False) -> SimResult:
+                      dynamic_shares: bool = False,
+                      faults: FaultPolicy | dict[str, FaultPolicy]
+                      | None = None,
+                      injector: FaultInjector | None = None,
+                      strict: bool = False) -> SimResult:
         """Deterministic virtual-time execution (the evaluation path).
 
         ``dynamic_shares=True`` turns the policy's shares into weights
         for generalized processor sharing: idle stages donate their
         cores (paper IV-C2's dynamic thread reassignment).
+        ``faults``/``injector``/``strict`` configure the fault-tolerance
+        runtime (see :mod:`repro.core.faults`).
         """
         self._claim_run()
         executor = SimulatedExecutor(self.graph, total_cores=total_cores,
                                      schedule=schedule, stop=stop,
                                      watch=watch,
-                                     dynamic_shares=dynamic_shares)
+                                     dynamic_shares=dynamic_shares,
+                                     faults=faults, injector=injector,
+                                     strict=strict)
         return executor.run()
 
     def run_threaded(self, stop: StopCondition | None = None,
                      watch: set[str] | None = None,
-                     timeout_s: float | None = None) -> ThreadedResult:
-        """Wall-clock execution on real threads (the interactive path)."""
+                     timeout_s: float | None = None,
+                     faults: FaultPolicy | dict[str, FaultPolicy]
+                     | None = None,
+                     injector: FaultInjector | None = None,
+                     strict: bool = False) -> ThreadedResult:
+        """Wall-clock execution on real threads (the interactive path).
+
+        ``faults``/``injector``/``strict`` configure the fault-tolerance
+        runtime (see :mod:`repro.core.faults`).
+        """
         self._claim_run()
-        executor = ThreadedExecutor(self.graph, stop=stop, watch=watch)
+        executor = ThreadedExecutor(self.graph, stop=stop, watch=watch,
+                                    faults=faults, injector=injector,
+                                    strict=strict)
         return executor.run(timeout_s=timeout_s)
 
     def _claim_run(self) -> None:

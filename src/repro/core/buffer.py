@@ -17,6 +17,7 @@ producer.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -32,18 +33,26 @@ class Snapshot:
     ``version`` starts at 0 (nothing written yet, ``value is None``) and
     increments with each write.  ``final`` marks the precise output: the
     guarantee of the model is that every buffer eventually carries a final
-    snapshot.
+    snapshot.  ``sealed`` marks a buffer frozen *without* reaching its
+    final version — its producer degraded, so the newest version is the
+    best approximation this run will ever hold (fault tolerance).
     """
 
     name: str
     value: Any
     version: int
     final: bool
+    sealed: bool = False
 
     @property
     def empty(self) -> bool:
         """True when nothing has been written yet."""
         return self.version == 0
+
+    @property
+    def exhausted(self) -> bool:
+        """No newer version will ever appear (final or sealed)."""
+        return self.final or self.sealed
 
 
 def _freeze(value: Any) -> Any:
@@ -74,7 +83,9 @@ class VersionedBuffer:
         self._value: Any = None
         self._version = 0
         self._final = False
+        self._sealed = False
         self._writer: str | None = None
+        self._watchers: list[threading.Event] = []
 
     def register_writer(self, stage_name: str) -> None:
         """Claim this buffer for a stage (Property 2 enforcement).
@@ -103,12 +114,19 @@ class VersionedBuffer:
         with self._cond:
             return self._final
 
+    @property
+    def sealed(self) -> bool:
+        with self._cond:
+            return self._sealed
+
     def write(self, value: Any, final: bool = False,
               writer: str | None = None) -> int:
         """Atomically publish a new version; returns the version number.
 
         A buffer that has carried its final version is frozen: further
-        writes are rejected (the precise output must not regress).
+        writes are rejected (the precise output must not regress).  A
+        sealed buffer likewise rejects writes — its producer degraded
+        and downstream may already have finished on the sealed version.
         """
         with self._cond:
             if writer is not None and self._writer is not None \
@@ -119,28 +137,77 @@ class VersionedBuffer:
             if self._final:
                 raise ValueError(
                     f"buffer {self.name!r} is final; writes are frozen")
+            if self._sealed:
+                raise ValueError(
+                    f"buffer {self.name!r} is sealed (producer "
+                    f"degraded); writes are frozen")
             self._value = _freeze(value)
             self._version += 1
             self._final = bool(final)
-            self._cond.notify_all()
+            self._notify()
             return self._version
 
+    def seal(self) -> None:
+        """Freeze the buffer at its current version without finality.
+
+        Idempotent.  Consumers waiting for a newer version wake up and
+        observe ``sealed=True``: the newest version is the best this
+        producer will ever publish (it degraded or the run is winding
+        down), so waiting longer is pointless.
+        """
+        with self._cond:
+            self._sealed = True
+            self._notify()
+
+    def subscribe(self, event: threading.Event) -> None:
+        """Register an event set on every write or seal.
+
+        Lets a consumer block on *several* input buffers at once: it
+        subscribes one event to each and waits on that single event
+        (the threaded executor's multi-input wake-up path).
+        """
+        with self._cond:
+            if event not in self._watchers:
+                self._watchers.append(event)
+
+    def unsubscribe(self, event: threading.Event) -> None:
+        with self._cond:
+            if event in self._watchers:
+                self._watchers.remove(event)
+
+    def _notify(self) -> None:
+        # caller holds self._cond
+        self._cond.notify_all()
+        for event in self._watchers:
+            event.set()
+
     def snapshot(self) -> Snapshot:
-        """Atomically read (value, version, final)."""
+        """Atomically read (value, version, final, sealed)."""
         with self._cond:
             return Snapshot(self.name, self._value, self._version,
-                            self._final)
+                            self._final, self._sealed)
 
     def wait_newer(self, version: int, timeout: float | None = None,
                    ) -> Snapshot:
         """Block until the buffer holds a version newer than ``version``.
 
         Returns the current snapshot on wake-up (which may still be the
-        old version if the timeout expired); used by the threaded
-        executor's consumers.
+        old version if the timeout expired).  The wait is re-armed
+        across spurious wakeups and notifies for writes that do not
+        satisfy the predicate, honoring the *total* ``timeout`` across
+        all of them; a final or sealed buffer returns immediately
+        (nothing newer can ever appear).
         """
         with self._cond:
-            if self._version <= version and not self._final:
-                self._cond.wait(timeout)
+            deadline = (None if timeout is None
+                        else time.monotonic() + timeout)
+            while (self._version <= version and not self._final
+                   and not self._sealed):
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    break
             return Snapshot(self.name, self._value, self._version,
-                            self._final)
+                            self._final, self._sealed)

@@ -44,6 +44,7 @@ class UpdateChannel:
         self._cond = threading.Condition()
         self._queue: deque[Any] = deque()
         self._closed = False
+        self._aborted = False
         self.emitted = 0
         self.received = 0
 
@@ -51,6 +52,11 @@ class UpdateChannel:
     def closed(self) -> bool:
         with self._cond:
             return self._closed
+
+    @property
+    def aborted(self) -> bool:
+        with self._cond:
+            return self._aborted
 
     def __len__(self) -> int:
         with self._cond:
@@ -73,6 +79,9 @@ class UpdateChannel:
                 if not self._cond.wait(timeout):
                     raise TimeoutError(
                         f"emit timed out on full channel {self.name!r}")
+                if self._closed:
+                    raise ChannelClosed(
+                        f"emit on closed channel {self.name!r}")
             self._queue.append(update)
             self.emitted += 1
             self._cond.notify_all()
@@ -95,6 +104,20 @@ class UpdateChannel:
         """Mark the stream complete; queued updates remain receivable."""
         with self._cond:
             self._closed = True
+            self._cond.notify_all()
+
+    def abort(self) -> None:
+        """Close the stream because one endpoint died (fault path).
+
+        Unlike :meth:`close`, an aborted channel marks the stream
+        *incomplete*: updates were lost, so the consumer's aggregate
+        must not be published as final.  Queued updates remain
+        receivable; a blocked producer is released (its next emit
+        raises :class:`ChannelClosed`).
+        """
+        with self._cond:
+            self._closed = True
+            self._aborted = True
             self._cond.notify_all()
 
     def recv(self, timeout: float | None = None) -> Any:

@@ -16,7 +16,7 @@ from typing import Any, Callable
 from .recording import WriteRecord
 
 __all__ = ["StopCondition", "ManualStop", "DeadlineStop", "EnergyBudget",
-           "AccuracyTarget", "VersionCountStop", "AnyOf"]
+           "AccuracyTarget", "VersionCountStop", "FailureBudget", "AnyOf"]
 
 
 class StopCondition:
@@ -25,6 +25,12 @@ class StopCondition:
     def should_stop(self, record: WriteRecord) -> bool:
         """Called on each terminal write; True halts the automaton."""
         raise NotImplementedError
+
+    def on_failure(self, stage_name: str, exc: BaseException) -> bool:
+        """Consulted by the executors on each failed stage attempt
+        (before the stage's fault policy applies); True halts the
+        automaton.  The default ignores failures."""
+        return False
 
     def __or__(self, other: "StopCondition") -> "AnyOf":
         return AnyOf(self, other)
@@ -112,6 +118,38 @@ class VersionCountStop(StopCondition):
         return self._seen >= self.count
 
 
+class FailureBudget(StopCondition):
+    """Halt once cumulative stage failures reach a budget.
+
+    A production guard-rail for fault-tolerant runs: retries and
+    degradation absorb occasional flakiness, but a pipeline failing
+    over and over is better stopped with whatever approximation the
+    output buffer holds.  Thread-safe (the threaded executor reports
+    failures from stage threads).
+    """
+
+    def __init__(self, max_failures: int) -> None:
+        if max_failures < 1:
+            raise ValueError(
+                f"max_failures must be >= 1, got {max_failures}")
+        self.max_failures = max_failures
+        self._lock = threading.Lock()
+        self._seen = 0
+
+    @property
+    def failures(self) -> int:
+        with self._lock:
+            return self._seen
+
+    def should_stop(self, record: WriteRecord) -> bool:
+        return False
+
+    def on_failure(self, stage_name: str, exc: BaseException) -> bool:
+        with self._lock:
+            self._seen += 1
+            return self._seen >= self.max_failures
+
+
 class AnyOf(StopCondition):
     """Stop when any of the composed conditions fires."""
 
@@ -122,3 +160,7 @@ class AnyOf(StopCondition):
 
     def should_stop(self, record: WriteRecord) -> bool:
         return any(c.should_stop(record) for c in self.conditions)
+
+    def on_failure(self, stage_name: str, exc: BaseException) -> bool:
+        return any(c.on_failure(stage_name, exc)
+                   for c in self.conditions)

@@ -12,6 +12,15 @@ the on-screen output looks right).  Its runtime-accuracy numbers carry the
 usual wall-clock caveats (CPython's GIL serializes pure-Python sections;
 NumPy kernels release it), which is why the benchmarks use the
 deterministic simulator and the examples use this.
+
+Fault tolerance: a stage exception no longer discards the run.  Each
+stage is governed by a :class:`~repro.core.faults.FaultPolicy` — it is
+restarted from a fresh generator (legal because buffers are monotone),
+degraded (its output buffer is *sealed* at the last published version and
+downstream stages finish on it), or, under the fail-fast default, halts
+the automaton while still returning the partial timeline.  Outcomes are
+reported per stage in :attr:`ThreadedResult.stage_reports`; pass
+``strict=True`` to restore the historical raise-on-failure behavior.
 """
 
 from __future__ import annotations
@@ -23,6 +32,8 @@ from typing import Any
 
 from .channel import ChannelClosed
 from .controller import StopCondition
+from .faults import (FaultInjector, FaultPolicy, StageReport,
+                     resolve_policy)
 from .graph import AutomatonGraph
 from .recording import Timeline, WriteRecord
 from .stage import (CHANNEL_END, CloseChannel, Compute, Emit, PollInputs,
@@ -33,10 +44,20 @@ __all__ = ["ThreadedExecutor", "ThreadedResult"]
 
 _POLL_S = 0.005
 
+#: sentinel from ``_wait_inputs``: every input is final or sealed and no
+#: unseen version exists, so the wait can never be satisfied
+_EXHAUSTED = object()
+
 
 @dataclass
 class ThreadedResult:
-    """Outcome of one threaded run (times are wall seconds from start)."""
+    """Outcome of one threaded run (times are wall seconds from start).
+
+    ``completed`` means every stage ran its generator to the natural
+    end; ``stopped_early`` means a stop condition, user interrupt or
+    timeout halted the run — a pure stage failure sets *neither*.
+    ``stage_reports`` carries the per-stage fault record.
+    """
 
     timeline: Timeline
     duration: float
@@ -44,9 +65,19 @@ class ThreadedResult:
     stopped_early: bool
     final_values: dict[str, Any] = field(default_factory=dict)
     errors: list[tuple[str, BaseException]] = field(default_factory=list)
+    stage_reports: dict[str, StageReport] = field(default_factory=dict)
 
     def output_records(self, buffer: str) -> list[WriteRecord]:
         return self.timeline.for_buffer(buffer)
+
+    @property
+    def degraded_stages(self) -> list[str]:
+        return sorted(n for n, r in self.stage_reports.items()
+                      if r.degraded)
+
+    @property
+    def failed_stages(self) -> list[str]:
+        return sorted(n for n, r in self.stage_reports.items() if r.failed)
 
 
 class ThreadedExecutor:
@@ -54,25 +85,54 @@ class ThreadedExecutor:
 
     Parameters mirror the simulated executor where meaningful; there is
     no core-share scheduling — the OS scheduler decides.
+
+    Parameters
+    ----------
+    faults:
+        A :class:`FaultPolicy` for every stage, or a ``{stage: policy}``
+        mapping (key ``"*"`` is the default).  None = fail-fast.
+    injector:
+        Optional :class:`FaultInjector` test harness (single-use).
+    strict:
+        When True, a run that ends with an unrecovered stage failure
+        raises ``RuntimeError`` (the historical behavior) instead of
+        returning the partial result.
     """
 
     def __init__(self, graph: AutomatonGraph,
                  stop: StopCondition | None = None,
-                 watch: set[str] | None = None) -> None:
+                 watch: set[str] | None = None,
+                 faults: FaultPolicy | dict[str, FaultPolicy] | None = None,
+                 injector: FaultInjector | None = None,
+                 strict: bool = False) -> None:
         self.graph = graph
         self.stop = stop
         if watch is None:
             terminals = graph.terminal_stages()
             watch = {t.output.name for t in terminals}
         self.watch = set(watch)
+        self.faults = faults
+        self.injector = injector
+        self.strict = strict
         self._halt = threading.Event()
+        self._stop_requested = threading.Event()
         self._lock = threading.Lock()
         self._timeline = Timeline()
         self._errors: list[tuple[str, BaseException]] = []
+        self._reports = {s.name: StageReport(stage=s.name)
+                         for s in graph.stages}
+        # One wake-up event per stage, subscribed to every input buffer:
+        # a write to *any* input wakes the stage promptly (no rotation,
+        # no busy-polling a single input).
+        self._events = {s.name: threading.Event() for s in graph.stages}
+        for s in graph.stages:
+            for b in s.inputs:
+                b.subscribe(self._events[s.name])
         self._t0 = 0.0
 
     def request_stop(self) -> None:
         """Interrupt the automaton (thread-safe, idempotent)."""
+        self._stop_requested.set()
         self._halt.set()
 
     def _record(self, record: WriteRecord) -> None:
@@ -80,56 +140,134 @@ class ThreadedExecutor:
             self._timeline.add(record)
         if record.buffer in self.watch and self.stop is not None \
                 and self.stop.should_stop(record):
-            self._halt.set()
+            self.request_stop()
+
+    # -- per-stage thread ------------------------------------------------
 
     def _run_stage(self, stage) -> None:
-        gen = stage.body()
-        send_value: Any = None
-        try:
-            while not self._halt.is_set():
-                try:
-                    cmd = gen.send(send_value)
-                except StopIteration:
+        report = self._reports[stage.name]
+        policy = resolve_policy(self.faults, stage.name)
+        while not self._halt.is_set():
+            report.attempts += 1
+            gen = stage.body()
+            if self.injector is not None:
+                gen = self.injector.wrap(stage.name, gen, realtime=True)
+            try:
+                outcome = self._interpret(stage, gen)
+            except BaseException as exc:   # noqa: BLE001 - reported
+                failures = report.record_failure(exc)
+                with self._lock:
+                    self._errors.append((stage.name, exc))
+                if self.stop is not None \
+                        and self.stop.on_failure(stage.name, exc):
+                    self.request_stop()
+                    self._finish_degraded(stage, report)
                     return
-                send_value = None
-                if isinstance(cmd, Compute):
-                    continue    # the work already ran inside the stage
-                elif isinstance(cmd, Write):
-                    version = stage.output.write(cmd.value, cmd.final,
-                                                 writer=stage.name)
-                    watched = stage.output.name in self.watch
-                    self._record(WriteRecord(
-                        _time.perf_counter() - self._t0,
-                        stage.output.name, version, cmd.final, 0.0,
-                        cmd.value if watched else None))
-                elif isinstance(cmd, WaitInputs):
-                    send_value = self._wait_inputs(stage, cmd.seen)
-                    if send_value is None:      # halted while waiting
-                        return
-                elif isinstance(cmd, PollInputs):
-                    send_value = self._poll_inputs(stage, cmd.seen)
-                elif isinstance(cmd, Emit):
-                    while not self._halt.is_set():
-                        try:
-                            stage.emit_to.emit(cmd.update,
-                                               timeout=_POLL_S)
-                            break
-                        except TimeoutError:
-                            continue
-                elif isinstance(cmd, CloseChannel):
-                    stage.emit_to.close()
-                elif isinstance(cmd, Recv):
-                    send_value = self._recv(stage)
-                    if send_value is None and self._halt.is_set():
-                        return
-                else:
-                    raise TypeError(
-                        f"stage {stage.name!r} yielded unknown command "
-                        f"{cmd!r}")
-        except BaseException as exc:   # noqa: BLE001 - reported to caller
-            with self._lock:
-                self._errors.append((stage.name, exc))
-            self._halt.set()
+                action = policy.decide(failures)
+                if action == "restart" and stage.emit_to is not None:
+                    # A streaming parent cannot be restarted: its
+                    # consumer already folded updates that a fresh pass
+                    # would re-emit (double counting).  Degrade instead.
+                    action = "degrade"
+                if action == "restart":
+                    self._backoff(policy.restart_delay(failures))
+                    continue
+                if action == "fail":
+                    report.failed = True
+                    self._seal_outputs(stage)
+                    self._halt.set()
+                    return
+                self._finish_degraded(stage, report)
+                return
+            if outcome is _EXHAUSTED or report.degraded:
+                self._finish_degraded(stage, report)
+            elif outcome == "done":
+                report.completed = True
+                self._seal_outputs(stage)
+            return   # done, halted, or degraded
+
+    def _interpret(self, stage, gen) -> Any:
+        """Pump one generator until it ends ("done"), the run halts
+        ("halted"), or its inputs are exhausted (``_EXHAUSTED``).
+        Stage exceptions propagate to :meth:`_run_stage`."""
+        send_value: Any = None
+        while not self._halt.is_set():
+            try:
+                cmd = gen.send(send_value)
+            except StopIteration:
+                return "done"
+            send_value = None
+            if isinstance(cmd, Compute):
+                continue    # the work already ran inside the stage
+            elif isinstance(cmd, Write):
+                final = cmd.final
+                if final and isinstance(stage, SynchronousStage) \
+                        and stage.channel.aborted:
+                    # The update stream was cut short: the aggregate is
+                    # an approximation, not the precise output.
+                    final = False
+                    self._reports[stage.name].degraded = True
+                version = stage.output.write(cmd.value, final,
+                                             writer=stage.name)
+                watched = stage.output.name in self.watch
+                self._record(WriteRecord(
+                    _time.perf_counter() - self._t0,
+                    stage.output.name, version, final, 0.0,
+                    cmd.value if watched else None))
+            elif isinstance(cmd, WaitInputs):
+                send_value = self._wait_inputs(stage, cmd.seen)
+                if send_value is None:          # halted while waiting
+                    return "halted"
+                if send_value is _EXHAUSTED:
+                    gen.close()
+                    return _EXHAUSTED
+            elif isinstance(cmd, PollInputs):
+                send_value = self._poll_inputs(stage, cmd.seen)
+            elif isinstance(cmd, Emit):
+                while not self._halt.is_set():
+                    try:
+                        stage.emit_to.emit(cmd.update, timeout=_POLL_S)
+                        break
+                    except TimeoutError:
+                        continue
+            elif isinstance(cmd, CloseChannel):
+                stage.emit_to.close()
+            elif isinstance(cmd, Recv):
+                send_value = self._recv(stage)
+                if send_value is None and self._halt.is_set():
+                    return "halted"
+            else:
+                raise TypeError(
+                    f"stage {stage.name!r} yielded unknown command "
+                    f"{cmd!r}")
+        return "halted"
+
+    def _finish_degraded(self, stage, report: StageReport) -> None:
+        report.degraded = True
+        self._seal_outputs(stage)
+
+    def _seal_outputs(self, stage) -> None:
+        """Freeze everything the stage feeds, so consumers stop waiting.
+
+        Sealing an already-final buffer is a harmless flag; aborting the
+        emit channel releases a consumer blocked mid-stream."""
+        stage.output.seal()
+        if stage.emit_to is not None and not stage.emit_to.closed:
+            stage.emit_to.abort()
+        if isinstance(stage, SynchronousStage) \
+                and not stage.channel.closed:
+            # The consumer died: release a producer blocked on the full
+            # channel (its next emit raises ChannelClosed and its own
+            # policy takes over).
+            stage.channel.abort()
+
+    def _backoff(self, delay: float) -> None:
+        deadline = _time.monotonic() + delay
+        while not self._halt.is_set():
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                return
+            _time.sleep(min(remaining, _POLL_S))
 
     def _snapshots(self, stage):
         return {b.name: b.snapshot() for b in stage.inputs}
@@ -142,8 +280,19 @@ class ThreadedExecutor:
             return False
         return any(s.version > seen.get(n, 0) for n, s in snaps.items())
 
+    @staticmethod
+    def _inputs_exhausted(snaps) -> bool:
+        """The wait can never be satisfied: an input is empty and sealed
+        (its producer died before publishing), or every input is frozen
+        (final or sealed) so nothing newer will ever appear."""
+        if any(s.empty and s.sealed for s in snaps.values()):
+            return True
+        return all(s.exhausted for s in snaps.values())
+
     def _wait_inputs(self, stage, seen):
+        event = self._events[stage.name]
         while not self._halt.is_set():
+            event.clear()
             snaps = self._snapshots(stage)
             if not snaps:
                 return snaps
@@ -151,9 +300,11 @@ class ThreadedExecutor:
                     s.version > seen.get(n, 0)
                     for n, s in snaps.items()):
                 return snaps
-            # Block on any one input; timeout keeps the halt flag live.
-            stage.inputs[0].wait_newer(
-                seen.get(stage.inputs[0].name, 0), timeout=_POLL_S)
+            if self._inputs_exhausted(snaps):
+                return _EXHAUSTED
+            # The event is set by a write/seal to any input; the short
+            # timeout keeps the halt flag live.
+            event.wait(timeout=_POLL_S)
         return None
 
     def _recv(self, stage):
@@ -165,6 +316,8 @@ class ThreadedExecutor:
             except ChannelClosed:
                 return CHANNEL_END
         return None
+
+    # -- whole-run driver ------------------------------------------------
 
     def run(self, timeout_s: float | None = None) -> ThreadedResult:
         """Execute until completion, stop condition, or ``timeout_s``."""
@@ -181,18 +334,25 @@ class ThreadedExecutor:
                 t.join(timeout=_POLL_S)
                 if deadline is not None \
                         and _time.perf_counter() > deadline:
-                    self._halt.set()
+                    self.request_stop()
         duration = _time.perf_counter() - self._t0
-        completed = not self._halt.is_set() and not self._errors
+        completed = (all(r.completed for r in self._reports.values())
+                     and not self._stop_requested.is_set())
         final_values = {b.name: b.snapshot().value
                         for b in self.graph.buffers.values()}
-        if self._errors:
-            name, exc = self._errors[0]
-            raise RuntimeError(
-                f"stage {name!r} failed during threaded execution"
-            ) from exc
+        if self.strict:
+            unrecovered = [(n, r) for n, r in self._reports.items()
+                           if r.last_error is not None and not r.completed]
+            if unrecovered:
+                name, _ = unrecovered[0]
+                first = next(exc for sname, exc in self._errors
+                             if sname == name)
+                raise RuntimeError(
+                    f"stage {name!r} failed during threaded execution: "
+                    f"{first}") from first
         return ThreadedResult(
             timeline=self._timeline, duration=duration,
             completed=completed,
-            stopped_early=self._halt.is_set(),
-            final_values=final_values, errors=list(self._errors))
+            stopped_early=self._stop_requested.is_set(),
+            final_values=final_values, errors=list(self._errors),
+            stage_reports=dict(self._reports))

@@ -14,6 +14,14 @@ consumers see atomic buffer snapshots, a consumer that finishes a pass
 picks up whichever newer version exists (asynchronous pipeline), and
 synchronous channels deliver every update in order with optional
 backpressure.
+
+Fault tolerance mirrors the threaded executor: a stage exception is
+retried (fresh generator, virtual-time backoff), degraded (output sealed
+at the last published version; downstream finishes on it), or — under
+the fail-fast default — halts the run, which still *returns* the partial
+timeline with per-stage :class:`~repro.core.faults.StageReport` records.
+Because injected faults are scheduled by command count and the event
+order is deterministic, a fault schedule replays bit-identically.
 """
 
 from __future__ import annotations
@@ -26,6 +34,8 @@ from ..hw.energy import EnergyMeter, EnergyTable
 from .buffer import Snapshot
 from .channel import ChannelClosed, UpdateChannel
 from .controller import StopCondition
+from .faults import (FaultInjector, FaultPolicy, StageReport,
+                     resolve_policy)
 from .graph import AutomatonGraph
 from .recording import Timeline, WriteRecord
 from .scheduling import SchedulingPolicy, proportional_shares
@@ -65,7 +75,12 @@ _NO_PENDING = object()
 
 @dataclass
 class SimResult:
-    """Outcome of one simulated run."""
+    """Outcome of one simulated run.
+
+    ``completed`` means every stage ran to its natural end without
+    degradation; ``stopped_early`` means a stop condition fired — a pure
+    stage failure sets *neither* (inspect ``stage_reports``/``errors``).
+    """
 
     timeline: Timeline
     duration: float
@@ -74,9 +89,20 @@ class SimResult:
     stopped_early: bool        # a stop condition fired
     shares: dict[str, float]
     final_values: dict[str, Any] = field(default_factory=dict)
+    errors: list[tuple[str, BaseException]] = field(default_factory=list)
+    stage_reports: dict[str, StageReport] = field(default_factory=dict)
 
     def output_records(self, buffer: str) -> list[WriteRecord]:
         return self.timeline.for_buffer(buffer)
+
+    @property
+    def degraded_stages(self) -> list[str]:
+        return sorted(n for n, r in self.stage_reports.items()
+                      if r.degraded)
+
+    @property
+    def failed_stages(self) -> list[str]:
+        return sorted(n for n, r in self.stage_reports.items() if r.failed)
 
 
 class _Process:
@@ -115,6 +141,15 @@ class SimulatedExecutor:
         watched writes.
     energy_table:
         Cost table for the energy meter.
+    faults:
+        A :class:`FaultPolicy` for every stage, or a ``{stage: policy}``
+        mapping (key ``"*"`` is the default).  None = fail-fast.
+    injector:
+        Optional :class:`FaultInjector` test harness (single-use).
+    strict:
+        When True, a run ending with an unrecovered stage failure
+        raises :class:`ExecutionError` instead of returning the partial
+        result.
     """
 
     def __init__(self, graph: AutomatonGraph,
@@ -124,7 +159,10 @@ class SimulatedExecutor:
                  stop: StopCondition | None = None,
                  watch: set[str] | None = None,
                  energy_table: EnergyTable | None = None,
-                 dynamic_shares: bool = False) -> None:
+                 dynamic_shares: bool = False,
+                 faults: FaultPolicy | dict[str, FaultPolicy] | None = None,
+                 injector: FaultInjector | None = None,
+                 strict: bool = False) -> None:
         if total_cores <= 0:
             raise ValueError(f"total_cores must be positive: {total_cores}")
         self.graph = graph
@@ -149,12 +187,21 @@ class SimulatedExecutor:
             watch = {terminals[0].output.name} if len(terminals) == 1 \
                 else {t.output.name for t in terminals}
         self.watch = set(watch)
+        self.faults = faults
+        self.injector = injector
+        self.strict = strict
         self.meter = EnergyMeter(table=energy_table or EnergyTable())
 
     # -- kernel ----------------------------------------------------------
 
     def run(self) -> SimResult:
         procs = {s.name: _Process(s) for s in self.graph.stages}
+        reports = {name: StageReport(stage=name, attempts=1)
+                   for name in procs}
+        errors: list[tuple[str, BaseException]] = []
+        if self.injector is not None:
+            for name, p in procs.items():
+                p.gen = self.injector.wrap(name, p.gen)
         channel_consumer: dict[int, _Process] = {}
         channel_producer: dict[int, _Process] = {}
         for p in procs.values():
@@ -172,6 +219,7 @@ class SimulatedExecutor:
             seq += 1
         now = 0.0
         stopped = False
+        failed = False
         pool = None
         if self.dynamic_shares:
             from .procsharing import ProcessorPool
@@ -201,7 +249,92 @@ class SimulatedExecutor:
             heapq.heappush(heap, (at, seq, proc.stage.name, payload))
             seq += 1
 
-        while not stopped:
+        def inputs_exhausted(stage: Stage) -> bool:
+            """An unsatisfied wait that can never be satisfied: an input
+            is empty and sealed (producer died before publishing), or
+            every input is frozen (final or sealed)."""
+            snaps = snapshots(stage)
+            if not snaps:
+                return False
+            if any(s.empty and s.sealed for s in snaps.values()):
+                return True
+            return all(s.exhausted for s in snaps.values())
+
+        def seal_and_wake(proc: _Process) -> None:
+            """Freeze everything the stage feeds and release anyone
+            blocked on it, so degradation cascades instead of wedging."""
+            stage = proc.stage
+            stage.output.seal()
+            for waiter in buffer_waiters.pop(stage.output.name, []):
+                if not waiter.done:
+                    schedule(waiter, now, _WAKE)
+            if stage.emit_to is not None and not stage.emit_to.closed:
+                stage.emit_to.abort()
+                consumer = channel_consumer[id(stage.emit_to)]
+                if consumer.waiting_recv and len(stage.emit_to) == 0:
+                    consumer.waiting_recv = False
+                    schedule(consumer, now, CHANNEL_END)
+            if isinstance(stage, SynchronousStage) \
+                    and not stage.channel.closed:
+                stage.channel.abort()
+                producer = channel_producer.get(id(stage.channel))
+                if producer is not None \
+                        and producer.waiting_emit is not _NO_PENDING:
+                    # The pending update is lost with the stream; resume
+                    # the producer so its next emit observes the abort.
+                    producer.waiting_emit = _NO_PENDING
+                    schedule(producer, now, None)
+
+        def finish_degraded(proc: _Process) -> None:
+            proc.done = True
+            proc.waiting_inputs = None
+            proc.waiting_recv = False
+            reports[proc.stage.name].degraded = True
+            proc.gen.close()
+            seal_and_wake(proc)
+
+        def handle_failure(proc: _Process, exc: BaseException) -> str:
+            """Apply the stage's fault policy; returns the action taken
+            ("restarted", "degraded", "failed" or "stopped")."""
+            name = proc.stage.name
+            report = reports[name]
+            failures = report.record_failure(exc)
+            errors.append((name, exc))
+            try:
+                proc.gen.close()
+            except RuntimeError:   # pragma: no cover - defensive
+                pass
+            if self.stop is not None \
+                    and self.stop.on_failure(name, exc):
+                finish_degraded(proc)
+                return "stopped"
+            policy = resolve_policy(self.faults, name)
+            action = policy.decide(failures)
+            if action == "restart" and proc.stage.emit_to is not None:
+                # A streaming parent must not re-emit updates the
+                # consumer already folded; degrade instead.
+                action = "degrade"
+            if action == "restart":
+                report.attempts += 1
+                gen = proc.stage.body()
+                if self.injector is not None:
+                    gen = self.injector.wrap(name, gen)
+                proc.gen = gen
+                proc.waiting_inputs = None
+                proc.waiting_recv = False
+                proc.waiting_emit = _NO_PENDING
+                schedule(proc, now + policy.restart_delay(failures),
+                         None)
+                return "restarted"
+            if action == "fail":
+                report.failed = True
+                proc.done = True
+                seal_and_wake(proc)
+                return "failed"
+            finish_degraded(proc)
+            return "degraded"
+
+        while not stopped and not failed:
             # Pick the next event: the heap's head or, under dynamic
             # sharing, the processor pool's earliest compute completion.
             heap_time = heap[0][0] if heap else None
@@ -224,14 +357,18 @@ class SimulatedExecutor:
             if proc.done:
                 continue
             if payload is _WAKE:
-                # Wake-up from a buffer write.  Stale wakes (the process
-                # was already resumed via another input's write) and
-                # unsatisfied wakes re-block without touching the
-                # generator.
+                # Wake-up from a buffer write or seal.  Stale wakes (the
+                # process was already resumed via another input's write)
+                # and unsatisfied wakes re-block without touching the
+                # generator; a wake that can never be satisfied (all
+                # producers frozen) finishes the stage degraded.
                 if proc.waiting_inputs is None:
                     continue
                 snaps = wait_satisfied(proc.stage, proc.waiting_inputs)
                 if snaps is None:
+                    if inputs_exhausted(proc.stage):
+                        proc.waiting_inputs = None
+                        finish_degraded(proc)
                     continue
                 proc.waiting_inputs = None
                 payload = snaps
@@ -241,6 +378,16 @@ class SimulatedExecutor:
                     cmd = proc.gen.send(send_value)
                 except StopIteration:
                     proc.done = True
+                    if not reports[name].degraded:
+                        reports[name].completed = True
+                    seal_and_wake(proc)
+                    break
+                except BaseException as exc:   # noqa: BLE001 - policy
+                    action = handle_failure(proc, exc)
+                    if action == "failed":
+                        failed = True
+                    elif action == "stopped":
+                        stopped = True
                     break
                 send_value = None
                 if isinstance(cmd, Compute):
@@ -254,11 +401,26 @@ class SimulatedExecutor:
                     break
                 elif isinstance(cmd, Write):
                     stage = proc.stage
-                    version = stage.output.write(cmd.value, cmd.final,
-                                                 writer=stage.name)
+                    final = cmd.final
+                    if final and isinstance(stage, SynchronousStage) \
+                            and stage.channel.aborted:
+                        # The update stream was cut short: the aggregate
+                        # is an approximation, not the precise output.
+                        final = False
+                        reports[name].degraded = True
+                    try:
+                        version = stage.output.write(cmd.value, final,
+                                                     writer=stage.name)
+                    except ValueError as exc:
+                        action = handle_failure(proc, exc)
+                        if action == "failed":
+                            failed = True
+                        elif action == "stopped":
+                            stopped = True
+                        break
                     watched = stage.output.name in self.watch
                     record = WriteRecord(
-                        now, stage.output.name, version, cmd.final,
+                        now, stage.output.name, version, final,
                         self.meter.total,
                         cmd.value if watched else None)
                     timeline.add(record)
@@ -275,6 +437,9 @@ class SimulatedExecutor:
                     if snaps is not None:
                         send_value = snaps
                         continue
+                    if inputs_exhausted(proc.stage):
+                        finish_degraded(proc)
+                        break
                     proc.waiting_inputs = dict(cmd.seen)
                     for b in proc.stage.inputs:
                         buffer_waiters.setdefault(b.name, []).append(proc)
@@ -285,10 +450,19 @@ class SimulatedExecutor:
                 elif isinstance(cmd, Emit):
                     channel = proc.stage.emit_to
                     assert channel is not None
-                    if channel.full:
+                    if not channel.closed and channel.full:
                         proc.waiting_emit = cmd.update
                         break
-                    channel.emit(cmd.update)
+                    try:
+                        channel.emit(cmd.update)
+                    except ChannelClosed as exc:
+                        # The consumer died and aborted the stream.
+                        action = handle_failure(proc, exc)
+                        if action == "failed":
+                            failed = True
+                        elif action == "stopped":
+                            stopped = True
+                        break
                     consumer = channel_consumer[id(channel)]
                     if consumer.waiting_recv:
                         consumer.waiting_recv = False
@@ -328,14 +502,26 @@ class SimulatedExecutor:
                         f"stage {name!r} yielded unknown command "
                         f"{cmd!r}")
 
-        completed = all(p.done for p in procs.values())
-        if not completed and not stopped and not heap:
-            blocked = [n for n, p in procs.items() if not p.done]
+        undone = [n for n, p in procs.items() if not p.done]
+        if undone and not stopped and not failed and not heap:
             raise ExecutionError(
-                f"execution wedged; blocked stages: {blocked}")
+                f"execution wedged; blocked stages: {undone}")
+        completed = (not stopped
+                     and all(r.completed for r in reports.values()))
+        if self.strict:
+            unrecovered = [n for n, r in reports.items()
+                           if r.last_error is not None
+                           and not r.completed]
+            if unrecovered:
+                first = next(exc for n, exc in errors
+                             if n == unrecovered[0])
+                raise ExecutionError(
+                    f"stage {unrecovered[0]!r} failed during simulated "
+                    f"execution: {first}") from first
         final_values = {b.name: b.snapshot().value
                         for b in self.graph.buffers.values()}
         return SimResult(timeline=timeline, duration=now,
                          energy=self.meter.total, completed=completed,
                          stopped_early=stopped, shares=dict(self.shares),
-                         final_values=final_values)
+                         final_values=final_values, errors=errors,
+                         stage_reports=reports)

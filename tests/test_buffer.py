@@ -137,6 +137,94 @@ class TestWaitNewer:
         snap = b.wait_newer(5, timeout=0.01)
         assert snap.final
 
+    def test_unsatisfying_notifies_do_not_end_wait_early(self):
+        """Writes that don't satisfy the version predicate notify the
+        condition; the wait must re-arm instead of returning stale."""
+        import time
+
+        b = VersionedBuffer("b")
+        b.write("v1")
+
+        def chatter():
+            for _ in range(10):
+                time.sleep(0.01)
+                b.write("noise")
+
+        t = threading.Thread(target=chatter, daemon=True)
+        timeout = 0.3
+        t0 = time.monotonic()
+        t.start()
+        snap = b.wait_newer(100, timeout=timeout)
+        elapsed = time.monotonic() - t0
+        t.join()
+        # each of the 10 notifies satisfied nothing; the wait must hold
+        # for the whole timeout, not return on the first wakeup
+        assert elapsed >= timeout * 0.9
+        assert snap.version == 11 and not snap.final
+
+    def test_timeout_spans_multiple_wakeups(self):
+        """The total timeout is honored across wakeups (the old
+        single-wait version would restart the clock or return early)."""
+        import time
+
+        b = VersionedBuffer("b")
+        b.write(0)
+        stop = threading.Event()
+
+        def chatter():
+            while not stop.is_set():
+                b.write("noise")
+                time.sleep(0.005)
+
+        t = threading.Thread(target=chatter, daemon=True)
+        t.start()
+        t0 = time.monotonic()
+        b.wait_newer(10 ** 9, timeout=0.2)
+        elapsed = time.monotonic() - t0
+        stop.set()
+        t.join()
+        assert 0.15 <= elapsed < 2.0
+
+    def test_sealed_buffer_returns_without_wait(self):
+        b = VersionedBuffer("b")
+        b.write(1)
+        b.seal()
+        import time
+        t0 = time.monotonic()
+        snap = b.wait_newer(5, timeout=5.0)
+        assert time.monotonic() - t0 < 1.0
+        assert snap.sealed and not snap.final and snap.exhausted
+
+
+class TestSealing:
+    def test_seal_freezes_writes(self):
+        b = VersionedBuffer("b")
+        b.write(1)
+        b.seal()
+        with pytest.raises(ValueError, match="sealed"):
+            b.write(2)
+
+    def test_seal_is_idempotent(self):
+        b = VersionedBuffer("b")
+        b.seal()
+        b.seal()
+        assert b.sealed
+
+    def test_subscribe_event_set_on_write_and_seal(self):
+        b = VersionedBuffer("b")
+        e = threading.Event()
+        b.subscribe(e)
+        b.write(1)
+        assert e.is_set()
+        e.clear()
+        b.seal()
+        assert e.is_set()
+        b.unsubscribe(e)
+        e.clear()
+        # no further notifications after unsubscribe
+        b2_event_untouched = not e.is_set()
+        assert b2_event_untouched
+
 
 class TestSnapshotValueSemantics:
     def test_non_array_values_pass_through(self):

@@ -21,6 +21,10 @@ from repro.core.mapstage import MapStage
 from repro.core.stage import PreciseStage
 from repro.core.syncstage import SynchronousStage
 
+# Threaded-executor tests hang rather than fail when a wait goes wrong;
+# the conftest watchdog turns a wedge into a fast failure.
+pytestmark = pytest.mark.timeout(60)
+
 
 def map_automaton(chunks=8):
     img = np.arange(64, dtype=np.float64).reshape(8, 8)
@@ -137,7 +141,28 @@ class TestInterruption:
 
 
 class TestErrors:
-    def test_stage_exception_propagates(self):
+    def test_stage_exception_returns_partial_result(self):
+        """A crash no longer discards the run: the result carries the
+        timeline, final values and the error (fail-fast default)."""
+        b_in = VersionedBuffer("in")
+        b_out = VersionedBuffer("out")
+
+        def boom(x):
+            raise ValueError("kaboom")
+
+        stage = PreciseStage("s", b_out, (b_in,), boom, cost=1.0)
+        auto = AnytimeAutomaton([stage], external={"in": 1})
+        res = auto.run_threaded(timeout_s=10.0)
+        assert not res.completed
+        assert not res.stopped_early     # a crash is not an interrupt
+        assert res.errors and res.errors[0][0] == "s"
+        assert isinstance(res.errors[0][1], ValueError)
+        report = res.stage_reports["s"]
+        assert report.failed and report.failures == 1
+        assert "kaboom" in report.last_error
+
+    def test_stage_exception_raises_under_strict(self):
+        """strict=True preserves the historical raise-on-failure path."""
         b_in = VersionedBuffer("in")
         b_out = VersionedBuffer("out")
 
@@ -147,7 +172,7 @@ class TestErrors:
         stage = PreciseStage("s", b_out, (b_in,), boom, cost=1.0)
         auto = AnytimeAutomaton([stage], external={"in": 1})
         with pytest.raises(RuntimeError, match="failed"):
-            auto.run_threaded(timeout_s=10.0)
+            auto.run_threaded(timeout_s=10.0, strict=True)
 
     def test_request_stop_idempotent(self):
         auto, _ = map_automaton()

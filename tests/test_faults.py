@@ -1,0 +1,456 @@
+"""Fault tolerance: policies, injection, graceful degradation, restart.
+
+The model's promise is that the output buffer always holds a valid
+approximation; these tests check the promise survives stage *failures* —
+a crash mid-run must leave the pre-crash approximation intact, a
+restarted stage must still reach the precise output, and degradation
+must cascade without wedging either executor.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.anytime.permutations import SequentialPermutation, TreePermutation
+from repro.core.automaton import AnytimeAutomaton
+from repro.core.buffer import VersionedBuffer
+from repro.core.channel import UpdateChannel
+from repro.core.controller import FailureBudget
+from repro.core.diffusive import DiffusiveStage
+from repro.core.faults import (FaultInjected, FaultInjector, FaultPolicy,
+                               FaultSpec, parse_fault_spec, resolve_policy)
+from repro.core.iterative import AccuracyLevel, IterativeStage
+from repro.core.mapstage import MapStage
+from repro.core.simexec import ExecutionError
+from repro.core.stage import PreciseStage
+from repro.core.syncstage import SynchronousStage
+
+pytestmark = [pytest.mark.faults, pytest.mark.timeout(60)]
+
+
+def map_automaton(chunks=8):
+    """One diffusive map stage: in -> out, tree order, dense state
+    persists across restarts (monotone accuracy)."""
+    img = np.arange(64, dtype=np.float64).reshape(8, 8)
+    b_in = VersionedBuffer("in")
+    b_out = VersionedBuffer("out")
+    stage = MapStage("m", b_out, (b_in,),
+                     lambda idx, im: np.asarray(im).reshape(-1)[idx] * 3,
+                     shape=(8, 8), dtype=np.float64,
+                     permutation=TreePermutation(), chunks=chunks)
+    return AnytimeAutomaton([stage], external={"in": img}), img * 3
+
+
+def pipeline_automaton():
+    """f (iterative, 2 versions) -> g (precise): in -> F -> G."""
+    b_in = VersionedBuffer("in")
+    b_f = VersionedBuffer("F")
+    b_g = VersionedBuffer("G")
+    f = IterativeStage("f", b_f, (b_in,),
+                       [AccuracyLevel(lambda x: x // 2, 1.0),
+                        AccuracyLevel(lambda x: x, 1.0)])
+    g = PreciseStage("g", b_g, (b_f,), lambda F: F * 10, cost=1.0)
+    return AnytimeAutomaton([f, g], external={"in": 9})
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="on_failure"):
+            FaultPolicy(on_failure="explode")
+        with pytest.raises(ValueError, match="max_retries"):
+            FaultPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            FaultPolicy(backoff=-0.1)
+
+    def test_decide_fail_and_degrade_are_immediate(self):
+        assert FaultPolicy(on_failure="fail").decide(1) == "fail"
+        assert FaultPolicy(on_failure="degrade",
+                           max_retries=5).decide(1) == "degrade"
+
+    def test_decide_restart_bounded_by_retries(self):
+        p = FaultPolicy(on_failure="restart", max_retries=2)
+        assert p.decide(1) == "restart"
+        assert p.decide(2) == "restart"
+        assert p.decide(3) == "degrade"
+
+    def test_restart_delay_is_exponential(self):
+        p = FaultPolicy(on_failure="restart", max_retries=3,
+                        backoff=0.5, backoff_factor=2.0)
+        assert p.restart_delay(1) == pytest.approx(0.5)
+        assert p.restart_delay(3) == pytest.approx(2.0)
+        assert FaultPolicy().restart_delay(5) == 0.0
+
+    def test_resolve_policy(self):
+        default = resolve_policy(None, "x")
+        assert default.on_failure == "fail"
+        p = FaultPolicy(on_failure="degrade")
+        assert resolve_policy(p, "x") is p
+        mapping = {"a": p, "*": FaultPolicy(on_failure="restart",
+                                            max_retries=1)}
+        assert resolve_policy(mapping, "a") is p
+        assert resolve_policy(mapping, "b").on_failure == "restart"
+
+
+class TestSpecParsing:
+    def test_minimal(self):
+        spec = parse_fault_spec("conv:5")
+        assert spec == FaultSpec(stage="conv", at=5)
+
+    def test_delay_and_times(self):
+        spec = parse_fault_spec("norm:2:delay=0.5:x3")
+        assert spec.kind == "delay" and spec.delay == 0.5
+        assert spec.times == 3
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_fault_spec("conv")
+        with pytest.raises(ValueError):
+            parse_fault_spec("conv:abc")
+        with pytest.raises(ValueError):
+            parse_fault_spec("conv:1:wat")
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = FaultInjector.random_schedule(42, ["f", "g"], n_faults=4)
+        b = FaultInjector.random_schedule(42, ["f", "g"], n_faults=4)
+        assert a.faults == b.faults
+        c = FaultInjector.random_schedule(43, ["f", "g"], n_faults=4)
+        assert a.faults != c.faults
+
+    def test_same_schedule_same_sim_timeline(self):
+        """Replaying one fault schedule in the deterministic simulator
+        yields bit-identical timelines and reports."""
+        runs = []
+        for _ in range(2):
+            auto, _ = map_automaton()
+            res = auto.run_simulated(
+                total_cores=4.0,
+                faults=FaultPolicy(on_failure="restart", max_retries=2),
+                injector=FaultInjector.crash("m", at=7))
+            runs.append(res)
+        r1, r2 = runs
+        assert [(rec.time, rec.buffer, rec.version, rec.final)
+                for rec in r1.timeline.records] == \
+               [(rec.time, rec.buffer, rec.version, rec.final)
+                for rec in r2.timeline.records]
+        assert r1.stage_reports["m"].attempts == \
+            r2.stage_reports["m"].attempts
+
+    def test_one_shot_fault_does_not_refire_after_restart(self):
+        injector = FaultInjector.crash("m", at=7)
+        auto, ref = map_automaton()
+        res = auto.run_simulated(
+            total_cores=4.0,
+            faults=FaultPolicy(on_failure="restart", max_retries=1),
+            injector=injector)
+        assert res.completed
+        assert [t[0] for t in injector.triggered] == ["m"]
+        assert len(injector.triggered) == 1
+        assert np.array_equal(res.timeline.final_record("out").value, ref)
+
+
+class TestThreadedFaults:
+    def test_crash_keeps_pre_crash_approximation(self):
+        """The acceptance scenario: an injected crash mid-run still
+        returns a result whose watched buffer holds a valid
+        approximation, with the failure recorded."""
+        auto, _ = map_automaton(chunks=8)
+        # commands per pass: WaitInputs, then (Compute, Write) x 8;
+        # crashing at command 10 leaves >= 4 published versions
+        res = auto.run_threaded(
+            timeout_s=30.0,
+            faults=FaultPolicy(on_failure="degrade"),
+            injector=FaultInjector.crash("m", at=10))
+        assert not res.completed
+        assert not res.stopped_early      # a crash is not an interrupt
+        report = res.stage_reports["m"]
+        assert report.degraded and report.failures == 1
+        assert "injected fault" in report.last_error
+        records = res.output_records("out")
+        assert len(records) >= 1          # pre-crash approximations kept
+        last = records[-1].value
+        assert last.shape == (8, 8) and np.isfinite(last).all()
+        assert not records[-1].final
+
+    def test_restart_reaches_precise_output(self):
+        auto, ref = map_automaton(chunks=8)
+        res = auto.run_threaded(
+            timeout_s=30.0,
+            faults=FaultPolicy(on_failure="restart", max_retries=1),
+            injector=FaultInjector.crash("m", at=10))
+        assert res.completed and not res.stopped_early
+        report = res.stage_reports["m"]
+        assert report.completed and not report.degraded
+        assert report.attempts == 2 and report.failures == 1
+        final = res.timeline.final_record("out")
+        assert final is not None and final.final
+        assert np.array_equal(final.value, ref)
+
+    def test_retries_exhausted_degrades(self):
+        auto, _ = map_automaton(chunks=8)
+        res = auto.run_threaded(
+            timeout_s=30.0,
+            faults=FaultPolicy(on_failure="restart", max_retries=1),
+            injector=FaultInjector.crash("m", at=10, times=3))
+        report = res.stage_reports["m"]
+        assert report.degraded and report.failures == 2
+        assert not res.completed
+
+    def test_downstream_finishes_on_degraded_upstream(self):
+        """f crashes after its first version; g must still consume that
+        version and finish (degraded) instead of hanging."""
+        auto = pipeline_automaton()
+        # f commands: WaitInputs, Compute, Write(v1), Compute, Write(final)
+        res = auto.run_threaded(
+            timeout_s=30.0,
+            faults=FaultPolicy(on_failure="degrade"),
+            injector=FaultInjector.crash("f", at=4))
+        assert res.stage_reports["f"].degraded
+        assert res.stage_reports["g"].degraded
+        # g processed f's v1 (9 // 2 = 4) before the crash froze it
+        assert res.final_values["G"] == 40
+        assert not res.output_records("G")[-1].final
+
+    def test_two_input_stage_woken_by_second_input(self):
+        """A consumer blocked on (a, b) must wake promptly when the
+        *second* input publishes (the old code only blocked on
+        inputs[0])."""
+        b_a = VersionedBuffer("a")
+        b_b = VersionedBuffer("b")
+        b_sum = VersionedBuffer("sum")
+
+        def slow_five():
+            time.sleep(0.2)
+            return 5
+
+        sa = PreciseStage("sa", b_a, (), lambda: 1, cost=1.0)
+        sb = PreciseStage("sb", b_b, (), slow_five, cost=1.0)
+        c = PreciseStage("c", b_sum, (b_a, b_b),
+                         lambda A, B: A + B, cost=1.0)
+        auto = AnytimeAutomaton([sa, sb, c])
+        t0 = time.perf_counter()
+        res = auto.run_threaded(timeout_s=30.0)
+        elapsed = time.perf_counter() - t0
+        assert res.completed
+        assert res.final_values["sum"] == 6
+        # woken by b's write, not a 30 s timeout or a wedge
+        assert elapsed < 10.0
+
+    def test_failure_budget_stops_run(self):
+        auto, _ = map_automaton(chunks=8)
+        budget = FailureBudget(2)
+        res = auto.run_threaded(
+            timeout_s=30.0, stop=budget,
+            faults=FaultPolicy(on_failure="restart", max_retries=10),
+            injector=FaultInjector.crash("m", at=10, times=5))
+        assert budget.failures == 2
+        assert res.stopped_early
+        assert not res.completed
+
+
+class TestSimulatedFaults:
+    def test_fail_fast_returns_partial_result(self):
+        auto = pipeline_automaton()
+        res = auto.run_simulated(
+            total_cores=2.0,
+            injector=FaultInjector.crash("f", at=4))
+        assert not res.completed
+        assert not res.stopped_early
+        assert res.failed_stages == ["f"]
+        assert res.errors and isinstance(res.errors[0][1], FaultInjected)
+        # the pre-crash approximation survives in the timeline
+        assert res.final_values["F"] == 4
+
+    def test_strict_raises(self):
+        auto = pipeline_automaton()
+        with pytest.raises(ExecutionError, match="failed"):
+            auto.run_simulated(total_cores=2.0, strict=True,
+                               injector=FaultInjector.crash("f", at=4))
+
+    def test_degrade_cascades_without_wedging(self):
+        auto = pipeline_automaton()
+        res = auto.run_simulated(
+            total_cores=2.0,
+            faults=FaultPolicy(on_failure="degrade"),
+            injector=FaultInjector.crash("f", at=4))
+        assert res.degraded_stages == ["f", "g"]
+        assert res.final_values["G"] == 40        # g refined on f's v1
+        assert not res.completed
+
+    def test_restart_reaches_precise_output(self):
+        auto = pipeline_automaton()
+        res = auto.run_simulated(
+            total_cores=2.0,
+            faults=FaultPolicy(on_failure="restart", max_retries=1),
+            injector=FaultInjector.crash("f", at=4))
+        assert res.completed
+        assert res.stage_reports["f"].attempts == 2
+        final = res.timeline.final_record("G")
+        assert final.final and final.value == 90
+
+    def test_restart_backoff_costs_virtual_time(self):
+        base = pipeline_automaton().run_simulated(
+            total_cores=2.0,
+            faults=FaultPolicy(on_failure="restart", max_retries=1),
+            injector=FaultInjector.crash("f", at=4))
+        delayed = pipeline_automaton().run_simulated(
+            total_cores=2.0,
+            faults=FaultPolicy(on_failure="restart", max_retries=1,
+                               backoff=7.0),
+            injector=FaultInjector.crash("f", at=4))
+        assert delayed.completed
+        assert delayed.duration >= base.duration + 7.0
+
+    def test_injected_delay_advances_virtual_clock(self):
+        clean = pipeline_automaton().run_simulated(total_cores=2.0)
+        delayed = pipeline_automaton().run_simulated(
+            total_cores=2.0,
+            injector=FaultInjector(
+                [FaultSpec(stage="f", at=2, kind="delay", delay=5.0)]))
+        assert delayed.completed
+        assert delayed.duration > clean.duration
+        assert delayed.energy == pytest.approx(clean.energy)
+
+    def test_source_crash_before_any_write_degrades_consumer(self):
+        """A producer that dies before publishing anything must not
+        wedge its consumer: the consumer degrades with an empty
+        output."""
+        auto = pipeline_automaton()
+        res = auto.run_simulated(
+            total_cores=2.0,
+            faults=FaultPolicy(on_failure="degrade"),
+            injector=FaultInjector.crash("f", at=2))
+        assert res.degraded_stages == ["f", "g"]
+        assert res.final_values["G"] is None
+        assert res.output_records("G") == []
+
+    def test_sync_consumer_not_marked_final_on_aborted_stream(self):
+        """When a streaming parent dies mid-stream, the consumer's
+        aggregate is an approximation and must not be published as
+        final (finality means precision)."""
+        b_f = VersionedBuffer("F")
+        b_g = VersionedBuffer("G")
+        ch = UpdateChannel("F", capacity=1)
+
+        class Digits(DiffusiveStage):
+            def __init__(self):
+                super().__init__("f", b_f, (), shape=5,
+                                 permutation=SequentialPermutation(),
+                                 chunks=5, cost_per_element=1.0,
+                                 emit_to=ch)
+
+            def init_state(self, values):
+                return {"total": 0}
+
+            def process_chunk(self, state, indices, values):
+                state["total"] += int(indices[0]) + 1
+                return int(indices[0]) + 1
+
+            def materialize(self, state, count, values):
+                return state["total"]
+
+            def precise(self, input_values):
+                return 15
+
+        g = SynchronousStage("g", b_g, ch, initial_fn=lambda: 0,
+                             update_fn=lambda acc, x: acc + x * x,
+                             update_cost=lambda x: 1.0,
+                             precise_fn=lambda fv: 55,
+                             precise_cost=1.0)
+        auto = AnytimeAutomaton([Digits(), g])
+        res = auto.run_simulated(
+            total_cores=2.0,
+            faults=FaultPolicy(on_failure="degrade"),
+            injector=FaultInjector.crash("f", at=8))
+        assert "f" in res.degraded_stages
+        assert "g" in res.degraded_stages
+        g_records = res.output_records("G")
+        assert g_records, "g folded at least one update before the crash"
+        assert not any(rec.final for rec in g_records)
+        # the partial aggregate is a genuine prefix sum of squares
+        assert g_records[-1].value in {sum(d * d for d in range(1, k + 1))
+                                       for k in range(1, 6)}
+
+    def test_streaming_parent_never_restarts(self):
+        """Restarting an emitting stage would double-count updates in
+        its consumer; the runtime must degrade it instead."""
+        b_f = VersionedBuffer("F")
+        b_g = VersionedBuffer("G")
+        ch = UpdateChannel("F")
+
+        class Digits(DiffusiveStage):
+            def __init__(self):
+                super().__init__("f", b_f, (), shape=5,
+                                 permutation=SequentialPermutation(),
+                                 chunks=5, cost_per_element=1.0,
+                                 emit_to=ch)
+
+            def init_state(self, values):
+                return {"total": 0}
+
+            def process_chunk(self, state, indices, values):
+                state["total"] += int(indices[0]) + 1
+                return int(indices[0]) + 1
+
+            def materialize(self, state, count, values):
+                return state["total"]
+
+            def precise(self, input_values):
+                return 15
+
+        g = SynchronousStage("g", b_g, ch, initial_fn=lambda: 0,
+                             update_fn=lambda acc, x: acc + x,
+                             update_cost=lambda x: 1.0,
+                             precise_fn=lambda fv: 15,
+                             precise_cost=1.0)
+        auto = AnytimeAutomaton([Digits(), g])
+        res = auto.run_simulated(
+            total_cores=2.0,
+            faults=FaultPolicy(on_failure="restart", max_retries=5),
+            injector=FaultInjector.crash("f", at=8))
+        assert res.stage_reports["f"].attempts == 1   # no restart
+        assert res.stage_reports["f"].degraded
+
+
+class TestReportSurface:
+    def test_summary_strings(self):
+        auto = pipeline_automaton()
+        res = auto.run_simulated(
+            total_cores=2.0,
+            faults=FaultPolicy(on_failure="degrade"),
+            injector=FaultInjector.crash("f", at=4))
+        text = res.stage_reports["f"].summary()
+        assert "f:" in text and "degraded" in text
+        assert "attempts=1" in text
+
+    def test_clean_run_reports(self):
+        auto = pipeline_automaton()
+        res = auto.run_simulated(total_cores=2.0)
+        assert all(r.ok for r in res.stage_reports.values())
+        assert res.degraded_stages == [] and res.failed_stages == []
+
+
+class TestCliFaultFlags:
+    def test_fault_inject_with_restart_recovers(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", "2dconv", "--size", "16",
+                     "--fault-inject", "conv:9",
+                     "--on-failure", "restart", "--max-retries", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fault report" in out
+        assert "completed" in out
+
+    def test_fault_inject_degrade(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", "2dconv", "--size", "16",
+                     "--fault-inject", "conv:9",
+                     "--on-failure", "degrade"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "degraded" in out

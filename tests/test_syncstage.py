@@ -173,9 +173,8 @@ class TestSyncNumeric:
 
 
 class TestSyncParentGuard:
-    def test_streaming_parent_with_nonfinal_input_raises(self):
-        """A synchronous parent re-running on a second input version
-        would double-emit; the runtime guards against it."""
+    @staticmethod
+    def _guard_automaton():
         b_src = VersionedBuffer("src")
         b_f = VersionedBuffer("F")
         b_g = VersionedBuffer("G")
@@ -211,6 +210,18 @@ class TestSyncParentGuard:
             update_fn=lambda acc, x: acc + x,
             update_cost=lambda x: 1.0,
             precise_fn=lambda fv: fv, precise_cost=1.0)
-        auto = AnytimeAutomaton([src, Echo(), g], name="guard")
+        return AnytimeAutomaton([src, Echo(), g], name="guard")
+
+    def test_streaming_parent_with_nonfinal_input_fails_run(self):
+        """A synchronous parent re-running on a second input version
+        would double-emit; the runtime guards against it by failing the
+        stage and surfacing the error on the result."""
+        res = self._guard_automaton().run_simulated(total_cores=3.0)
+        assert not res.completed
+        assert res.errors and res.errors[0][0] == "f"
+        assert "second input version" in str(res.errors[0][1])
+
+    def test_streaming_parent_guard_raises_under_strict(self):
         with pytest.raises(Exception, match="second input version"):
-            auto.run_simulated(total_cores=3.0)
+            self._guard_automaton().run_simulated(total_cores=3.0,
+                                                  strict=True)
