@@ -37,10 +37,11 @@ from .apps import (build_conv2d_automaton, build_debayer_automaton,
                    build_dwt53_automaton, build_histeq_automaton,
                    build_kmeans_automaton)
 from .apps.pipeline_demo import ORGANIZATIONS, build_organization
-from .core import (AccuracyTarget, AnytimeAutomaton, DeadlineStop,
-                   EnergyBudget, FailureBudget, FaultInjector, FaultPolicy,
-                   ManualStop, SimulatedExecutor, StageReport,
-                   ThreadedExecutor, VersionedBuffer)
+from .core import (AccuracyTarget, AnytimeAutomaton, ChromeTraceSink,
+                   DeadlineStop, EnergyBudget, FailureBudget,
+                   FaultInjector, FaultPolicy, InMemorySink, JsonlSink,
+                   ManualStop, NullSink, SimulatedExecutor, StageReport,
+                   ThreadedExecutor, TraceEvent, VersionedBuffer)
 from .data import bayer_mosaic, clustered_image, scene_image
 from .metrics import RuntimeAccuracyProfile, snr_db
 
@@ -53,9 +54,10 @@ __all__ = [
     "build_dwt53_automaton", "build_histeq_automaton",
     "build_kmeans_automaton",
     "ORGANIZATIONS", "build_organization",
-    "AccuracyTarget", "AnytimeAutomaton", "DeadlineStop", "EnergyBudget",
-    "FailureBudget", "FaultInjector", "FaultPolicy", "ManualStop",
-    "SimulatedExecutor", "StageReport", "ThreadedExecutor",
+    "AccuracyTarget", "AnytimeAutomaton", "ChromeTraceSink",
+    "DeadlineStop", "EnergyBudget", "FailureBudget", "FaultInjector",
+    "FaultPolicy", "InMemorySink", "JsonlSink", "ManualStop", "NullSink",
+    "SimulatedExecutor", "StageReport", "ThreadedExecutor", "TraceEvent",
     "VersionedBuffer",
     "bayer_mosaic", "clustered_image", "scene_image",
     "RuntimeAccuracyProfile", "snr_db",

@@ -8,11 +8,17 @@ runs and print the figure's rows.
 Experiment scale is controlled by the ``REPRO_BENCH_SIZE`` environment
 variable (image edge length, default 128; the paper used larger inputs —
 the curves' shapes are size-stable, which
-``tests/test_apps_integration.py`` checks at two sizes).
+``tests/test_integration.py`` checks at two sizes).
+
+When ``REPRO_BENCH_TRACE_DIR`` is set, every :func:`run_profile` call —
+and therefore every figure regeneration — additionally writes a
+chrome://tracing JSON of its run into that directory (see
+:mod:`repro.core.tracing`).
 """
 
 from __future__ import annotations
 
+import itertools
 import math
 import os
 from dataclasses import dataclass, field
@@ -21,7 +27,9 @@ from typing import Any, Callable
 from ..core.automaton import AnytimeAutomaton
 from ..core.scheduling import SchedulingPolicy, proportional_shares
 from ..core.simexec import SimResult
+from ..core.tracing import ChromeTraceSink, TraceSink
 from ..metrics.profiles import RuntimeAccuracyProfile
+from ..metrics.snr import snr_db
 
 __all__ = ["FigureData", "bench_size", "bench_cores", "run_profile",
            "format_rows"]
@@ -33,15 +41,53 @@ PAPER_CORES = 32.0
 
 def bench_size(default: int = 128) -> int:
     """Image edge length for benchmarks (``REPRO_BENCH_SIZE`` override)."""
-    value = int(os.environ.get("REPRO_BENCH_SIZE", default))
+    raw = os.environ.get("REPRO_BENCH_SIZE")
+    if raw is None:
+        value = default
+    else:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_BENCH_SIZE must be a positive integer "
+                f"(image edge length), got {raw!r}") from None
     if value < 16:
-        raise ValueError(f"REPRO_BENCH_SIZE too small: {value}")
+        raise ValueError(
+            f"REPRO_BENCH_SIZE too small: {value} (need >= 16; "
+            f"smaller inputs degenerate the anytime chunking)")
     return value
 
 
 def bench_cores() -> float:
     """Simulated core count (``REPRO_BENCH_CORES`` override)."""
-    return float(os.environ.get("REPRO_BENCH_CORES", PAPER_CORES))
+    raw = os.environ.get("REPRO_BENCH_CORES")
+    if raw is None:
+        return PAPER_CORES
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BENCH_CORES must be a positive number, "
+            f"got {raw!r}") from None
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(
+            f"REPRO_BENCH_CORES must be positive and finite, "
+            f"got {raw!r}")
+    return value
+
+
+#: per-process sequence for trace file names (one file per figure run)
+_TRACE_SEQ = itertools.count(1)
+
+
+def _bench_trace_sink(name: str) -> ChromeTraceSink | None:
+    """A chrome-trace sink under ``REPRO_BENCH_TRACE_DIR`` (None = off)."""
+    trace_dir = os.environ.get("REPRO_BENCH_TRACE_DIR")
+    if not trace_dir:
+        return None
+    os.makedirs(trace_dir, exist_ok=True)
+    fname = f"{next(_TRACE_SEQ):03d}-{name}.json"
+    return ChromeTraceSink(os.path.join(trace_dir, fname))
 
 
 @dataclass
@@ -98,13 +144,35 @@ def run_profile(build: Callable[[], AnytimeAutomaton],
                 = proportional_shares,
                 metric: Callable[[Any, Any], float] | None = None,
                 reference: Any = None,
+                trace: TraceSink | None = None,
                 ) -> tuple[RuntimeAccuracyProfile, SimResult,
                            AnytimeAutomaton]:
-    """Build an automaton, run it simulated, return its profile."""
+    """Build an automaton, run it simulated, return its profile.
+
+    ``trace`` attaches an explicit sink (caller closes it); when omitted
+    and ``REPRO_BENCH_TRACE_DIR`` is set, a chrome-trace sink is created
+    per call and closed here — one trace file per figure run.
+    """
     cores = bench_cores() if cores is None else cores
     automaton = build()
-    result = automaton.run_simulated(total_cores=cores,
-                                     schedule=schedule)
+    owned_sink = None
+    if trace is None:
+        trace = owned_sink = _bench_trace_sink(automaton.name)
+    if trace is not None:
+        trace_metric = metric or snr_db
+        trace_reference = (automaton.precise_output()
+                           if reference is None else reference)
+    else:
+        trace_metric = trace_reference = None
+    try:
+        result = automaton.run_simulated(total_cores=cores,
+                                         schedule=schedule,
+                                         trace=trace,
+                                         trace_metric=trace_metric,
+                                         trace_reference=trace_reference)
+    finally:
+        if owned_sink is not None:
+            owned_sink.close()
     profile = automaton.profile(result, total_cores=cores,
                                 metric=metric, reference=reference)
     return profile, result, automaton

@@ -25,6 +25,7 @@ from .core.contract import run_contract
 from .core.controller import (AccuracyTarget, AnyOf, DeadlineStop,
                               EnergyBudget, StopCondition)
 from .core.faults import FaultInjector, FaultPolicy
+from .core.tracing import make_sink
 
 __all__ = ["main", "build_parser"]
 
@@ -83,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--strict", action="store_true",
                      help="raise on unrecovered stage failure instead "
                           "of returning the partial result")
+    run.add_argument("--trace", type=str, default=None, metavar="PATH",
+                     help="write an execution trace to PATH")
+    run.add_argument("--trace-format", choices=("jsonl", "chrome"),
+                     default="chrome",
+                     help="trace file format: chrome://tracing JSON "
+                          "(default) or JSON lines")
 
     figures = sub.add_parser("figures",
                              help="regenerate paper figures")
@@ -156,6 +163,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print("error: --contract requires --deadline",
                   file=sys.stderr)
             return 2
+        if args.trace is not None:
+            print("error: --trace is not supported in --contract mode "
+                  "(contract runs are planned, not observed)",
+                  file=sys.stderr)
+            return 2
         plan, result, automaton = run_contract(
             lambda: spec.build(image), args.deadline,
             total_cores=args.cores, schedule=spec.schedule)
@@ -177,13 +189,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
                       f"{sorted(unknown)}; {args.app} has "
                       f"{sorted(known)}", file=sys.stderr)
                 return 2
-        result = automaton.run_simulated(total_cores=args.cores,
-                                         schedule=spec.schedule,
-                                         stop=stop,
-                                         dynamic_shares=args.dynamic,
-                                         faults=faults,
-                                         injector=injector,
-                                         strict=args.strict)
+        sink = (make_sink(args.trace, args.trace_format)
+                if args.trace is not None else None)
+        try:
+            result = automaton.run_simulated(
+                total_cores=args.cores,
+                schedule=spec.schedule,
+                stop=stop,
+                dynamic_shares=args.dynamic,
+                faults=faults,
+                injector=injector,
+                strict=args.strict,
+                trace=sink,
+                trace_metric=spec.metric if sink is not None else None,
+                trace_reference=reference if sink is not None else None)
+        finally:
+            if sink is not None:
+                sink.close()
+        if sink is not None:
+            print(f"trace written to {args.trace} "
+                  f"({args.trace_format})")
         troubled = [r for r in result.stage_reports.values()
                     if r.failures or r.degraded or r.failed]
         for report in troubled:

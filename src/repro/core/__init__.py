@@ -32,6 +32,8 @@ from .stage import (CHANNEL_END, Compute, DEFAULT_ACCESS_PENALTIES, Emit,
                     PollInputs, PreciseStage, Recv, Stage, WaitInputs,
                     Write, access_penalty)
 from .syncstage import SynchronousStage
+from .tracing import (ChromeTraceSink, InMemorySink, JsonlSink, NullSink,
+                      TraceEvent, TraceSink, make_sink)
 
 __all__ = [
     "AnytimeAutomaton",
@@ -59,4 +61,6 @@ __all__ = [
     "PollInputs", "PreciseStage", "Recv", "Stage", "WaitInputs", "Write",
     "access_penalty",
     "SynchronousStage",
+    "ChromeTraceSink", "InMemorySink", "JsonlSink", "NullSink",
+    "TraceEvent", "TraceSink", "make_sink",
 ]

@@ -27,6 +27,7 @@ from .graph import AutomatonGraph
 from .scheduling import SchedulingPolicy, proportional_shares
 from .simexec import SimResult, SimulatedExecutor
 from .stage import Stage
+from .tracing import TraceSink
 
 __all__ = ["AnytimeAutomaton"]
 
@@ -116,14 +117,20 @@ class AnytimeAutomaton:
                       faults: FaultPolicy | dict[str, FaultPolicy]
                       | None = None,
                       injector: FaultInjector | None = None,
-                      strict: bool = False) -> SimResult:
+                      strict: bool = False,
+                      trace: TraceSink | None = None,
+                      trace_metric: Callable[[Any, Any], float]
+                      | None = None,
+                      trace_reference: Any = None) -> SimResult:
         """Deterministic virtual-time execution (the evaluation path).
 
         ``dynamic_shares=True`` turns the policy's shares into weights
         for generalized processor sharing: idle stages donate their
         cores (paper IV-C2's dynamic thread reassignment).
         ``faults``/``injector``/``strict`` configure the fault-tolerance
-        runtime (see :mod:`repro.core.faults`).
+        runtime (see :mod:`repro.core.faults`);
+        ``trace``/``trace_metric``/``trace_reference`` the observability
+        layer (see :mod:`repro.core.tracing`).
         """
         self._claim_run()
         executor = SimulatedExecutor(self.graph, total_cores=total_cores,
@@ -131,7 +138,9 @@ class AnytimeAutomaton:
                                      watch=watch,
                                      dynamic_shares=dynamic_shares,
                                      faults=faults, injector=injector,
-                                     strict=strict)
+                                     strict=strict, trace=trace,
+                                     trace_metric=trace_metric,
+                                     trace_reference=trace_reference)
         return executor.run()
 
     def run_threaded(self, stop: StopCondition | None = None,
@@ -140,16 +149,24 @@ class AnytimeAutomaton:
                      faults: FaultPolicy | dict[str, FaultPolicy]
                      | None = None,
                      injector: FaultInjector | None = None,
-                     strict: bool = False) -> ThreadedResult:
+                     strict: bool = False,
+                     trace: TraceSink | None = None,
+                     trace_metric: Callable[[Any, Any], float]
+                     | None = None,
+                     trace_reference: Any = None) -> ThreadedResult:
         """Wall-clock execution on real threads (the interactive path).
 
         ``faults``/``injector``/``strict`` configure the fault-tolerance
-        runtime (see :mod:`repro.core.faults`).
+        runtime (see :mod:`repro.core.faults`);
+        ``trace``/``trace_metric``/``trace_reference`` the observability
+        layer (see :mod:`repro.core.tracing`).
         """
         self._claim_run()
         executor = ThreadedExecutor(self.graph, stop=stop, watch=watch,
                                     faults=faults, injector=injector,
-                                    strict=strict)
+                                    strict=strict, trace=trace,
+                                    trace_metric=trace_metric,
+                                    trace_reference=trace_reference)
         return executor.run(timeout_s=timeout_s)
 
     def _claim_run(self) -> None:

@@ -86,6 +86,10 @@ class VersionedBuffer:
         self._sealed = False
         self._writer: str | None = None
         self._watchers: list[threading.Event] = []
+        #: optional observability hook ``tracer(kind, name, **args)``,
+        #: installed by an executor when tracing is enabled (see
+        #: :mod:`repro.core.tracing`); called outside the lock
+        self.tracer = None
 
     def register_writer(self, stage_name: str) -> None:
         """Claim this buffer for a stage (Property 2 enforcement).
@@ -145,7 +149,11 @@ class VersionedBuffer:
             self._version += 1
             self._final = bool(final)
             self._notify()
-            return self._version
+            version = self._version
+        if self.tracer is not None:
+            self.tracer("buffer.write", self.name, version=version,
+                        final=bool(final), writer=writer)
+        return version
 
     def seal(self) -> None:
         """Freeze the buffer at its current version without finality.
@@ -156,8 +164,12 @@ class VersionedBuffer:
         down), so waiting longer is pointless.
         """
         with self._cond:
+            already = self._sealed
             self._sealed = True
             self._notify()
+            version = self._version
+        if self.tracer is not None and not already:
+            self.tracer("buffer.seal", self.name, version=version)
 
     def subscribe(self, event: threading.Event) -> None:
         """Register an event set on every write or seal.

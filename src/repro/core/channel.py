@@ -47,6 +47,10 @@ class UpdateChannel:
         self._aborted = False
         self.emitted = 0
         self.received = 0
+        #: optional observability hook ``tracer(kind, name, **args)``,
+        #: installed by an executor when tracing is enabled (see
+        #: :mod:`repro.core.tracing`); called outside the lock
+        self.tracer = None
 
     @property
     def closed(self) -> bool:
@@ -85,6 +89,9 @@ class UpdateChannel:
             self._queue.append(update)
             self.emitted += 1
             self._cond.notify_all()
+            queued = len(self._queue)
+        if self.tracer is not None:
+            self.tracer("channel.emit", self.name, queued=queued)
 
     def try_emit(self, update: Any) -> bool:
         """Non-blocking emit; returns False when full."""
@@ -98,13 +105,19 @@ class UpdateChannel:
             self._queue.append(update)
             self.emitted += 1
             self._cond.notify_all()
-            return True
+            queued = len(self._queue)
+        if self.tracer is not None:
+            self.tracer("channel.emit", self.name, queued=queued)
+        return True
 
     def close(self) -> None:
         """Mark the stream complete; queued updates remain receivable."""
         with self._cond:
+            already = self._closed
             self._closed = True
             self._cond.notify_all()
+        if self.tracer is not None and not already:
+            self.tracer("channel.close", self.name)
 
     def abort(self) -> None:
         """Close the stream because one endpoint died (fault path).
@@ -116,9 +129,13 @@ class UpdateChannel:
         raises :class:`ChannelClosed`).
         """
         with self._cond:
+            already = self._aborted
             self._closed = True
             self._aborted = True
             self._cond.notify_all()
+            queued = len(self._queue)
+        if self.tracer is not None and not already:
+            self.tracer("channel.abort", self.name, queued=queued)
 
     def recv(self, timeout: float | None = None) -> Any:
         """Dequeue the next update; blocks while empty.
@@ -137,7 +154,10 @@ class UpdateChannel:
             update = self._queue.popleft()
             self.received += 1
             self._cond.notify_all()
-            return update
+            queued = len(self._queue)
+        if self.tracer is not None:
+            self.tracer("channel.recv", self.name, queued=queued)
+        return update
 
     def try_recv(self) -> tuple[bool, Any]:
         """Non-blocking receive: (True, update) or (False, None).
@@ -145,12 +165,15 @@ class UpdateChannel:
         Raises :class:`ChannelClosed` when closed and drained.
         """
         with self._cond:
-            if self._queue:
-                self.received += 1
-                update = self._queue.popleft()
-                self._cond.notify_all()
-                return True, update
-            if self._closed:
-                raise ChannelClosed(
-                    f"channel {self.name!r} is closed and drained")
-            return False, None
+            if not self._queue:
+                if self._closed:
+                    raise ChannelClosed(
+                        f"channel {self.name!r} is closed and drained")
+                return False, None
+            self.received += 1
+            update = self._queue.popleft()
+            self._cond.notify_all()
+            queued = len(self._queue)
+        if self.tracer is not None:
+            self.tracer("channel.recv", self.name, queued=queued)
+        return True, update

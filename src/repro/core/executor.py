@@ -39,6 +39,7 @@ from .recording import Timeline, WriteRecord
 from .stage import (CHANNEL_END, CloseChannel, Compute, Emit, PollInputs,
                     Recv, WaitInputs, Write)
 from .syncstage import SynchronousStage
+from .tracing import TraceEvent, TraceSink, active_sink
 
 __all__ = ["ThreadedExecutor", "ThreadedResult"]
 
@@ -97,6 +98,15 @@ class ThreadedExecutor:
         When True, a run that ends with an unrecovered stage failure
         raises ``RuntimeError`` (the historical behavior) instead of
         returning the partial result.
+    trace:
+        Optional :class:`~repro.core.tracing.TraceSink` receiving
+        structured execution events; None (or a disabled sink such as
+        ``NullSink``) short-circuits every hook (zero overhead when
+        off).  Timestamps are wall seconds from run start.
+    trace_metric / trace_reference:
+        When both tracing and a metric are supplied, each watched write
+        additionally emits an ``accuracy.sample`` event with
+        ``metric(value, trace_reference)``.
     """
 
     def __init__(self, graph: AutomatonGraph,
@@ -104,7 +114,10 @@ class ThreadedExecutor:
                  watch: set[str] | None = None,
                  faults: FaultPolicy | dict[str, FaultPolicy] | None = None,
                  injector: FaultInjector | None = None,
-                 strict: bool = False) -> None:
+                 strict: bool = False,
+                 trace: TraceSink | None = None,
+                 trace_metric: Any = None,
+                 trace_reference: Any = None) -> None:
         self.graph = graph
         self.stop = stop
         if watch is None:
@@ -114,6 +127,14 @@ class ThreadedExecutor:
         self.faults = faults
         self.injector = injector
         self.strict = strict
+        self._sink = active_sink(trace)
+        self.trace_metric = trace_metric
+        self.trace_reference = trace_reference
+        # Cumulative *virtual* energy, charged from the Compute costs
+        # the stages declare.  Wall time cannot recover per-stage cost,
+        # but the declared costs can — so the threaded timeline's
+        # energy column agrees in shape with the simulator's.
+        self._energy = 0.0
         self._halt = threading.Event()
         self._stop_requested = threading.Event()
         self._lock = threading.Lock()
@@ -135,6 +156,70 @@ class ThreadedExecutor:
         self._stop_requested.set()
         self._halt.set()
 
+    # -- tracing ---------------------------------------------------------
+
+    def _now(self) -> float:
+        return _time.perf_counter() - self._t0
+
+    def _trace(self, kind: str, stage: str | None = None,
+               target: str | None = None, ts: float | None = None,
+               **args: Any) -> None:
+        if self._sink is None:
+            return
+        self._sink.emit(TraceEvent(self._now() if ts is None else ts,
+                                   kind, stage=stage, target=target,
+                                   args=args))
+
+    def _trace_wait(self, stage_name: str, started: float,
+                    kind: str) -> None:
+        """Record one completed blocking wait (counter + span event)."""
+        elapsed = self._now() - started
+        self._reports[stage_name].record_wait(elapsed)
+        if self._sink is not None:
+            self._sink.emit(TraceEvent(
+                started, "stage.wait", stage=stage_name,
+                args={"dur": elapsed, "wait": kind}))
+
+    def _install_hooks(self) -> None:
+        """Point buffer/channel/injector tracers at the sink."""
+        if self._sink is None:
+            return
+
+        chan_stage: dict[tuple[str, str], str] = {}
+        for s in self.graph.stages:
+            if s.emit_to is not None:
+                chan_stage[(s.emit_to.name, "out")] = s.name
+            if isinstance(s, SynchronousStage):
+                chan_stage[(s.channel.name, "in")] = s.name
+
+        def buffer_hook(kind: str, name: str, **args: Any) -> None:
+            self._trace(kind, stage=args.pop("writer", None),
+                        target=name, **args)
+
+        def channel_hook(kind: str, name: str, **args: Any) -> None:
+            side = "in" if kind == "channel.recv" else "out"
+            self._trace(kind, stage=chan_stage.get((name, side)),
+                        target=name, **args)
+
+        for b in self.graph.buffers.values():
+            b.tracer = buffer_hook
+        for s in self.graph.stages:
+            if s.emit_to is not None:
+                s.emit_to.tracer = channel_hook
+        if self.injector is not None:
+            self.injector.tracer = (
+                lambda s, c, k: self._trace("fault.injected", stage=s,
+                                            at=c, fault=k))
+
+    def _charge(self, cmd: Compute) -> None:
+        amount = cmd.energy if cmd.energy is not None else cmd.cost
+        with self._lock:
+            self._energy += amount
+
+    def _energy_total(self) -> float:
+        with self._lock:
+            return self._energy
+
     def _record(self, record: WriteRecord) -> None:
         with self._lock:
             self._timeline.add(record)
@@ -149,6 +234,8 @@ class ThreadedExecutor:
         policy = resolve_policy(self.faults, stage.name)
         while not self._halt.is_set():
             report.attempts += 1
+            self._trace("stage.start", stage=stage.name,
+                        attempt=report.attempts)
             gen = stage.body()
             if self.injector is not None:
                 gen = self.injector.wrap(stage.name, gen, realtime=True)
@@ -156,6 +243,8 @@ class ThreadedExecutor:
                 outcome = self._interpret(stage, gen)
             except BaseException as exc:   # noqa: BLE001 - reported
                 failures = report.record_failure(exc)
+                self._trace("stage.finish", stage=stage.name,
+                            status="error", error=repr(exc))
                 with self._lock:
                     self._errors.append((stage.name, exc))
                 if self.stop is not None \
@@ -170,7 +259,10 @@ class ThreadedExecutor:
                     # would re-emit (double counting).  Degrade instead.
                     action = "degrade"
                 if action == "restart":
-                    self._backoff(policy.restart_delay(failures))
+                    delay = policy.restart_delay(failures)
+                    self._trace("stage.restart", stage=stage.name,
+                                failures=failures, delay=delay)
+                    self._backoff(delay)
                     continue
                 if action == "fail":
                     report.failed = True
@@ -180,10 +272,17 @@ class ThreadedExecutor:
                 self._finish_degraded(stage, report)
                 return
             if outcome is _EXHAUSTED or report.degraded:
+                self._trace("stage.finish", stage=stage.name,
+                            status="degraded")
                 self._finish_degraded(stage, report)
             elif outcome == "done":
+                self._trace("stage.finish", stage=stage.name,
+                            status="completed")
                 report.completed = True
                 self._seal_outputs(stage)
+            else:
+                self._trace("stage.finish", stage=stage.name,
+                            status="halted")
             return   # done, halted, or degraded
 
     def _interpret(self, stage, gen) -> Any:
@@ -191,14 +290,18 @@ class ThreadedExecutor:
         ("halted"), or its inputs are exhausted (``_EXHAUSTED``).
         Stage exceptions propagate to :meth:`_run_stage`."""
         send_value: Any = None
+        report = self._reports[stage.name]
         while not self._halt.is_set():
             try:
                 cmd = gen.send(send_value)
             except StopIteration:
                 return "done"
             send_value = None
+            report.commands += 1
             if isinstance(cmd, Compute):
-                continue    # the work already ran inside the stage
+                # the work already ran inside the stage; charge its
+                # declared cost so the timeline's energy column fills
+                self._charge(cmd)
             elif isinstance(cmd, Write):
                 final = cmd.final
                 if final and isinstance(stage, SynchronousStage) \
@@ -206,14 +309,22 @@ class ThreadedExecutor:
                     # The update stream was cut short: the aggregate is
                     # an approximation, not the precise output.
                     final = False
-                    self._reports[stage.name].degraded = True
+                    report.degraded = True
                 version = stage.output.write(cmd.value, final,
                                              writer=stage.name)
                 watched = stage.output.name in self.watch
+                now = _time.perf_counter() - self._t0
                 self._record(WriteRecord(
-                    _time.perf_counter() - self._t0,
-                    stage.output.name, version, final, 0.0,
+                    now, stage.output.name, version, final,
+                    self._energy_total(),
                     cmd.value if watched else None))
+                if self._sink is not None and watched \
+                        and self.trace_metric is not None:
+                    self._trace("accuracy.sample", stage=stage.name,
+                                target=stage.output.name, ts=now,
+                                accuracy=float(self.trace_metric(
+                                    cmd.value, self.trace_reference)),
+                                version=version)
             elif isinstance(cmd, WaitInputs):
                 send_value = self._wait_inputs(stage, cmd.seen)
                 if send_value is None:          # halted while waiting
@@ -224,12 +335,11 @@ class ThreadedExecutor:
             elif isinstance(cmd, PollInputs):
                 send_value = self._poll_inputs(stage, cmd.seen)
             elif isinstance(cmd, Emit):
-                while not self._halt.is_set():
-                    try:
-                        stage.emit_to.emit(cmd.update, timeout=_POLL_S)
-                        break
-                    except TimeoutError:
-                        continue
+                if not self._emit_update(stage, cmd.update):
+                    # Halted before the update could be enqueued: stop
+                    # here instead of silently dropping it and letting
+                    # the generator run on to its next wait.
+                    return "halted"
             elif isinstance(cmd, CloseChannel):
                 stage.emit_to.close()
             elif isinstance(cmd, Recv):
@@ -241,6 +351,29 @@ class ThreadedExecutor:
                     f"stage {stage.name!r} yielded unknown command "
                     f"{cmd!r}")
         return "halted"
+
+    def _emit_update(self, stage, update) -> bool:
+        """Halt-aware blocking emit; False = halted before enqueue.
+
+        The caller must treat False as ``"halted"`` — the update was
+        *not* delivered, so letting the generator keep running would
+        silently desynchronize the stream.  :class:`ChannelClosed`
+        propagates to the fault policy as before.
+        """
+        started: float | None = None
+        try:
+            while not self._halt.is_set():
+                try:
+                    stage.emit_to.emit(update, timeout=_POLL_S)
+                    return True
+                except TimeoutError:
+                    if started is None:
+                        started = self._now()
+                    continue
+            return False
+        finally:
+            if started is not None:
+                self._trace_wait(stage.name, started, "emit")
 
     def _finish_degraded(self, stage, report: StageReport) -> None:
         report.degraded = True
@@ -291,37 +424,52 @@ class ThreadedExecutor:
 
     def _wait_inputs(self, stage, seen):
         event = self._events[stage.name]
-        while not self._halt.is_set():
-            event.clear()
-            snaps = self._snapshots(stage)
-            if not snaps:
-                return snaps
-            if not any(s.empty for s in snaps.values()) and any(
-                    s.version > seen.get(n, 0)
-                    for n, s in snaps.items()):
-                return snaps
-            if self._inputs_exhausted(snaps):
-                return _EXHAUSTED
-            # The event is set by a write/seal to any input; the short
-            # timeout keeps the halt flag live.
-            event.wait(timeout=_POLL_S)
-        return None
+        started: float | None = None
+        try:
+            while not self._halt.is_set():
+                event.clear()
+                snaps = self._snapshots(stage)
+                if not snaps:
+                    return snaps
+                if not any(s.empty for s in snaps.values()) and any(
+                        s.version > seen.get(n, 0)
+                        for n, s in snaps.items()):
+                    return snaps
+                if self._inputs_exhausted(snaps):
+                    return _EXHAUSTED
+                if started is None:
+                    started = self._now()
+                # The event is set by a write/seal to any input; the
+                # short timeout keeps the halt flag live.
+                event.wait(timeout=_POLL_S)
+            return None
+        finally:
+            if started is not None:
+                self._trace_wait(stage.name, started, "inputs")
 
     def _recv(self, stage):
-        while not self._halt.is_set():
-            try:
-                return stage.channel.recv(timeout=_POLL_S)
-            except TimeoutError:
-                continue
-            except ChannelClosed:
-                return CHANNEL_END
-        return None
+        started: float | None = None
+        try:
+            while not self._halt.is_set():
+                try:
+                    return stage.channel.recv(timeout=_POLL_S)
+                except TimeoutError:
+                    if started is None:
+                        started = self._now()
+                    continue
+                except ChannelClosed:
+                    return CHANNEL_END
+            return None
+        finally:
+            if started is not None:
+                self._trace_wait(stage.name, started, "recv")
 
     # -- whole-run driver ------------------------------------------------
 
     def run(self, timeout_s: float | None = None) -> ThreadedResult:
         """Execute until completion, stop condition, or ``timeout_s``."""
         self._t0 = _time.perf_counter()
+        self._install_hooks()
         threads = [threading.Thread(target=self._run_stage, args=(s,),
                                     name=f"stage-{s.name}", daemon=True)
                    for s in self.graph.stages]

@@ -152,6 +152,13 @@ class StageReport:
     marks the stage that halted the run under an ``on_failure="fail"``
     policy; ``completed`` means the stage ran its generator to the
     natural end and was not degraded.
+
+    The remaining fields are per-stage observability counters
+    (maintained by both executors whether or not a trace sink is
+    attached): ``commands`` counts protocol commands the stage yielded,
+    ``waits`` counts blocking waits (inputs, channel recv, backpressured
+    emit) and ``wait_time`` their total duration — virtual work units
+    under the simulator, wall seconds under the threaded executor.
     """
 
     stage: str
@@ -162,6 +169,9 @@ class StageReport:
     completed: bool = False
     last_error: str | None = None
     error_history: list[str] = field(default_factory=list)
+    commands: int = 0
+    waits: int = 0
+    wait_time: float = 0.0
 
     def record_failure(self, exc: BaseException) -> int:
         """Log one failed attempt; returns the failure count."""
@@ -169,6 +179,16 @@ class StageReport:
         self.last_error = repr(exc)
         self.error_history.append(repr(exc))
         return self.failures
+
+    def record_wait(self, elapsed: float) -> None:
+        """Log one completed blocking wait of ``elapsed`` duration."""
+        self.waits += 1
+        self.wait_time += elapsed
+
+    @property
+    def retries(self) -> int:
+        """Restarts beyond the first attempt."""
+        return max(self.attempts - 1, 0)
 
     @property
     def ok(self) -> bool:
@@ -181,7 +201,8 @@ class StageReport:
                  else "completed" if self.completed
                  else "stopped")
         text = (f"{self.stage}: {state}, attempts={self.attempts}, "
-                f"failures={self.failures}")
+                f"failures={self.failures}, commands={self.commands}, "
+                f"waits={self.waits}, wait_time={self.wait_time:.3g}")
         if self.last_error is not None:
             text += f", last_error={self.last_error}"
         return text
@@ -273,6 +294,10 @@ class FaultInjector:
         self._counts: dict[str, int] = {}
         #: log of fired faults as (stage, command_count, kind) triples
         self.triggered: list[tuple[str, int, str]] = []
+        #: optional observability hook ``tracer(stage, count, kind)``,
+        #: installed by an executor when tracing is enabled; fires once
+        #: per triggered fault (see :mod:`repro.core.tracing`)
+        self.tracer = None
 
     @classmethod
     def crash(cls, stage: str, at: int, times: int = 1) -> "FaultInjector":
@@ -342,6 +367,8 @@ class FaultInjector:
             spec = self._due(stage, count)
             if spec is not None:
                 self.triggered.append((stage, count, spec.kind))
+                if self.tracer is not None:
+                    self.tracer(stage, count, spec.kind)
                 if spec.kind == "error":
                     raise FaultInjected(
                         f"{spec.message} (stage {stage!r}, "

@@ -42,6 +42,7 @@ from .scheduling import SchedulingPolicy, proportional_shares
 from .stage import (CHANNEL_END, CloseChannel, Compute, Emit, PollInputs,
                     Recv, Stage, WaitInputs, Write)
 from .syncstage import SynchronousStage
+from .tracing import TraceEvent, TraceSink, active_sink
 
 __all__ = ["SimResult", "SimulatedExecutor", "ExecutionError"]
 
@@ -109,7 +110,8 @@ class _Process:
     """Bookkeeping for one stage's coroutine."""
 
     __slots__ = ("stage", "gen", "done", "waiting_inputs",
-                 "waiting_recv", "waiting_emit")
+                 "waiting_recv", "waiting_emit", "wait_started",
+                 "wait_kind", "span_open")
 
     def __init__(self, stage: Stage) -> None:
         self.stage = stage
@@ -118,6 +120,9 @@ class _Process:
         self.waiting_inputs: dict[str, int] | None = None
         self.waiting_recv = False
         self.waiting_emit: Any = _NO_PENDING  # pending update when blocked
+        self.wait_started: float | None = None  # block time, for tracing
+        self.wait_kind = ""                     # "inputs"|"recv"|"emit"
+        self.span_open = False                  # a stage.start lacks its E
 
 
 class SimulatedExecutor:
@@ -150,6 +155,17 @@ class SimulatedExecutor:
         When True, a run ending with an unrecovered stage failure
         raises :class:`ExecutionError` instead of returning the partial
         result.
+    trace:
+        Optional :class:`~repro.core.tracing.TraceSink` receiving
+        structured execution events (stage spans, waits, buffer and
+        channel operations, fault dispositions).  None — or a sink with
+        ``enabled=False`` such as ``NullSink`` — disables every hook at
+        a single ``is None`` check (zero overhead when off).
+    trace_metric / trace_reference:
+        When both tracing and a metric are supplied, each watched write
+        additionally emits an ``accuracy.sample`` event with
+        ``metric(value, trace_reference)`` — the accuracy-vs-time event
+        stream.
     """
 
     def __init__(self, graph: AutomatonGraph,
@@ -162,7 +178,10 @@ class SimulatedExecutor:
                  dynamic_shares: bool = False,
                  faults: FaultPolicy | dict[str, FaultPolicy] | None = None,
                  injector: FaultInjector | None = None,
-                 strict: bool = False) -> None:
+                 strict: bool = False,
+                 trace: TraceSink | None = None,
+                 trace_metric: Any = None,
+                 trace_reference: Any = None) -> None:
         if total_cores <= 0:
             raise ValueError(f"total_cores must be positive: {total_cores}")
         self.graph = graph
@@ -190,6 +209,9 @@ class SimulatedExecutor:
         self.faults = faults
         self.injector = injector
         self.strict = strict
+        self.sink = active_sink(trace)
+        self.trace_metric = trace_metric
+        self.trace_reference = trace_reference
         self.meter = EnergyMeter(table=energy_table or EnergyTable())
 
     # -- kernel ----------------------------------------------------------
@@ -229,6 +251,77 @@ class SimulatedExecutor:
         # deadline executes, so the timeline never contains an output
         # version the deadline would not actually have allowed.
         deadline = _find_deadline(self.stop)
+
+        # -- tracing -----------------------------------------------------
+        # Every hook below is a single `is None` check when tracing is
+        # off; the wait/span bookkeeping also feeds the StageReport
+        # counters, which are maintained unconditionally (cheap).
+        sink = self.sink
+
+        def emit(kind: str, stage: str | None = None,
+                 target: str | None = None, **args: Any) -> None:
+            sink.emit(TraceEvent(now, kind, stage=stage, target=target,
+                                 args=args))
+
+        if sink is not None:
+            chan_stage: dict[tuple[str, str], str] = {}
+            for p in procs.values():
+                if p.stage.emit_to is not None:
+                    chan_stage[(p.stage.emit_to.name, "out")] = \
+                        p.stage.name
+                if isinstance(p.stage, SynchronousStage):
+                    chan_stage[(p.stage.channel.name, "in")] = \
+                        p.stage.name
+
+            def _buffer_hook(kind: str, name: str, **args: Any) -> None:
+                emit(kind, stage=args.pop("writer", None), target=name,
+                     **args)
+
+            def _channel_hook(kind: str, name: str, **args: Any) -> None:
+                side = "in" if kind == "channel.recv" else "out"
+                emit(kind, stage=chan_stage.get((name, side)),
+                     target=name, **args)
+
+            for b in self.graph.buffers.values():
+                b.tracer = _buffer_hook
+            for p in procs.values():
+                if p.stage.emit_to is not None:
+                    p.stage.emit_to.tracer = _channel_hook
+            if self.injector is not None:
+                self.injector.tracer = (
+                    lambda s, c, k: emit("fault.injected", stage=s,
+                                         at=c, fault=k))
+
+        def trace_start(proc: _Process, attempt: int) -> None:
+            proc.span_open = True
+            if sink is not None:
+                emit("stage.start", stage=proc.stage.name,
+                     attempt=attempt)
+
+        def trace_finish(proc: _Process, status: str,
+                         **args: Any) -> None:
+            if not proc.span_open:
+                return
+            proc.span_open = False
+            if sink is not None:
+                emit("stage.finish", stage=proc.stage.name,
+                     status=status, **args)
+
+        def begin_wait(proc: _Process, kind: str) -> None:
+            proc.wait_started = now
+            proc.wait_kind = kind
+
+        def end_wait(proc: _Process) -> None:
+            if proc.wait_started is None:
+                return
+            elapsed = now - proc.wait_started
+            reports[proc.stage.name].record_wait(elapsed)
+            if sink is not None:
+                sink.emit(TraceEvent(
+                    proc.wait_started, "stage.wait",
+                    stage=proc.stage.name,
+                    args={"dur": elapsed, "wait": proc.wait_kind}))
+            proc.wait_started = None
 
         def snapshots(stage: Stage) -> dict[str, Snapshot]:
             return {b.name: b.snapshot() for b in stage.inputs}
@@ -273,6 +366,7 @@ class SimulatedExecutor:
                 consumer = channel_consumer[id(stage.emit_to)]
                 if consumer.waiting_recv and len(stage.emit_to) == 0:
                     consumer.waiting_recv = False
+                    end_wait(consumer)
                     schedule(consumer, now, CHANNEL_END)
             if isinstance(stage, SynchronousStage) \
                     and not stage.channel.closed:
@@ -283,13 +377,16 @@ class SimulatedExecutor:
                     # The pending update is lost with the stream; resume
                     # the producer so its next emit observes the abort.
                     producer.waiting_emit = _NO_PENDING
+                    end_wait(producer)
                     schedule(producer, now, None)
 
         def finish_degraded(proc: _Process) -> None:
             proc.done = True
             proc.waiting_inputs = None
             proc.waiting_recv = False
+            end_wait(proc)
             reports[proc.stage.name].degraded = True
+            trace_finish(proc, "degraded")
             proc.gen.close()
             seal_and_wake(proc)
 
@@ -300,6 +397,7 @@ class SimulatedExecutor:
             report = reports[name]
             failures = report.record_failure(exc)
             errors.append((name, exc))
+            trace_finish(proc, "error", error=repr(exc))
             try:
                 proc.gen.close()
             except RuntimeError:   # pragma: no cover - defensive
@@ -323,8 +421,13 @@ class SimulatedExecutor:
                 proc.waiting_inputs = None
                 proc.waiting_recv = False
                 proc.waiting_emit = _NO_PENDING
-                schedule(proc, now + policy.restart_delay(failures),
-                         None)
+                proc.wait_started = None
+                delay = policy.restart_delay(failures)
+                if sink is not None:
+                    emit("stage.restart", stage=name, failures=failures,
+                         delay=delay)
+                trace_start(proc, report.attempts)
+                schedule(proc, now + delay, None)
                 return "restarted"
             if action == "fail":
                 report.failed = True
@@ -333,6 +436,9 @@ class SimulatedExecutor:
                 return "failed"
             finish_degraded(proc)
             return "degraded"
+
+        for pname in sorted(procs):
+            trace_start(procs[pname], 1)
 
         while not stopped and not failed:
             # Pick the next event: the heap's head or, under dynamic
@@ -371,6 +477,7 @@ class SimulatedExecutor:
                         finish_degraded(proc)
                     continue
                 proc.waiting_inputs = None
+                end_wait(proc)
                 payload = snaps
             send_value = payload
             while True:
@@ -380,6 +487,9 @@ class SimulatedExecutor:
                     proc.done = True
                     if not reports[name].degraded:
                         reports[name].completed = True
+                    trace_finish(proc, "degraded"
+                                 if reports[name].degraded
+                                 else "completed")
                     seal_and_wake(proc)
                     break
                 except BaseException as exc:   # noqa: BLE001 - policy
@@ -390,6 +500,7 @@ class SimulatedExecutor:
                         stopped = True
                     break
                 send_value = None
+                reports[name].commands += 1
                 if isinstance(cmd, Compute):
                     self.meter.charge(cmd.energy if cmd.energy is not None
                                       else cmd.cost)
@@ -424,6 +535,13 @@ class SimulatedExecutor:
                         self.meter.total,
                         cmd.value if watched else None)
                     timeline.add(record)
+                    if sink is not None and watched \
+                            and self.trace_metric is not None:
+                        emit("accuracy.sample", stage=stage.name,
+                             target=stage.output.name,
+                             accuracy=float(self.trace_metric(
+                                 cmd.value, self.trace_reference)),
+                             version=version)
                     for waiter in buffer_waiters.pop(
                             stage.output.name, []):
                         if not waiter.done:
@@ -441,6 +559,7 @@ class SimulatedExecutor:
                         finish_degraded(proc)
                         break
                     proc.waiting_inputs = dict(cmd.seen)
+                    begin_wait(proc, "inputs")
                     for b in proc.stage.inputs:
                         buffer_waiters.setdefault(b.name, []).append(proc)
                     break
@@ -452,6 +571,7 @@ class SimulatedExecutor:
                     assert channel is not None
                     if not channel.closed and channel.full:
                         proc.waiting_emit = cmd.update
+                        begin_wait(proc, "emit")
                         break
                     try:
                         channel.emit(cmd.update)
@@ -466,6 +586,7 @@ class SimulatedExecutor:
                     consumer = channel_consumer[id(channel)]
                     if consumer.waiting_recv:
                         consumer.waiting_recv = False
+                        end_wait(consumer)
                         ok, update = channel.try_recv()
                         assert ok
                         schedule(consumer, now, update)
@@ -476,6 +597,7 @@ class SimulatedExecutor:
                     consumer = channel_consumer[id(channel)]
                     if consumer.waiting_recv and len(channel) == 0:
                         consumer.waiting_recv = False
+                        end_wait(consumer)
                         schedule(consumer, now, CHANNEL_END)
                 elif isinstance(cmd, Recv):
                     channel = proc.stage.channel  # type: ignore[attr-defined]
@@ -492,10 +614,12 @@ class SimulatedExecutor:
                             pending = producer.waiting_emit
                             if pending is not _NO_PENDING:
                                 producer.waiting_emit = _NO_PENDING
+                                end_wait(producer)
                                 channel.emit(pending)
                                 schedule(producer, now, None)
                         continue
                     proc.waiting_recv = True
+                    begin_wait(proc, "recv")
                     break
                 else:
                     raise ExecutionError(
@@ -506,6 +630,10 @@ class SimulatedExecutor:
         if undone and not stopped and not failed and not heap:
             raise ExecutionError(
                 f"execution wedged; blocked stages: {undone}")
+        # Close any span left open by a stop / halt so a Chrome trace
+        # always carries matched B/E pairs.
+        for proc in procs.values():
+            trace_finish(proc, "stopped" if stopped else "halted")
         completed = (not stopped
                      and all(r.completed for r in reports.values()))
         if self.strict:

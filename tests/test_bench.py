@@ -34,6 +34,59 @@ class TestHarness:
         with mock.patch.dict(os.environ, {"REPRO_BENCH_CORES": "8"}):
             assert bench_cores() == 8.0
 
+    @pytest.mark.parametrize("raw", ["abc", "12.5.1", ""])
+    def test_bench_size_rejects_non_numeric(self, raw):
+        with mock.patch.dict(os.environ, {"REPRO_BENCH_SIZE": raw}):
+            with pytest.raises(ValueError,
+                               match="REPRO_BENCH_SIZE"):
+                bench_size()
+
+    @pytest.mark.parametrize("raw", ["0", "-32"])
+    def test_bench_size_rejects_non_positive(self, raw):
+        with mock.patch.dict(os.environ, {"REPRO_BENCH_SIZE": raw}):
+            with pytest.raises(ValueError,
+                               match="REPRO_BENCH_SIZE"):
+                bench_size()
+
+    @pytest.mark.parametrize("raw", ["many", "", "0", "-4", "inf",
+                                     "nan"])
+    def test_bench_cores_rejects_bad_values(self, raw):
+        with mock.patch.dict(os.environ, {"REPRO_BENCH_CORES": raw}):
+            with pytest.raises(ValueError,
+                               match="REPRO_BENCH_CORES"):
+                bench_cores()
+
+    def test_trace_dir_captures_run_profile(self, tmp_path):
+        import json
+
+        import numpy as np
+
+        from repro.anytime.permutations import TreePermutation
+        from repro.bench.harness import run_profile
+        from repro.core.automaton import AnytimeAutomaton
+        from repro.core.buffer import VersionedBuffer
+        from repro.core.mapstage import MapStage
+
+        def build():
+            img = np.arange(64, dtype=np.float64).reshape(8, 8)
+            b_in = VersionedBuffer("in")
+            b_out = VersionedBuffer("out")
+            stage = MapStage(
+                "m", b_out, (b_in,),
+                lambda idx, im: np.asarray(im).reshape(-1)[idx] * 2,
+                shape=(8, 8), dtype=np.float64,
+                permutation=TreePermutation(), chunks=4)
+            return AnytimeAutomaton([stage], external={"in": img})
+
+        with mock.patch.dict(os.environ, {"REPRO_BENCH_TRACE_DIR":
+                                          str(tmp_path)}):
+            run_profile(build, cores=4.0)
+        files = [f for f in os.listdir(tmp_path)
+                 if f.endswith(".json")]
+        assert len(files) == 1
+        doc = json.load(open(tmp_path / files[0]))
+        assert doc["traceEvents"]
+
     def test_figure_data_rejects_ragged_rows(self):
         fig = FigureData("F", "t", headers=("a", "b"))
         with pytest.raises(ValueError):

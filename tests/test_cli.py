@@ -86,6 +86,37 @@ class TestCli:
             main(["run", "unknown-app"])
         capsys.readouterr()
 
+    def test_run_trace_chrome(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["run", "2dconv", "--size", "32",
+                     "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        import json
+        doc = json.load(open(path))
+        events = doc["traceEvents"]
+        assert events
+        kinds = {e.get("ph") for e in events}
+        assert {"B", "E"} <= kinds
+
+    def test_run_trace_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["run", "2dconv", "--size", "32",
+                     "--trace", str(path),
+                     "--trace-format", "jsonl"]) == 0
+        capsys.readouterr()
+        import json
+        events = [json.loads(line)
+                  for line in open(path).read().splitlines()]
+        assert any(e["kind"] == "accuracy.sample" for e in events)
+
+    def test_run_trace_rejected_in_contract_mode(self, tmp_path,
+                                                 capsys):
+        assert main(["run", "dwt53", "--size", "32",
+                     "--deadline", "0.7", "--contract",
+                     "--trace", str(tmp_path / "t.json")]) == 2
+        assert "--trace" in capsys.readouterr().err
+
     def test_figures_selected(self, capsys):
         assert main(["figures", "fig10_organizations"]) == 0
         out = capsys.readouterr().out
