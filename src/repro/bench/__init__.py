@@ -1,8 +1,9 @@
 """Benchmark harness: experiment definitions regenerating every figure."""
 
-from .experiments import (ablation_locality, ablation_prefetcher,
-                          ablation_restart_policy, ablation_scheduling,
-                          ablation_threads, build_fig2_automaton,
+from .experiments import (ablation_backends, ablation_locality,
+                          ablation_prefetcher, ablation_restart_policy,
+                          ablation_scheduling, ablation_threads,
+                          backend_wall_profiles, build_fig2_automaton,
                           extension_contract, extension_dynamic_shares,
                           extension_energy, extension_sram_runtime,
                           fig02_pipeline_schedule, fig10_organizations,
@@ -15,8 +16,9 @@ from .harness import (FigureData, bench_cores, bench_size, format_rows,
                       run_profile)
 
 __all__ = [
-    "ablation_locality", "ablation_prefetcher", "ablation_restart_policy",
-    "ablation_scheduling", "ablation_threads",
+    "ablation_backends", "ablation_locality", "ablation_prefetcher",
+    "ablation_restart_policy", "ablation_scheduling", "ablation_threads",
+    "backend_wall_profiles",
     "extension_contract", "extension_dynamic_shares",
     "extension_energy", "extension_sram_runtime",
     "build_fig2_automaton", "fig02_pipeline_schedule",

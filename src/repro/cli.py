@@ -11,6 +11,10 @@ Commands
     execute in contract mode.
 ``figures [name ...]``
     Regenerate paper figures (default: all) and print their tables.
+``bench``
+    Wall-clock comparison of the execution backends (threaded vs
+    process), optionally emitting machine-readable JSON
+    (``--json PATH`` or the ``REPRO_BENCH_JSON`` environment variable).
 """
 
 from __future__ import annotations
@@ -45,6 +49,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--cores", type=float, default=32.0,
                      help="simulated core count (default 32)")
+    run.add_argument("--executor",
+                     choices=("simulated", "threaded", "process"),
+                     default="simulated",
+                     help="execution backend: deterministic virtual-"
+                          "time simulation (default), real threads, or "
+                          "one process per stage over shared memory")
+    run.add_argument("--timeout-s", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock timeout (threaded/process "
+                          "executors only)")
     run.add_argument("--deadline", type=float, default=None,
                      metavar="FRAC",
                      help="stop at FRAC x baseline runtime")
@@ -97,6 +111,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="figure names (default: all)")
     figures.add_argument("--size", type=int, default=None,
                          help="override REPRO_BENCH_SIZE")
+
+    bench = sub.add_parser(
+        "bench", help="wall-clock benchmark of the execution backends")
+    bench.add_argument("--size", type=int, default=None,
+                       help="override REPRO_BENCH_SIZE")
+    bench.add_argument("--json", type=str, default=None, metavar="PATH",
+                       help="write machine-readable results to PATH "
+                            "(default: $REPRO_BENCH_JSON when set)")
+    bench.add_argument("--backends", type=str,
+                       default="threaded,process",
+                       help="comma-separated backends to time "
+                            "(default: threaded,process)")
     return parser
 
 
@@ -146,6 +172,25 @@ def _make_faults(args: argparse.Namespace,
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.executor != "simulated":
+        incompatible = [flag for flag, used in (
+            ("--contract", args.contract),
+            ("--dynamic", args.dynamic),
+            ("--deadline", args.deadline is not None),
+            ("--energy-budget", args.energy_budget is not None),
+        ) if used]
+        if incompatible:
+            print(f"error: {', '.join(incompatible)} require(s) the "
+                  f"simulated executor (virtual time / core shares); "
+                  f"use --timeout-s or --target-snr with "
+                  f"--executor {args.executor}", file=sys.stderr)
+            return 2
+    elif args.timeout_s is not None:
+        print("error: --timeout-s is wall-clock; the simulated "
+              "executor takes --deadline (virtual time) instead",
+              file=sys.stderr)
+        return 2
+
     spec = get_app(args.app)
     image = spec.make_input(args.size, args.seed)
     automaton = spec.build(image)
@@ -192,17 +237,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sink = (make_sink(args.trace, args.trace_format)
                 if args.trace is not None else None)
         try:
-            result = automaton.run_simulated(
-                total_cores=args.cores,
-                schedule=spec.schedule,
-                stop=stop,
-                dynamic_shares=args.dynamic,
-                faults=faults,
-                injector=injector,
-                strict=args.strict,
-                trace=sink,
-                trace_metric=spec.metric if sink is not None else None,
-                trace_reference=reference if sink is not None else None)
+            if args.executor == "simulated":
+                result = automaton.run_simulated(
+                    total_cores=args.cores,
+                    schedule=spec.schedule,
+                    stop=stop,
+                    dynamic_shares=args.dynamic,
+                    faults=faults,
+                    injector=injector,
+                    strict=args.strict,
+                    trace=sink,
+                    trace_metric=(spec.metric if sink is not None
+                                  else None),
+                    trace_reference=(reference if sink is not None
+                                     else None))
+            else:
+                runner = (automaton.run_threaded
+                          if args.executor == "threaded"
+                          else automaton.run_processes)
+                result = runner(
+                    stop=stop,
+                    timeout_s=args.timeout_s,
+                    faults=faults,
+                    injector=injector,
+                    strict=args.strict,
+                    trace=sink,
+                    trace_metric=(spec.metric if sink is not None
+                                  else None),
+                    trace_reference=(reference if sink is not None
+                                     else None))
         finally:
             if sink is not None:
                 sink.close()
@@ -220,16 +283,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
               "condition fired; give it more budget")
         return 1
 
-    # normalize against the *untrimmed* application's baseline so
-    # contract-mode runtimes compare against the same yardstick
-    baseline = (spec.build(image).baseline_duration(args.cores)
-                if args.contract
-                else automaton.baseline_duration(args.cores))
+    if args.executor == "simulated":
+        # normalize against the *untrimmed* application's baseline so
+        # contract-mode runtimes compare against the same yardstick
+        baseline = (spec.build(image).baseline_duration(args.cores)
+                    if args.contract
+                    else automaton.baseline_duration(args.cores))
+        time_header, scale = "runtime", baseline
+    else:
+        # wall-clock executors: real seconds, no virtual baseline
+        time_header, scale = "time (s)", 1.0
     state = ("stopped early" if result.stopped_early
              else "completed" if result.completed
              else "degraded")
-    print(f"\n{args.app}: {len(records)} output version(s), {state}")
-    print(f"{'runtime':>10}  {'SNR (dB)':>10}")
+    print(f"\n{args.app}: {len(records)} output version(s), {state} "
+          f"({args.executor} executor)")
+    print(f"{time_header:>10}  {'SNR (dB)':>10}")
     step = max(1, len(records) // max(args.rows, 1))
     shown = list(records[::step])
     if shown[-1] is not records[-1]:
@@ -237,7 +306,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for rec in shown:
         snr = spec.metric(rec.value, reference)
         snr_text = "inf" if math.isinf(snr) else f"{snr:.2f}"
-        print(f"{rec.time / baseline:>10.3f}  {snr_text:>10}")
+        print(f"{rec.time / scale:>10.3f}  {snr_text:>10}")
 
     if args.save:
         if spec.to_image is None:
@@ -272,6 +341,49 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .bench.experiments import backend_wall_profiles
+
+    if args.size is not None:
+        os.environ["REPRO_BENCH_SIZE"] = str(args.size)
+    backends = tuple(b.strip() for b in args.backends.split(",")
+                     if b.strip())
+    known = {"threaded", "process"}
+    unknown = [b for b in backends if b not in known]
+    if unknown:
+        print(f"error: unknown backend(s) {unknown}; known: "
+              f"{sorted(known)}", file=sys.stderr)
+        return 2
+    data = backend_wall_profiles(backends=backends)
+
+    print(f"execution backends at size {data['size']} on "
+          f"{data['cpu_count']} CPU core(s)")
+    print(f"{'figure':<14}{'backend':<10}{'wall (s)':>10}"
+          f"{'t90 (s)':>10}{'outputs':>9}")
+    for fig_name, entry in data["figures"].items():
+        for backend in backends:
+            row = entry[backend]
+            t90 = (f"{row['t90_s']:.3f}" if row["t90_s"] is not None
+                   else "-")
+            print(f"{fig_name:<14}{backend:<10}"
+                  f"{row['wall_s']:>10.3f}{t90:>10}"
+                  f"{row['outputs']:>9}")
+        ratio = entry.get("process_vs_threaded_t90")
+        if ratio is not None:
+            print(f"{fig_name:<14}process/threaded t90 = {ratio:.2f}x")
+
+    json_path = args.json or os.environ.get("REPRO_BENCH_JSON")
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2)
+            fh.write("\n")
+        print(f"results written to {json_path}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "apps":
@@ -280,6 +392,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "figures":
         return _cmd_figures(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -2,8 +2,9 @@
 
 Stages (precise, iterative, diffusive: map and reduction, synchronous
 consumers), single-writer versioned buffers, update channels, the DAG,
-two executors (deterministic discrete-event simulation and real threads),
-stop conditions, scheduling policies and property validators.
+three executors (deterministic discrete-event simulation, real threads,
+and one process per stage over a shared-memory data plane), stop
+conditions, scheduling policies and property validators.
 """
 
 from .automaton import AnytimeAutomaton
@@ -20,6 +21,7 @@ from .faults import (FaultInjected, FaultInjector, FaultPolicy, FaultSpec,
 from .graph import AutomatonGraph, GraphError
 from .iterative import AccuracyLevel, IterativeStage
 from .mapstage import MapStage
+from .procexec import ProcessExecutor
 from .procsharing import ProcessorPool
 from .properties import (PurityViolation, check_atomicity, check_purity,
                          check_single_writer)
@@ -49,6 +51,7 @@ __all__ = [
     "AutomatonGraph", "GraphError",
     "AccuracyLevel", "IterativeStage",
     "MapStage",
+    "ProcessExecutor",
     "ProcessorPool",
     "PurityViolation", "check_atomicity", "check_purity",
     "check_single_writer",

@@ -169,6 +169,39 @@ class AnytimeAutomaton:
                                     trace_reference=trace_reference)
         return executor.run(timeout_s=timeout_s)
 
+    def run_processes(self, stop: StopCondition | None = None,
+                      watch: set[str] | None = None,
+                      timeout_s: float | None = None,
+                      faults: FaultPolicy | dict[str, FaultPolicy]
+                      | None = None,
+                      injector: FaultInjector | None = None,
+                      strict: bool = False,
+                      trace: TraceSink | None = None,
+                      trace_metric: Callable[[Any, Any], float]
+                      | None = None,
+                      trace_reference: Any = None,
+                      grace_s: float = 5.0) -> ThreadedResult:
+        """Wall-clock execution on one process per stage (true
+        parallelism).
+
+        Same semantics and result type as :meth:`run_threaded`, but
+        stages run in forked worker processes that exchange ndarray
+        payloads through shared-memory slabs instead of the GIL-bound
+        thread pool (see :mod:`repro.core.procexec`).  ``grace_s``
+        bounds how long shutdown waits for workers before terminating
+        them.  Requires the ``fork`` start method (POSIX).
+        """
+        from .procexec import ProcessExecutor
+
+        self._claim_run()
+        executor = ProcessExecutor(self.graph, stop=stop, watch=watch,
+                                   faults=faults, injector=injector,
+                                   strict=strict, trace=trace,
+                                   trace_metric=trace_metric,
+                                   trace_reference=trace_reference,
+                                   grace_s=grace_s)
+        return executor.run(timeout_s=timeout_s)
+
     def _claim_run(self) -> None:
         if self._ran:
             raise RuntimeError(

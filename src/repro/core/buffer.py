@@ -55,9 +55,24 @@ class Snapshot:
         return self.final or self.sealed
 
 
-def _freeze(value: Any) -> Any:
-    """Make a defensive, read-only copy of a value being written."""
+def _freeze(value: Any, transfer: bool = False) -> Any:
+    """Make a value being written read-only, copying only when needed.
+
+    The default path copies defensively: the writer may keep mutating
+    its array after the write.  ``transfer=True`` is the writer's
+    promise that it hands over ownership (the array is freshly
+    allocated and never touched again), so the copy is skipped and the
+    caller's array itself is frozen in place.  An array that is already
+    non-writeable is immutable by construction and is likewise stored
+    as-is — either way a version costs O(1) array allocations instead
+    of O(elements).
+    """
     if isinstance(value, np.ndarray):
+        if not value.flags.writeable:
+            return value
+        if transfer:
+            value.setflags(write=False)
+            return value
         frozen = value.copy()
         frozen.setflags(write=False)
         return frozen
@@ -124,13 +139,18 @@ class VersionedBuffer:
             return self._sealed
 
     def write(self, value: Any, final: bool = False,
-              writer: str | None = None) -> int:
+              writer: str | None = None, transfer: bool = False) -> int:
         """Atomically publish a new version; returns the version number.
 
         A buffer that has carried its final version is frozen: further
         writes are rejected (the precise output must not regress).  A
         sealed buffer likewise rejects writes — its producer degraded
         and downstream may already have finished on the sealed version.
+
+        ``transfer=True`` declares an ownership-transfer write: the
+        caller promises never to touch ``value`` again, so the
+        defensive copy is skipped and the array is frozen in place
+        (see :func:`_freeze`).
         """
         with self._cond:
             if writer is not None and self._writer is not None \
@@ -145,7 +165,7 @@ class VersionedBuffer:
                 raise ValueError(
                     f"buffer {self.name!r} is sealed (producer "
                     f"degraded); writes are frozen")
-            self._value = _freeze(value)
+            self._value = _freeze(value, transfer=transfer)
             self._version += 1
             self._final = bool(final)
             self._notify()

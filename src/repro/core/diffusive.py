@@ -140,6 +140,13 @@ class DiffusiveStage(Stage):
         #: accuracy.  Accumulator kernels must reset (they would
         #: double-count).  Subclasses set this.
         self.persistent_state = False
+        #: whether :meth:`materialize` returns a *freshly allocated*
+        #: value every call (never an alias of internal state or an
+        #: input).  Kernels that guarantee this opt in, and each Write
+        #: becomes an ownership transfer: the buffer freezes the array
+        #: in place instead of copying it defensively, so publishing a
+        #: version costs O(1) array allocations.  Subclasses set this.
+        self.fresh_materialize = False
         self._state: Any = None
         self._completed_passes = 0
         #: contract-mode trim (see :mod:`repro.core.contract`): when
@@ -238,7 +245,8 @@ class DiffusiveStage(Stage):
                 yield Emit(update)
             last = ci == len(spans) - 1
             yield Write(self.materialize(state, stop, values),
-                        final=inputs_final and last)
+                        final=inputs_final and last,
+                        transfer=self.fresh_materialize)
             if not last and (yield from self.preempted()):
                 # a preempted pass never closes the channel; only source
                 # stages may emit, and sources are never preempted

@@ -311,7 +311,8 @@ class ThreadedExecutor:
                     final = False
                     report.degraded = True
                 version = stage.output.write(cmd.value, final,
-                                             writer=stage.name)
+                                             writer=stage.name,
+                                             transfer=cmd.transfer)
                 watched = stage.output.name in self.watch
                 now = _time.perf_counter() - self._t0
                 self._record(WriteRecord(
@@ -393,6 +394,23 @@ class ThreadedExecutor:
             # channel (its next emit raises ChannelClosed and its own
             # policy takes over).
             stage.channel.abort()
+
+    def _shutdown_io(self) -> None:
+        """Freeze all buffers and channels after an interrupted run.
+
+        A timeout or stop condition halts the stage threads, but
+        anything *outside* the executor blocked on the graph — a UI
+        thread in ``buffer.wait_newer``, a producer stuck emitting into
+        a full, never-closed channel — would hang forever on objects no
+        stage will touch again.  Sealing is idempotent and aborting is
+        skipped for channels already closed, so a clean shutdown is
+        unaffected.
+        """
+        for b in self.graph.buffers.values():
+            b.seal()
+        for c in self.graph.channels.values():
+            if not c.closed:
+                c.abort()
 
     def _backoff(self, delay: float) -> None:
         deadline = _time.monotonic() + delay
@@ -484,6 +502,8 @@ class ThreadedExecutor:
                         and _time.perf_counter() > deadline:
                     self.request_stop()
         duration = _time.perf_counter() - self._t0
+        if self._stop_requested.is_set():
+            self._shutdown_io()
         completed = (all(r.completed for r in self._reports.values())
                      and not self._stop_requested.is_set())
         final_values = {b.name: b.snapshot().value

@@ -100,6 +100,10 @@ class MapStage(DiffusiveStage):
         # progressively while the rest keep last-pass values — the
         # published output never regresses to a coarse fill.
         self.persistent_state = True
+        # materialize() returns state.copy() or fill.fill(...) — both
+        # freshly allocated — so writes can transfer ownership and skip
+        # the buffer's defensive copy.
+        self.fresh_materialize = True
 
     def init_state(self, values: tuple[Any, ...]) -> np.ndarray:
         if self.warm_start is not None:

@@ -1,0 +1,837 @@
+"""Process-parallel execution with a shared-memory data plane.
+
+One worker *process* per stage, interpreting the same command protocol
+as the simulated and threaded executors — but sidestepping the GIL, so
+NumPy-light pipelines actually overlap on real cores (the paper's
+POWER7+ machine ran its stages on 32 hardware threads; see Figure 11).
+
+Architecture: the parent is a single-threaded **reactor** that owns the
+authoritative :class:`VersionedBuffer` / :class:`UpdateChannel` objects,
+the timeline, the stop condition, fault policies and the trace sink.
+Each worker talks to it over a duplex pipe carrying *control* messages
+only: ndarray payloads are written once into per-buffer
+:class:`~repro.core.shmplane.SlabRing` slabs and cross the pipe as
+:class:`~repro.core.shmplane.NDRef` descriptors (see
+:mod:`repro.core.shmplane` for the pinning protocol that keeps
+snapshots atomic).  Because the parent reuses the real buffer/channel
+objects, Property-2/3 enforcement, seal/abort cascades and the tracing
+vocabulary are identical to the threaded executor — the trace-shape
+parity test in ``tests/test_tracing.py`` holds across all three
+backends.
+
+Design notes and tradeoffs:
+
+- **fork only.**  Stage bodies are closures over lambdas and ndarrays;
+  they cannot be pickled, so workers are forked (the graph is inherited
+  copy-on-write).  :class:`ProcessExecutor` raises on platforms without
+  the ``fork`` start method.
+- **Channel emits travel inline.**  Synchronous-pipeline updates are
+  usually small (per-chunk partials); they are pickled over the control
+  pipe.  The slab plane covers buffer versions, which dominate traffic.
+- **Worker death is a fault.**  A worker that dies without reporting
+  (segfault, ``kill -9``) is handled through the stage's
+  :class:`~repro.core.faults.FaultPolicy` like any raise: ``restart``
+  re-forks the stage from the parent's pristine copy (a re-forked
+  diffusive stage loses its dense state and injected-fault counters —
+  accuracy may transiently regress, which in-process restarts avoid),
+  ``degrade`` seals its output, ``fail`` halts the run.
+- **Shutdown never leaks.**  On completion, stop, fault-halt or
+  ``timeout_s`` expiry the parent answers every parked request with a
+  halt, gives workers a grace period, terminates stragglers, joins
+  them, and unlinks every shared-memory segment it ever heard of —
+  verified by the leak test in ``tests/test_procexec.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time as _time
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable
+
+from .buffer import Snapshot
+from .channel import ChannelClosed
+from .controller import StopCondition
+from .executor import ThreadedResult
+from .faults import (FaultInjector, FaultPolicy, StageReport,
+                     resolve_policy)
+from .graph import AutomatonGraph
+from .recording import Timeline, WriteRecord
+from .stage import (CHANNEL_END, CloseChannel, Compute, Emit, PollInputs,
+                    Recv, WaitInputs, Write)
+from .shmplane import SegmentRegistry, SlabWriter, decode_payload
+from .syncstage import SynchronousStage
+from .tracing import TraceEvent, TraceSink, active_sink
+
+__all__ = ["ProcessExecutor"]
+
+#: reactor poll interval (halt/timeout/restart checks stay live)
+_WAIT_S = 0.02
+
+#: sentinel mirroring the threaded executor's exhausted-inputs outcome
+_EXHAUSTED = object()
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+
+
+class _Worker:
+    """Runs one stage's generator inside a forked process.
+
+    Mirrors ``ThreadedExecutor._run_stage`` / ``_interpret``, except
+    every blocking decision is delegated to the parent over the pipe:
+    the worker sends a request and blocks on the reply, which may be a
+    ``("halt",)`` at any point.  In-process restarts keep diffusive
+    state and injector counters, exactly like threaded restarts.
+    """
+
+    def __init__(self, stage, conn, slots: int, lock, t0: float,
+                 injector: FaultInjector | None, tracing: bool) -> None:
+        self.stage = stage
+        self.conn = conn
+        self.t0 = t0
+        self.injector = injector
+        self.registry = SegmentRegistry()
+        self.writer = SlabWriter(
+            stage.output.name, slots, lock,
+            on_segment=lambda names: conn.send(("segments", names)))
+        self._version = 0
+        if tracing and injector is not None:
+            injector.tracer = (
+                lambda s, c, k: conn.send(
+                    ("trace", "fault.injected",
+                     _time.perf_counter() - self.t0,
+                     {"at": c, "fault": k})))
+
+    def _request(self, msg: tuple) -> tuple:
+        self.conn.send(msg)
+        return self.conn.recv()
+
+    @staticmethod
+    def _reraise(reply: tuple) -> None:
+        if reply[1] == "closed":
+            raise ChannelClosed(reply[2])
+        raise RuntimeError(reply[2])
+
+    def run(self) -> None:
+        try:
+            self._run_stage()
+        finally:
+            self.writer.close()
+            self.registry.close_all()
+            try:
+                self.conn.close()
+            except OSError:   # pragma: no cover - defensive
+                pass
+
+    def _run_stage(self) -> None:
+        stage = self.stage
+        while True:
+            gen = stage.body()
+            if self.injector is not None:
+                gen = self.injector.wrap(stage.name, gen, realtime=True)
+            try:
+                outcome = self._interpret(gen)
+            except BaseException as exc:   # noqa: BLE001 - reported
+                reply = self._request(("failed", repr(exc)))
+                action, delay = reply[1], reply[2]
+                if action == "restart":
+                    if delay > 0:
+                        _time.sleep(delay)
+                    continue
+                return   # degrade / fail / halt: the parent seals
+            if outcome == "done":
+                self.conn.send(("done",))
+            elif outcome is _EXHAUSTED:
+                self.conn.send(("degraded",))
+            else:
+                self.conn.send(("halted",))
+            return
+
+    def _interpret(self, gen) -> Any:
+        send_value: Any = None
+        while True:
+            try:
+                cmd = gen.send(send_value)
+            except StopIteration:
+                return "done"
+            send_value = None
+            if isinstance(cmd, Compute):
+                amount = cmd.energy if cmd.energy is not None else cmd.cost
+                self.conn.send(("energy", amount))
+            elif isinstance(cmd, Write):
+                self._version += 1
+                payload = self.writer.encode(cmd.value, self._version)
+                reply = self._request(("write", payload, bool(cmd.final)))
+                if reply[0] == "halt":
+                    return "halted"
+                if reply[0] == "raise":
+                    self._reraise(reply)
+            elif isinstance(cmd, WaitInputs):
+                reply = self._request(("wait", dict(cmd.seen)))
+                if reply[0] == "halt":
+                    return "halted"
+                if reply[0] == "exhausted":
+                    gen.close()
+                    return _EXHAUSTED
+                send_value = {
+                    name: Snapshot(name,
+                                   decode_payload(p, self.registry),
+                                   version, final, sealed)
+                    for name, p, version, final, sealed in reply[1]}
+            elif isinstance(cmd, PollInputs):
+                reply = self._request(("poll", dict(cmd.seen)))
+                if reply[0] == "halt":
+                    return "halted"
+                send_value = reply[1]
+            elif isinstance(cmd, Emit):
+                reply = self._request(("emit", cmd.update))
+                if reply[0] == "halt":
+                    return "halted"
+                if reply[0] == "raise":
+                    self._reraise(reply)
+            elif isinstance(cmd, CloseChannel):
+                reply = self._request(("close_channel",))
+                if reply[0] == "halt":
+                    return "halted"
+            elif isinstance(cmd, Recv):
+                reply = self._request(("recv",))
+                if reply[0] == "halt":
+                    return "halted"
+                send_value = (CHANNEL_END if reply[0] == "end"
+                              else reply[1])
+            else:
+                raise TypeError(
+                    f"stage {self.stage.name!r} yielded unknown command "
+                    f"{cmd!r}")
+
+
+def _worker_main(stage, conn, inherited, slots, lock, t0, injector,
+                 tracing) -> None:
+    for other in inherited:
+        # parent-end copies of earlier pipes, inherited through fork;
+        # closing them keeps EOF detection per worker crisp
+        try:
+            other.close()
+        except OSError:   # pragma: no cover - defensive
+            pass
+    _Worker(stage, conn, slots, lock, t0, injector, tracing).run()
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+
+
+class _Parked:
+    """One blocked worker request awaiting a state change."""
+
+    __slots__ = ("worker", "kind", "payload", "started")
+
+    def __init__(self, worker, kind: str, payload: Any,
+                 started: float) -> None:
+        self.worker = worker
+        self.kind = kind
+        self.payload = payload
+        self.started = started
+
+
+class _WorkerHandle:
+    __slots__ = ("stage", "proc", "conn", "terminal", "restart_at")
+
+    def __init__(self, stage) -> None:
+        self.stage = stage
+        self.proc = None
+        self.conn = None
+        self.terminal = False          # reported an outcome / was resolved
+        self.restart_at: float | None = None   # pending re-fork deadline
+
+
+class ProcessExecutor:
+    """Runs an :class:`AutomatonGraph` on one process per stage.
+
+    Parameters mirror :class:`~repro.core.executor.ThreadedExecutor`
+    (the result type is shared); ``grace_s`` bounds how long shutdown
+    waits for workers to exit voluntarily before terminating them.
+    """
+
+    def __init__(self, graph: AutomatonGraph,
+                 stop: StopCondition | None = None,
+                 watch: set[str] | None = None,
+                 faults: FaultPolicy | dict[str, FaultPolicy] | None = None,
+                 injector: FaultInjector | None = None,
+                 strict: bool = False,
+                 trace: TraceSink | None = None,
+                 trace_metric: Any = None,
+                 trace_reference: Any = None,
+                 grace_s: float = 5.0) -> None:
+        if "fork" not in mp.get_all_start_methods():
+            raise RuntimeError(
+                "ProcessExecutor requires the 'fork' start method "
+                "(stage bodies close over unpicklable state); this "
+                "platform does not provide it — use run_threaded")
+        self.graph = graph
+        self.stop = stop
+        if watch is None:
+            watch = {t.output.name for t in graph.terminal_stages()}
+        self.watch = set(watch)
+        self.faults = faults
+        self.injector = injector
+        self.strict = strict
+        self.grace_s = float(grace_s)
+        self._sink = active_sink(trace)
+        self.trace_metric = trace_metric
+        self.trace_reference = trace_reference
+        self._ctx = mp.get_context("fork")
+        self._locks = {name: self._ctx.Lock() for name in graph.buffers}
+        self._slots = {name: max(3, len(graph.consumers_of(name)) + 2)
+                       for name in graph.buffers}
+        self._registry = SegmentRegistry()
+        self._payloads: dict[str, Any] = {}
+        self._ext_writers: list[SlabWriter] = []
+        self._pins: dict[tuple[str, str], list] = {}
+        self._workers = {s.name: _WorkerHandle(s) for s in graph.stages}
+        self._by_conn: dict[Any, _WorkerHandle] = {}
+        self._parked: list[_Parked] = []
+        self._timeline = Timeline()
+        self._errors: list[tuple[str, BaseException]] = []
+        self._reports = {s.name: StageReport(stage=s.name)
+                         for s in graph.stages}
+        self._energy = 0.0
+        self._halted = False
+        self._stop_requested = False
+        self._grace_deadline = 0.0
+        self._t0 = 0.0
+        #: debug hook ``tap(direction, stage, message)`` observing every
+        #: control message ("recv" = worker->parent, "send" = reply);
+        #: the zero-copy test uses it to prove descriptor-only traffic
+        self._message_tap: Callable[[str, str, tuple], None] | None = None
+
+    def request_stop(self) -> None:
+        """Interrupt the automaton (effective at the next reactor turn)."""
+        self._stop_requested = True
+
+    # -- tracing (mirrors ThreadedExecutor) ------------------------------
+
+    def _now(self) -> float:
+        return _time.perf_counter() - self._t0
+
+    def _trace(self, kind: str, stage: str | None = None,
+               target: str | None = None, ts: float | None = None,
+               **args: Any) -> None:
+        if self._sink is None:
+            return
+        self._sink.emit(TraceEvent(self._now() if ts is None else ts,
+                                   kind, stage=stage, target=target,
+                                   args=args))
+
+    def _install_hooks(self) -> None:
+        if self._sink is None:
+            return
+        chan_stage: dict[tuple[str, str], str] = {}
+        for s in self.graph.stages:
+            if s.emit_to is not None:
+                chan_stage[(s.emit_to.name, "out")] = s.name
+            if isinstance(s, SynchronousStage):
+                chan_stage[(s.channel.name, "in")] = s.name
+
+        def buffer_hook(kind: str, name: str, **args: Any) -> None:
+            self._trace(kind, stage=args.pop("writer", None),
+                        target=name, **args)
+
+        def channel_hook(kind: str, name: str, **args: Any) -> None:
+            side = "in" if kind == "channel.recv" else "out"
+            self._trace(kind, stage=chan_stage.get((name, side)),
+                        target=name, **args)
+
+        for b in self.graph.buffers.values():
+            b.tracer = buffer_hook
+        for s in self.graph.stages:
+            if s.emit_to is not None:
+                s.emit_to.tracer = channel_hook
+
+    # -- data plane ------------------------------------------------------
+
+    def _encode_externals(self) -> None:
+        """Move external input arrays into slabs once, before forking."""
+        for name, buffer in self.graph.buffers.items():
+            snap = buffer.snapshot()
+            if snap.version == 0:
+                continue
+            writer = SlabWriter(name, self._slots[name],
+                                self._locks[name],
+                                on_segment=self._registry.register)
+            self._payloads[name] = writer.encode(snap.value, snap.version)
+            self._ext_writers.append(writer)
+
+    def _hand_payload(self, stage_name: str, buffer_name: str) -> Any:
+        """Pin the current payload's slots for one consumer stage.
+
+        Pin-before-unpin under the buffer's slab lock: the writer can
+        only reuse a slot that is unpinned *and* not its most recent
+        write, so a slot handed out here stays intact until this stage
+        is handed a newer version.
+        """
+        payload = self._payloads[buffer_name]
+        refs = [r for r in (payload[2] if payload[0] == "tree" else ())]
+        key = (stage_name, buffer_name)
+        old = self._pins.get(key, [])
+        with self._locks[buffer_name]:
+            for r in refs:
+                self._registry.ring_for(r).pin(r.slot)
+            for r in old:
+                self._registry.ring_for(r).unpin(r.slot)
+        self._pins[key] = refs
+        return payload
+
+    def _decode(self, buffer_name: str) -> Any:
+        payload = self._payloads.get(buffer_name)
+        if payload is None:
+            return None
+        return decode_payload(payload, self._registry, copy=True)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _launch(self, w: _WorkerHandle) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        inherited = [h.conn for h in self._workers.values()
+                     if h.conn is not None]
+        injector = self.injector if self.injector is not None and any(
+            spec.stage == w.stage.name
+            for spec in self.injector.faults) else None
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(w.stage, child_conn, inherited,
+                  self._slots[w.stage.output.name],
+                  self._locks[w.stage.output.name], self._t0,
+                  injector, self._sink is not None),
+            name=f"stage-{w.stage.name}", daemon=True)
+        proc.start()
+        child_conn.close()
+        w.proc, w.conn, w.restart_at = proc, parent_conn, None
+        self._by_conn[parent_conn] = w
+        report = self._reports[w.stage.name]
+        report.attempts += 1
+        self._trace("stage.start", stage=w.stage.name,
+                    attempt=report.attempts)
+
+    def _retire_conn(self, w: _WorkerHandle) -> None:
+        if w.conn is not None:
+            self._by_conn.pop(w.conn, None)
+            try:
+                w.conn.close()
+            except OSError:   # pragma: no cover - defensive
+                pass
+            w.conn = None
+        self._parked = [p for p in self._parked if p.worker is not w]
+
+    def _reply(self, w: _WorkerHandle, msg: tuple) -> None:
+        if self._message_tap is not None:
+            self._message_tap("send", w.stage.name, msg)
+        try:
+            w.conn.send(msg)
+        except (BrokenPipeError, OSError):
+            pass   # the worker died; the EOF path will handle it
+
+    # -- request servicing ----------------------------------------------
+
+    def _snapshots(self, stage):
+        return {b.name: b.snapshot() for b in stage.inputs}
+
+    @staticmethod
+    def _inputs_exhausted(snaps) -> bool:
+        if any(s.empty and s.sealed for s in snaps.values()):
+            return True
+        return all(s.exhausted for s in snaps.values())
+
+    def _try_wait(self, w: _WorkerHandle, seen: dict) -> tuple | None:
+        stage = w.stage
+        snaps = self._snapshots(stage)
+        if not snaps:
+            return ("snaps", [])
+        if not any(s.empty for s in snaps.values()) and any(
+                s.version > seen.get(n, 0) for n, s in snaps.items()):
+            wire = [(n, self._hand_payload(stage.name, n), s.version,
+                     s.final, s.sealed) for n, s in snaps.items()]
+            return ("snaps", wire)
+        if self._inputs_exhausted(snaps):
+            return ("exhausted",)
+        return None
+
+    def _try_poll(self, w: _WorkerHandle, seen: dict) -> tuple:
+        snaps = self._snapshots(w.stage)
+        if not snaps or any(s.empty for s in snaps.values()):
+            return ("poll_ok", False)
+        return ("poll_ok",
+                any(s.version > seen.get(n, 0)
+                    for n, s in snaps.items()))
+
+    def _try_emit(self, w: _WorkerHandle, update: Any) -> tuple | None:
+        channel = w.stage.emit_to
+        try:
+            return ("ok",) if channel.try_emit(update) else None
+        except ChannelClosed as exc:
+            return ("raise", "closed", str(exc))
+
+    def _try_recv(self, w: _WorkerHandle) -> tuple | None:
+        try:
+            got, update = w.stage.channel.try_recv()
+        except ChannelClosed:
+            return ("end",)
+        return ("update", update) if got else None
+
+    def _do_write(self, w: _WorkerHandle, payload: Any,
+                  final: bool) -> tuple:
+        stage = w.stage
+        report = self._reports[stage.name]
+        if final and isinstance(stage, SynchronousStage) \
+                and stage.channel.aborted:
+            # updates were lost upstream: the aggregate is approximate
+            final = False
+            report.degraded = True
+        try:
+            version = stage.output.write(payload, final,
+                                         writer=stage.name)
+        except ValueError as exc:
+            return ("raise", "error", str(exc))
+        self._payloads[stage.output.name] = payload
+        watched = stage.output.name in self.watch
+        now = self._now()
+        value = self._decode(stage.output.name) if watched else None
+        record = WriteRecord(now, stage.output.name, version, final,
+                             self._energy, value)
+        self._timeline.add(record)
+        if watched and self.stop is not None \
+                and self.stop.should_stop(record):
+            self._stop_requested = True
+        if self._sink is not None and watched \
+                and self.trace_metric is not None:
+            self._trace("accuracy.sample", stage=stage.name,
+                        target=stage.output.name, ts=now,
+                        accuracy=float(self.trace_metric(
+                            value, self.trace_reference)),
+                        version=version)
+        return ("ok", version)
+
+    #: blocking request kinds -> (service fn name, stage.wait label)
+    _BLOCKING = {"wait": "inputs", "emit": "emit", "recv": "recv"}
+
+    def _service(self, w: _WorkerHandle, kind: str,
+                 payload: Any) -> tuple | None:
+        if kind == "wait":
+            return self._try_wait(w, payload)
+        if kind == "poll":
+            return self._try_poll(w, payload)
+        if kind == "emit":
+            return self._try_emit(w, payload)
+        if kind == "recv":
+            return self._try_recv(w)
+        raise AssertionError(kind)   # pragma: no cover
+
+    def _service_parked(self) -> None:
+        """Retry every parked request until a pass makes no progress."""
+        progressed = True
+        while progressed and self._parked:
+            progressed = False
+            for parked in list(self._parked):
+                reply = self._service(parked.worker, parked.kind,
+                                      parked.payload)
+                if reply is None:
+                    continue
+                self._parked.remove(parked)
+                progressed = True
+                self._finish_wait(parked)
+                self._reply(parked.worker, self._wire(reply))
+
+    def _finish_wait(self, parked: _Parked) -> None:
+        elapsed = self._now() - parked.started
+        self._reports[parked.worker.stage.name].record_wait(elapsed)
+        if self._sink is not None:
+            self._sink.emit(TraceEvent(
+                parked.started, "stage.wait",
+                stage=parked.worker.stage.name,
+                args={"dur": elapsed,
+                      "wait": self._BLOCKING[parked.kind]}))
+
+    @staticmethod
+    def _wire(reply: tuple) -> tuple:
+        # "poll_ok" is internal (distinguishes a False poll result from
+        # "park me"); on the wire both flavors are plain ("ok", ...)
+        return ("ok", reply[1]) if reply[0] == "poll_ok" else reply
+
+    # -- message handling -------------------------------------------------
+
+    def _handle(self, w: _WorkerHandle, msg: tuple) -> None:
+        if self._message_tap is not None:
+            self._message_tap("recv", w.stage.name, msg)
+        kind = msg[0]
+        report = self._reports[w.stage.name]
+        if kind == "energy":
+            report.commands += 1
+            self._energy += msg[1]
+        elif kind == "segments":
+            self._registry.register(msg[1])
+        elif kind == "trace":
+            self._trace(msg[1], stage=w.stage.name, ts=msg[2], **msg[3])
+        elif kind == "write":
+            report.commands += 1
+            if self._halted:
+                # mirror the threaded halt check before each command: a
+                # write racing shutdown must not hit a sealed buffer
+                self._reply(w, ("halt",))
+                return
+            self._reply(w, self._do_write(w, msg[1], msg[2]))
+        elif kind in ("wait", "poll", "emit", "recv"):
+            report.commands += 1
+            if self._halted:
+                self._reply(w, ("halt",))
+                return
+            reply = self._service(w, kind, msg[1] if len(msg) > 1
+                                  else None)
+            if reply is None:
+                self._parked.append(_Parked(w, kind,
+                                            msg[1] if len(msg) > 1
+                                            else None, self._now()))
+            else:
+                self._reply(w, self._wire(reply))
+        elif kind == "close_channel":
+            report.commands += 1
+            w.stage.emit_to.close()
+            self._reply(w, ("halt",) if self._halted else ("ok",))
+        elif kind == "failed":
+            self._on_failure(w, RuntimeError(msg[1]), in_process=True)
+        elif kind in ("done", "degraded", "halted"):
+            self._on_terminal(w, kind)
+        else:   # pragma: no cover - protocol invariant
+            raise RuntimeError(
+                f"unknown worker message {msg!r} from {w.stage.name!r}")
+
+    def _on_terminal(self, w: _WorkerHandle, kind: str) -> None:
+        report = self._reports[w.stage.name]
+        w.terminal = True
+        if kind == "done" and not report.degraded:
+            self._trace("stage.finish", stage=w.stage.name,
+                        status="completed")
+            report.completed = True
+            self._seal_outputs(w.stage)
+        elif kind in ("done", "degraded"):
+            self._trace("stage.finish", stage=w.stage.name,
+                        status="degraded")
+            self._finish_degraded(w.stage, report)
+        else:
+            self._trace("stage.finish", stage=w.stage.name,
+                        status="halted")
+
+    def _on_failure(self, w: _WorkerHandle, exc: BaseException,
+                    in_process: bool) -> None:
+        """Shared fault path for reported raises and hard worker death.
+
+        ``in_process=True`` means the worker is alive, blocked on the
+        action reply (restart keeps its diffusive state and injector
+        counters); ``False`` means the process died and restart means a
+        re-fork from the parent's pristine stage copy.
+        """
+        stage = w.stage
+        report = self._reports[stage.name]
+        failures = report.record_failure(exc)
+        self._trace("stage.finish", stage=stage.name, status="error",
+                    error=repr(exc))
+        self._errors.append((stage.name, exc))
+        if self.stop is not None and self.stop.on_failure(stage.name,
+                                                          exc):
+            self._stop_requested = True
+            self._finish_degraded(stage, report)
+            w.terminal = True
+            if in_process:
+                self._reply(w, ("action", "halt", 0.0))
+            return
+        policy = resolve_policy(self.faults, stage.name)
+        action = policy.decide(failures)
+        if action == "restart" and stage.emit_to is not None:
+            # a streaming parent cannot be restarted (double counting)
+            action = "degrade"
+        if action == "restart" and self._halted:
+            action = "halt"
+        if action == "restart":
+            delay = policy.restart_delay(failures)
+            self._trace("stage.restart", stage=stage.name,
+                        failures=failures, delay=delay)
+            if in_process:
+                report.attempts += 1
+                self._trace("stage.start", stage=stage.name,
+                            attempt=report.attempts)
+                self._reply(w, ("action", "restart", delay))
+            else:
+                w.restart_at = self._now() + delay
+            return
+        w.terminal = True
+        if in_process:
+            self._reply(w, ("action", action, 0.0))
+        if action == "fail":
+            report.failed = True
+            self._seal_outputs(stage)
+            self._initiate_halt()
+        else:   # degrade / halt
+            self._finish_degraded(stage, report)
+
+    def _finish_degraded(self, stage, report: StageReport) -> None:
+        report.degraded = True
+        self._seal_outputs(stage)
+
+    def _seal_outputs(self, stage) -> None:
+        stage.output.seal()
+        if stage.emit_to is not None and not stage.emit_to.closed:
+            stage.emit_to.abort()
+        if isinstance(stage, SynchronousStage) \
+                and not stage.channel.closed:
+            stage.channel.abort()
+
+    # -- reactor loop ------------------------------------------------------
+
+    def _drain(self, conn) -> None:
+        w = self._by_conn.get(conn)
+        if w is None:   # pragma: no cover - raced retire
+            return
+        try:
+            while w.conn is conn and conn.poll():
+                self._handle(w, conn.recv())
+        except (EOFError, OSError):
+            self._on_eof(w)
+
+    def _on_eof(self, w: _WorkerHandle) -> None:
+        self._retire_conn(w)
+        if w.terminal:
+            return
+        if self._halted:
+            # killed (or exiting) during shutdown: mirror the threaded
+            # executor's halted finish for stages cut short
+            w.terminal = True
+            self._trace("stage.finish", stage=w.stage.name,
+                        status="halted")
+            return
+        self._on_failure(
+            w, RuntimeError(
+                f"worker process for stage {w.stage.name!r} died "
+                f"(exitcode={w.proc.exitcode})"),
+            in_process=False)
+
+    def _initiate_halt(self) -> None:
+        if self._halted:
+            return
+        self._halted = True
+        self._grace_deadline = self._now() + self.grace_s
+        for parked in self._parked:
+            self._reply(parked.worker, ("halt",))
+        self._parked.clear()
+        for w in self._workers.values():
+            w.restart_at = None   # no re-forks once halting
+
+    def _live_conns(self) -> list:
+        return [w.conn for w in self._workers.values()
+                if w.conn is not None]
+
+    def _spawn_due_restarts(self) -> None:
+        now = self._now()
+        for w in self._workers.values():
+            if w.restart_at is not None and now >= w.restart_at:
+                self._retire_conn(w)
+                self._launch(w)
+
+    def _terminate_stragglers(self) -> None:
+        for w in self._workers.values():
+            if w.proc is not None and w.proc.is_alive():
+                w.proc.terminate()
+
+    def _join_all(self) -> None:
+        deadline = _time.perf_counter() + max(self.grace_s, 1.0)
+        for w in self._workers.values():
+            if w.proc is None:
+                continue
+            w.proc.join(timeout=max(deadline - _time.perf_counter(),
+                                    0.05))
+            if w.proc.is_alive():   # pragma: no cover - last resort
+                w.proc.kill()
+                w.proc.join(timeout=1.0)
+            self._retire_conn(w)
+
+    def _cleanup_plane(self) -> None:
+        for writer in self._ext_writers:
+            writer.close()
+        self._ext_writers.clear()
+        self._registry.unlink_all()
+
+    def run(self, timeout_s: float | None = None) -> ThreadedResult:
+        """Execute until completion, stop condition, or ``timeout_s``."""
+        self._t0 = _time.perf_counter()
+        self._install_hooks()
+        try:
+            # make sure the one resource tracker exists before forking,
+            # so every worker registers segments with the same tracker
+            # (and the parent's unlink below settles all of them)
+            from multiprocessing import resource_tracker
+            resource_tracker.ensure_running()
+        except Exception:   # pragma: no cover - tracker is best-effort
+            pass
+        self._encode_externals()
+        try:
+            for w in self._workers.values():
+                self._launch(w)
+            deadline = (None if timeout_s is None
+                        else self._t0 + timeout_s)
+            while True:
+                conns = self._live_conns()
+                if not conns and not any(
+                        w.restart_at is not None
+                        for w in self._workers.values()):
+                    break
+                if not self._halted:
+                    if deadline is not None \
+                            and _time.perf_counter() > deadline:
+                        self._stop_requested = True
+                    if self._stop_requested:
+                        self._initiate_halt()
+                if self._halted and self._now() > self._grace_deadline:
+                    self._terminate_stragglers()
+                self._spawn_due_restarts()
+                if conns:
+                    for conn in mp_connection.wait(conns,
+                                                   timeout=_WAIT_S):
+                        self._drain(conn)
+                else:
+                    _time.sleep(_WAIT_S)
+                self._service_parked()
+        finally:
+            self._initiate_halt()
+            self._terminate_stragglers()
+            self._join_all()
+        duration = _time.perf_counter() - self._t0
+        if self._stop_requested:
+            # same hygiene as ThreadedExecutor._shutdown_io: nothing
+            # outside the executor may hang on a buffer or channel no
+            # worker will ever touch again
+            for b in self.graph.buffers.values():
+                b.seal()
+            for c in self.graph.channels.values():
+                if not c.closed:
+                    c.abort()
+        completed = (all(r.completed for r in self._reports.values())
+                     and not self._stop_requested)
+        final_values = {name: self._decode(name)
+                        for name in self.graph.buffers}
+        self._cleanup_plane()
+        if self.strict:
+            unrecovered = [(n, r) for n, r in self._reports.items()
+                           if r.last_error is not None
+                           and not r.completed]
+            if unrecovered:
+                name, _ = unrecovered[0]
+                first = next(exc for sname, exc in self._errors
+                             if sname == name)
+                raise RuntimeError(
+                    f"stage {name!r} failed during process execution: "
+                    f"{first}") from first
+        return ThreadedResult(
+            timeline=self._timeline, duration=duration,
+            completed=completed, stopped_early=self._stop_requested,
+            final_values=final_values, errors=list(self._errors),
+            stage_reports=dict(self._reports))

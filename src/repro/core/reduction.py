@@ -75,6 +75,10 @@ class ReductionStage(DiffusiveStage):
         self.out_shape = tuple(out_shape)
         self.dtype = np.dtype(dtype)
         self.weighted_output = weighted_output
+        # materialize() copies the accumulator before (optionally)
+        # weighting it, so every published value is fresh and writes
+        # can transfer ownership (no defensive copy in the buffer).
+        self.fresh_materialize = True
 
     def init_state(self, values: tuple[Any, ...]) -> dict[str, Any]:
         return {"acc": self.operator.identity(self.out_shape, self.dtype)}

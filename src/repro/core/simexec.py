@@ -520,8 +520,9 @@ class SimulatedExecutor:
                         final = False
                         reports[name].degraded = True
                     try:
-                        version = stage.output.write(cmd.value, final,
-                                                     writer=stage.name)
+                        version = stage.output.write(
+                            cmd.value, final, writer=stage.name,
+                            transfer=cmd.transfer)
                     except ValueError as exc:
                         action = handle_failure(proc, exc)
                         if action == "failed":

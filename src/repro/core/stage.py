@@ -52,10 +52,17 @@ class Compute:
 
 @dataclass(frozen=True)
 class Write:
-    """Publish ``value`` as the stage's next output version."""
+    """Publish ``value`` as the stage's next output version.
+
+    ``transfer=True`` declares an ownership-transfer write: the stage
+    promises ``value`` is freshly allocated and never touched again, so
+    the buffer may freeze it in place instead of copying defensively
+    (see :meth:`VersionedBuffer.write <repro.core.buffer.VersionedBuffer.write>`).
+    """
 
     value: Any
     final: bool = False
+    transfer: bool = False
 
 
 @dataclass(frozen=True)

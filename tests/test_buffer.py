@@ -231,3 +231,52 @@ class TestSnapshotValueSemantics:
         b = VersionedBuffer("b")
         b.write({"k": 1})
         assert b.snapshot().value == {"k": 1}
+
+
+class TestOwnershipTransfer:
+    """``transfer=True`` writes skip the defensive copy (O(1) per
+    version instead of O(elements))."""
+
+    def test_default_write_copies_defensively(self):
+        b = VersionedBuffer("b")
+        a = np.arange(6.0)
+        b.write(a)
+        snap = b.snapshot()
+        assert snap.value is not a
+        a[0] = 99.0                    # writer keeps mutating
+        assert snap.value[0] == 0.0    # snapshot is unaffected
+
+    def test_transfer_write_freezes_in_place(self):
+        b = VersionedBuffer("b")
+        a = np.arange(6.0)
+        b.write(a, transfer=True)
+        snap = b.snapshot()
+        assert snap.value is a         # the very same array: no copy
+        assert not a.flags.writeable   # ... frozen in the caller's hands
+
+    def test_already_frozen_array_stored_as_is(self):
+        b = VersionedBuffer("b")
+        a = np.arange(6.0)
+        a.setflags(write=False)
+        b.write(a)
+        assert b.snapshot().value is a
+
+    def test_transfer_is_constant_space(self):
+        """Regression: a transfer write must not allocate a copy of the
+        payload (numpy allocations are tracemalloc-visible)."""
+        import tracemalloc
+
+        b = VersionedBuffer("b")
+        payload = np.zeros(1 << 18)    # 2 MiB
+        tracemalloc.start()
+        try:
+            b.write(payload, transfer=True)
+            _, transfer_peak = tracemalloc.get_traced_memory()
+            tracemalloc.reset_peak()
+            b2 = VersionedBuffer("b2")
+            b2.write(np.zeros(1 << 18))
+            _, copy_peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert transfer_peak < payload.nbytes // 2
+        assert copy_peak >= payload.nbytes

@@ -125,3 +125,61 @@ class TestCli:
     def test_figures_unknown_name(self, capsys):
         assert main(["figures", "fig99_nonsense"]) == 2
         assert "unknown" in capsys.readouterr().err
+
+
+class TestExecutorFlag:
+    @pytest.mark.parametrize("executor", ["threaded", "process"])
+    def test_run_wall_clock_executor(self, executor, capsys):
+        assert main(["run", "2dconv", "--size", "32",
+                     "--executor", executor,
+                     "--timeout-s", "120"]) == 0
+        out = capsys.readouterr().out
+        assert f"({executor} executor)" in out
+        assert "completed" in out
+        assert "inf" in out            # reaches the precise output
+
+    def test_run_simulated_rejects_timeout(self, capsys):
+        assert main(["run", "2dconv", "--size", "32",
+                     "--timeout-s", "5"]) == 2
+        assert "--timeout-s" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flags", [["--deadline", "0.5"],
+                                       ["--dynamic"],
+                                       ["--contract"]])
+    def test_wall_clock_rejects_virtual_time_flags(self, flags, capsys):
+        assert main(["run", "2dconv", "--size", "32",
+                     "--executor", "process"] + flags) == 2
+        assert flags[0] in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_bench_writes_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_backends.json"
+        assert main(["bench", "--size", "32",
+                     "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "execution backends" in out
+        doc = json.load(open(path))
+        assert doc["size"] == 32
+        for fig in ("fig11_conv2d", "fig15_kmeans"):
+            entry = doc["figures"][fig]
+            for backend in ("threaded", "process"):
+                row = entry[backend]
+                assert row["wall_s"] > 0
+                assert row["t90_s"] is not None
+                assert row["completed"] is True
+            assert entry["process_vs_threaded_t90"] > 0
+
+    def test_bench_env_var_path(self, tmp_path, capsys, monkeypatch):
+        path = tmp_path / "env.json"
+        monkeypatch.setenv("REPRO_BENCH_JSON", str(path))
+        assert main(["bench", "--size", "32",
+                     "--backends", "threaded"]) == 0
+        capsys.readouterr()
+        assert path.exists()
+
+    def test_bench_rejects_unknown_backend(self, capsys):
+        assert main(["bench", "--backends", "simulated"]) == 2
+        assert "unknown backend" in capsys.readouterr().err

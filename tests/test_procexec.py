@@ -1,0 +1,266 @@
+"""Process executor: correctness, zero-copy data plane, faults, shutdown.
+
+The executor under test forks one worker per stage and moves ndarray
+versions through shared-memory slab rings; control messages carry
+*descriptors* (segment/slot/shape/dtype), never pickled arrays.  These
+tests pin:
+
+- end-to-end correctness (final outputs equal the precise reference),
+- the descriptor-only wire protocol (via the executor's message tap),
+- the fault runtime (in-process restarts, re-fork after hard worker
+  death, degradation, strict mode),
+- clean shutdown on timeout (no orphaned workers, no leaked
+  shared-memory segments).
+
+Everything here asserts *correctness*, never speed: CI boxes may have
+a single core, where process parallelism only adds overhead.
+"""
+
+import multiprocessing as mp
+import os
+import signal
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.anytime.permutations import TreePermutation
+from repro.core.automaton import AnytimeAutomaton
+from repro.core.buffer import VersionedBuffer
+from repro.core.controller import VersionCountStop
+from repro.core.faults import FaultInjector, FaultPolicy
+from repro.core.mapstage import MapStage
+from repro.core.procexec import ProcessExecutor
+from repro.core.tracing import InMemorySink
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def map_automaton(chunks=8, fn=None):
+    img = np.arange(64, dtype=np.float64).reshape(8, 8)
+    b_in = VersionedBuffer("in")
+    b_out = VersionedBuffer("out")
+    fn = fn or (lambda idx, im: np.asarray(im).reshape(-1)[idx] * 3)
+    stage = MapStage("m", b_out, (b_in,), fn,
+                     shape=(8, 8), dtype=np.float64,
+                     permutation=TreePermutation(), chunks=chunks)
+    return AnytimeAutomaton([stage], external={"in": img}), img * 3
+
+
+def _holds_ndarray(obj):
+    if isinstance(obj, np.ndarray):
+        return True
+    if isinstance(obj, (list, tuple)):
+        return any(_holds_ndarray(o) for o in obj)
+    if isinstance(obj, dict):
+        return any(_holds_ndarray(v) for v in obj.values())
+    return False
+
+
+class TestCorrectness:
+    def test_map_pipeline_completes_exactly(self):
+        auto, ref = map_automaton()
+        result = auto.run_processes(timeout_s=60.0)
+        assert result.completed and not result.stopped_early
+        final = result.timeline.final_record("out")
+        assert final.final
+        assert np.array_equal(final.value, ref)
+        # the executor's copy of the final value survives plane teardown
+        assert np.array_equal(result.final_values["out"], ref)
+        report = result.stage_reports["m"]
+        assert report.completed and report.commands > 0
+
+    def test_intermediate_versions_are_recorded(self):
+        auto, _ = map_automaton(chunks=8)
+        result = auto.run_processes(timeout_s=60.0)
+        records = result.output_records("out")
+        assert len(records) == 8
+        assert [r.version for r in records] == list(range(1, 9))
+        assert all(r.energy > 0 for r in records)
+        times = [r.time for r in records]
+        assert times == sorted(times)
+
+    def test_stop_condition_fires(self):
+        auto, _ = map_automaton(chunks=8)
+        result = auto.run_processes(stop=VersionCountStop(3),
+                                    timeout_s=60.0)
+        assert result.stopped_early and not result.completed
+        assert len(result.output_records("out")) == 3
+
+    def test_second_run_is_rejected(self):
+        auto, _ = map_automaton()
+        auto.run_processes(timeout_s=60.0)
+        with pytest.raises(RuntimeError, match="already executed"):
+            auto.run_processes(timeout_s=60.0)
+
+
+class TestZeroCopyPlane:
+    def test_control_messages_are_descriptor_only(self):
+        """No pickled ndarray ever crosses a worker pipe: writes carry
+        slab descriptors, snapshot replies hand out the same."""
+        auto, ref = map_automaton()
+        executor = ProcessExecutor(auto.graph)
+        taps = []
+        executor._message_tap = \
+            lambda d, s, m: taps.append((d, s, m))
+        result = executor.run(timeout_s=60.0)
+        assert result.completed
+
+        writes = [m for d, _, m in taps
+                  if d == "recv" and m[0] == "write"]
+        assert writes, "the worker wrote versions"
+        assert all(m[1][0] == "tree" for m in writes), \
+            "ndarray payloads must travel as descriptor trees"
+        snaps = [m for d, _, m in taps
+                 if d == "send" and m[0] == "snaps" and m[1]]
+        assert snaps, "the worker was handed input snapshots"
+        for _, _, m in taps:
+            assert not _holds_ndarray(m), \
+                f"raw ndarray leaked onto the control wire: {m[0]}"
+
+    def test_final_value_detached_from_slabs(self):
+        """Returned values must be private copies: the slab segments
+        are unlinked at run() exit, so a view would dangle."""
+        auto, ref = map_automaton()
+        result = auto.run_processes(timeout_s=60.0)
+        value = result.final_values["out"]
+        value.base  # touch: a dangling mmap view would fault on access
+        copy = np.array(value)
+        assert np.array_equal(copy, ref)
+
+
+class TestFaults:
+    def test_injected_error_restart_recovers(self):
+        auto, ref = map_automaton()
+        injector = FaultInjector.from_specs(["m:3:error"])
+        mem = InMemorySink()
+        result = auto.run_processes(
+            faults=FaultPolicy(max_retries=2, on_failure="restart"),
+            injector=injector, trace=mem, timeout_s=60.0)
+        report = result.stage_reports["m"]
+        assert result.completed
+        assert report.failures == 1
+        assert report.attempts == 2
+        assert report.retries == 1
+        assert len(mem.for_kind("fault.injected")) == 1
+        assert len(mem.for_kind("stage.restart")) == 1
+        final = result.timeline.final_record("out")
+        assert np.array_equal(final.value, ref)
+
+    def test_injected_error_degrades(self):
+        auto, _ = map_automaton()
+        # command 8 sits mid-run: several versions land first
+        injector = FaultInjector.from_specs(["m:8:error"])
+        result = auto.run_processes(
+            faults=FaultPolicy(on_failure="degrade"),
+            injector=injector, timeout_s=60.0)
+        report = result.stage_reports["m"]
+        assert not result.completed
+        assert report.degraded and not report.completed
+        records = result.output_records("out")
+        assert records, "versions before the fault were kept"
+        assert not records[-1].final
+
+    def test_strict_mode_raises(self):
+        auto, _ = map_automaton()
+        injector = FaultInjector.from_specs(["m:3:error"])
+        with pytest.raises(RuntimeError, match="failed during process"):
+            auto.run_processes(faults=FaultPolicy(on_failure="fail"),
+                               injector=injector, strict=True,
+                               timeout_s=60.0)
+
+    def test_hard_worker_death_restarts_from_fresh_fork(self, tmp_path):
+        """SIGKILL (no exception, no message — just EOF on the pipe)
+        must hit the same fault policy; a restart re-forks the stage
+        from the parent's pristine copy and completes exactly."""
+        flag = str(tmp_path / "died-once")
+
+        def fn(idx, im, path=flag):
+            if not os.path.exists(path):
+                open(path, "w").close()
+                os.kill(os.getpid(), signal.SIGKILL)
+            return np.asarray(im).reshape(-1)[idx] * 3
+
+        auto, ref = map_automaton(fn=fn)
+        result = auto.run_processes(
+            faults=FaultPolicy(max_retries=1, on_failure="restart"),
+            timeout_s=60.0)
+        report = result.stage_reports["m"]
+        assert result.completed
+        assert report.failures == 1
+        assert report.attempts == 2
+        final = result.timeline.final_record("out")
+        assert np.array_equal(final.value, ref)
+
+    def test_hard_worker_death_degrades_without_retries(self, tmp_path):
+        flag = str(tmp_path / "died-once")
+
+        def fn(idx, im, path=flag):
+            if not os.path.exists(path):
+                open(path, "w").close()
+                os.kill(os.getpid(), signal.SIGKILL)
+            return np.asarray(im).reshape(-1)[idx] * 3
+
+        auto, _ = map_automaton(fn=fn)
+        result = auto.run_processes(
+            faults=FaultPolicy(on_failure="degrade"), timeout_s=60.0)
+        report = result.stage_reports["m"]
+        assert not result.completed
+        assert report.degraded
+        assert auto.graph.buffers["out"].sealed
+
+
+class TestShutdownHygiene:
+    def _slow_automaton(self):
+        def fn(idx, im):
+            time.sleep(0.05)
+            return np.asarray(im).reshape(-1)[idx] * 3
+
+        return map_automaton(chunks=32, fn=fn)
+
+    def _assert_no_orphans(self):
+        deadline = time.monotonic() + 5.0
+        while mp.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert mp.active_children() == []
+
+    @staticmethod
+    def _spy_segment_names(executor):
+        """The cleanup ledger clears itself after unlinking; capture the
+        names the instant before so the test can probe for leaks."""
+        captured: set[str] = set()
+        original = executor._cleanup_plane
+
+        def spy():
+            captured.update(executor._registry.known)
+            original()
+
+        executor._cleanup_plane = spy
+        return captured
+
+    def test_timeout_reaps_workers_and_segments(self):
+        """The PR's bugfix: ``timeout_s`` expiry must leave no orphaned
+        worker processes and no leaked shared-memory segments."""
+        auto, _ = self._slow_automaton()
+        executor = ProcessExecutor(auto.graph)
+        names = self._spy_segment_names(executor)
+        result = executor.run(timeout_s=0.3)
+        assert result.stopped_early and not result.completed
+        self._assert_no_orphans()
+        assert names, "the run created slab segments"
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_completed_run_leaves_no_residue(self):
+        auto, _ = map_automaton()
+        executor = ProcessExecutor(auto.graph)
+        names = self._spy_segment_names(executor)
+        result = executor.run(timeout_s=60.0)
+        assert result.completed
+        self._assert_no_orphans()
+        assert names
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)

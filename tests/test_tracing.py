@@ -285,8 +285,10 @@ class TestExecutorParity:
         return {k: v for k, v in counts.items() if k != "stage.wait"}
 
     def test_pipeline_demo_trace_shapes_match(self):
+        """All three executors — simulated, threaded, process — must
+        emit the same event-shape for a deterministic sync pipeline."""
         ref_counts = None
-        for run in ("run_simulated", "run_threaded"):
+        for run in ("run_simulated", "run_threaded", "run_processes"):
             auto = build_organization("sync", m=16)
             mem = InMemorySink()
             kwargs = ({"total_cores": 2.0} if run == "run_simulated"
@@ -298,7 +300,43 @@ class TestExecutorParity:
             if ref_counts is None:
                 ref_counts = shape
             else:
-                assert shape == ref_counts
+                assert shape == ref_counts, f"{run} diverged"
+
+    @pytest.mark.parametrize("app", ["conv2d", "kmeans"])
+    def test_three_way_final_output_equality(self, app):
+        """The executors are different machines running the same
+        automaton: their final outputs must be bit-identical."""
+        from repro.apps.conv2d import build_conv2d_automaton
+        from repro.apps.kmeans import build_kmeans_automaton
+        from repro.data.images import clustered_image, scene_image
+
+        if app == "conv2d":
+            image = scene_image(24, seed=0)
+            build = lambda: build_conv2d_automaton(image)
+        else:
+            image = clustered_image(16, seed=4, clusters=3)
+            build = lambda: build_kmeans_automaton(image, k=3)
+
+        def equal(a, b):
+            if isinstance(a, dict):
+                return (isinstance(b, dict) and a.keys() == b.keys()
+                        and all(equal(a[k], b[k]) for k in a))
+            return np.array_equal(a, b)
+
+        reference = build().precise_output()
+        finals = {}
+        for run in ("run_simulated", "run_threaded", "run_processes"):
+            auto = build()
+            kwargs = ({"total_cores": 4.0} if run == "run_simulated"
+                      else {"timeout_s": 60.0})
+            result = getattr(auto, run)(**kwargs)
+            assert result.completed, f"{run} did not complete"
+            rec = result.timeline.final_record(
+                auto.terminal_buffer_name)
+            finals[run] = rec.value
+        for run, value in finals.items():
+            assert equal(value, reference), \
+                f"{run} final output != precise reference"
 
     def test_threaded_energy_matches_simulated(self):
         """Regression: the threaded timeline recorded 0.0 energy for
