@@ -11,10 +11,17 @@ Commands
     execute in contract mode.
 ``figures [name ...]``
     Regenerate paper figures (default: all) and print their tables.
-``bench``
+``bench [backends|serve]``
     Wall-clock comparison of the execution backends (threaded vs
-    process), optionally emitting machine-readable JSON
-    (``--json PATH`` or the ``REPRO_BENCH_JSON`` environment variable).
+    process), or a serving benchmark (latency/goodput/quality vs
+    offered load), optionally emitting machine-readable JSON
+    (``--json PATH`` or the ``REPRO_BENCH_JSON`` environment variable;
+    the serve benchmark writes ``BENCH_serve.json`` by default).
+``serve``
+    Drive a synthetic open-loop workload against an
+    :class:`~repro.serve.AnytimeServer`: many concurrent requests with
+    deadline/quality SLOs multiplexed over a bounded slot pool, with
+    admission control and quality-aware preemption.
 """
 
 from __future__ import annotations
@@ -113,16 +120,89 @@ def build_parser() -> argparse.ArgumentParser:
                          help="override REPRO_BENCH_SIZE")
 
     bench = sub.add_parser(
-        "bench", help="wall-clock benchmark of the execution backends")
+        "bench", help="wall-clock benchmarks (backends or serving)")
+    bench.add_argument("what", nargs="?", default="backends",
+                       choices=("backends", "serve"),
+                       help="what to benchmark: execution backends "
+                            "(default) or the serving layer")
     bench.add_argument("--size", type=int, default=None,
-                       help="override REPRO_BENCH_SIZE")
+                       help="override REPRO_BENCH_SIZE (backends) / "
+                            "input edge length (serve)")
     bench.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="write machine-readable results to PATH "
-                            "(default: $REPRO_BENCH_JSON when set)")
+                            "(default: $REPRO_BENCH_JSON when set; "
+                            "serve falls back to BENCH_serve.json)")
     bench.add_argument("--backends", type=str,
                        default="threaded,process",
                        help="comma-separated backends to time "
                             "(default: threaded,process)")
+    bench.add_argument("--app", type=str, default="2dconv",
+                       choices=sorted(APP_REGISTRY),
+                       help="application to serve (serve bench)")
+    bench.add_argument("--requests", type=int, default=24,
+                       help="requests per load point (serve bench)")
+    bench.add_argument("--slots", type=int, default=4,
+                       help="executor slots (serve bench)")
+    bench.add_argument("--queue-limit", type=int, default=8,
+                       help="admission queue bound (serve bench)")
+    bench.add_argument("--loads", type=str, default=None,
+                       help="comma-separated offered loads in req/s "
+                            "(serve bench; default: derived sweep)")
+    bench.add_argument("--policy", choices=("fair", "gain"),
+                       default="fair",
+                       help="slot-allocation policy (serve bench)")
+    bench.add_argument("--serve-executor",
+                       choices=("threaded", "process"),
+                       default="threaded",
+                       help="execution backend under the server")
+    bench.add_argument("--target-snr", type=float, default=None,
+                       metavar="DB",
+                       help="per-request quality target (serve bench)")
+    bench.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="serve an open-loop anytime workload")
+    serve.add_argument("--app", type=str, default="2dconv",
+                       choices=sorted(APP_REGISTRY))
+    serve.add_argument("--size", type=int, default=32,
+                       help="input image edge length (default 32)")
+    serve.add_argument("--requests", type=int, default=16,
+                       help="how many requests to submit (default 16)")
+    serve.add_argument("--rate", type=float, default=None, metavar="RPS",
+                       help="offered load, requests/s (default: 1.5x "
+                            "the measured service capacity)")
+    serve.add_argument("--slots", type=int, default=4,
+                       help="concurrent executor slots (default 4)")
+    serve.add_argument("--queue-limit", type=int, default=8,
+                       help="admission queue bound (default 8)")
+    serve.add_argument("--policy", choices=("fair", "gain"),
+                       default="fair",
+                       help="slot-allocation policy: round-robin fair "
+                            "share or profile-guided marginal gain")
+    serve.add_argument("--executor", choices=("threaded", "process"),
+                       default="threaded",
+                       help="execution backend under the server")
+    serve.add_argument("--deadline-s", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request latency SLO (default: 8x the "
+                            "measured solo run time)")
+    serve.add_argument("--target-snr", type=float, default=None,
+                       metavar="DB",
+                       help="per-request quality SLO: finish early "
+                            "once output SNR reaches DB")
+    serve.add_argument("--wait-s", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="backpressure budget per submission before "
+                            "shedding (default 0: shed immediately "
+                            "when the queue is full)")
+    serve.add_argument("--quantum-s", type=float, default=0.02,
+                       help="slot tenure before preemption (default "
+                            "0.02)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--trace", type=str, default=None, metavar="PATH",
+                       help="write server + run events to PATH")
+    serve.add_argument("--trace-format", choices=("jsonl", "chrome"),
+                       default="chrome")
     return parser
 
 
@@ -341,11 +421,123 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .core.tracing import make_sink as _make_sink
+    from .serve import SLO, AnytimeServer, summarize, run_open_loop
+    from .serve.bench import calibrate_app, _make_policy
+
+    print(f"calibrating {args.app} at size {args.size} ...")
+    calib = calibrate_app(app=args.app, size=args.size,
+                          seed=args.seed + 7)
+    baseline = calib["baseline_wall_s"]
+    capacity = args.slots / baseline
+    rate = args.rate if args.rate is not None else 1.5 * capacity
+    deadline_s = (args.deadline_s if args.deadline_s is not None
+                  else 8.0 * baseline)
+    slo = SLO(deadline_s=deadline_s, target_db=args.target_snr)
+    print(f"solo run {baseline:.3f}s -> capacity ~{capacity:.1f} req/s; "
+          f"offering {rate:.1f} req/s, deadline {deadline_s:.3f}s"
+          + (f", target {args.target_snr:.1f} dB"
+             if args.target_snr is not None else ""))
+
+    sink = (_make_sink(args.trace, args.trace_format)
+            if args.trace is not None else None)
+    server = AnytimeServer(
+        slots=args.slots, queue_limit=args.queue_limit,
+        executor=args.executor,
+        policy=_make_policy(args.policy, calib["profile"], baseline),
+        quantum_s=args.quantum_s, trace=sink)
+    try:
+        with server:
+            sessions = run_open_loop(
+                server, lambda i: calib["builder"], args.requests,
+                rate_hz=rate, slo=slo,
+                metric=lambda i: calib["metric"],
+                wait_s=args.wait_s, seed=args.seed)
+            drained = server.drain(
+                timeout_s=max(60.0, 4 * args.requests * baseline))
+        if not drained:
+            print("error: drain timed out", file=sys.stderr)
+            return 1
+    finally:
+        if sink is not None:
+            sink.close()
+
+    print(f"\n{'request':<12}{'state':<11}{'latency':>9}{'queued':>9}"
+          f"{'preempt':>8}{'SNR (dB)':>10}")
+    for session in sessions:
+        r = session.result(timeout_s=0.0)
+        snr = ("-" if r.snr_db is None
+               else "inf" if math.isinf(r.snr_db) else f"{r.snr_db:.1f}")
+        print(f"{session.name:<12}{r.state.value:<11}"
+              f"{r.latency_s:>9.3f}{r.queue_s:>9.3f}"
+              f"{r.preemptions:>8}{snr:>10}")
+
+    summary = summarize(sessions)
+    stats = server.stats()
+    print(f"\nserved {summary['completed']}/{summary['requests']} "
+          f"(shed {summary['shed']}, failed {summary['failed']}) at "
+          f"{summary['throughput_rps']:.2f} req/s goodput")
+    print(f"latency p50 {summary['latency_p50_s']:.3f}s  "
+          f"p99 {summary['latency_p99_s']:.3f}s  "
+          f"SLO attainment {summary['slo_attainment']:.0%}")
+    print(f"preemptions {stats['preemptions']}, resumes "
+          f"{stats['resumes']}; {summary['interrupted']} request(s) "
+          f"interrupted, {summary['precise']} reached precise")
+    if summary["interrupted"] and not math.isnan(
+            summary["snr_at_interrupt_mean_db"]):
+        print(f"mean SNR at interrupt: "
+              f"{summary['snr_at_interrupt_mean_db']:.1f} dB")
+    if args.trace is not None:
+        print(f"trace written to {args.trace} ({args.trace_format})")
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .serve.bench import run_serve_bench
+
+    loads: tuple[float, ...] = ()
+    if args.loads:
+        loads = tuple(float(x) for x in args.loads.split(",") if x)
+    data = run_serve_bench(
+        app=args.app, loads=loads, n_requests=args.requests,
+        slots=args.slots, queue_limit=args.queue_limit,
+        size=args.size if args.size is not None else 32,
+        policy=args.policy, executor=args.serve_executor,
+        target_db=args.target_snr, seed=args.seed, progress=print)
+
+    print(f"\nserving {data['app']} on {data['slots']} "
+          f"{data['executor']} slot(s), queue bound "
+          f"{data['queue_limit']}, policy {data['policy']}")
+    print(f"{'offered':>9}{'goodput':>9}{'p50 (s)':>9}{'p99 (s)':>9}"
+          f"{'shed':>6}{'SLO %':>7}{'preempt':>8}")
+    for row in data["sweep"]:
+        slo_pct = (f"{row['slo_attainment'] * 100:.0f}"
+                   if not math.isnan(row["slo_attainment"]) else "-")
+        print(f"{row['offered_rps']:>9.2f}{row['throughput_rps']:>9.2f}"
+              f"{row['latency_p50_s']:>9.3f}{row['latency_p99_s']:>9.3f}"
+              f"{row['shed']:>6}{slo_pct:>7}{row['preempt_count']:>8}")
+
+    json_path = (args.json or os.environ.get("REPRO_BENCH_JSON")
+                 or "BENCH_serve.json")
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    print(f"results written to {json_path}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     import os
 
     from .bench.experiments import backend_wall_profiles
+
+    if args.what == "serve":
+        return _cmd_bench_serve(args)
 
     if args.size is not None:
         os.environ["REPRO_BENCH_SIZE"] = str(args.size)
@@ -394,6 +586,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_figures(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -15,7 +15,7 @@ from .controller import (AccuracyTarget, AnyOf, DeadlineStop, EnergyBudget,
                          FailureBudget, ManualStop, StopCondition,
                          VersionCountStop)
 from .diffusive import DiffusiveStage, chunk_boundaries
-from .executor import ThreadedExecutor, ThreadedResult
+from .executor import RunHandle, ThreadedExecutor, ThreadedResult
 from .faults import (FaultInjected, FaultInjector, FaultPolicy, FaultSpec,
                      StageReport, parse_fault_spec, resolve_policy)
 from .graph import AutomatonGraph, GraphError
@@ -45,7 +45,7 @@ __all__ = [
     "AccuracyTarget", "AnyOf", "DeadlineStop", "EnergyBudget",
     "FailureBudget", "ManualStop", "StopCondition", "VersionCountStop",
     "DiffusiveStage", "chunk_boundaries",
-    "ThreadedExecutor", "ThreadedResult",
+    "RunHandle", "ThreadedExecutor", "ThreadedResult",
     "FaultInjected", "FaultInjector", "FaultPolicy", "FaultSpec",
     "StageReport", "parse_fault_spec", "resolve_policy",
     "AutomatonGraph", "GraphError",

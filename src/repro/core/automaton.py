@@ -21,7 +21,7 @@ from typing import Any, Callable
 from ..metrics.profiles import RuntimeAccuracyProfile
 from ..metrics.snr import snr_db
 from .controller import StopCondition
-from .executor import ThreadedExecutor, ThreadedResult
+from .executor import RunHandle, ThreadedExecutor, ThreadedResult
 from .faults import FaultInjector, FaultPolicy
 from .graph import AutomatonGraph
 from .scheduling import SchedulingPolicy, proportional_shares
@@ -201,6 +201,57 @@ class AnytimeAutomaton:
                                    trace_reference=trace_reference,
                                    grace_s=grace_s)
         return executor.run(timeout_s=timeout_s)
+
+    def launch_threaded(self, stop: StopCondition | None = None,
+                        watch: set[str] | None = None,
+                        faults: FaultPolicy | dict[str, FaultPolicy]
+                        | None = None,
+                        injector: FaultInjector | None = None,
+                        strict: bool = False,
+                        trace: TraceSink | None = None,
+                        trace_metric: Callable[[Any, Any], float]
+                        | None = None,
+                        trace_reference: Any = None) -> RunHandle:
+        """Start a threaded run without blocking; returns a
+        :class:`~repro.core.executor.RunHandle`.
+
+        The preemptible form of :meth:`run_threaded`: the caller (e.g.
+        the :mod:`repro.serve` scheduler) owns the run loop — it can
+        pause, resume, stop and collect the run at any moment, and the
+        output buffer always holds a valid approximation.
+        """
+        self._claim_run()
+        executor = ThreadedExecutor(self.graph, stop=stop, watch=watch,
+                                    faults=faults, injector=injector,
+                                    strict=strict, trace=trace,
+                                    trace_metric=trace_metric,
+                                    trace_reference=trace_reference)
+        return executor.launch()
+
+    def launch_processes(self, stop: StopCondition | None = None,
+                         watch: set[str] | None = None,
+                         faults: FaultPolicy | dict[str, FaultPolicy]
+                         | None = None,
+                         injector: FaultInjector | None = None,
+                         strict: bool = False,
+                         trace: TraceSink | None = None,
+                         trace_metric: Callable[[Any, Any], float]
+                         | None = None,
+                         trace_reference: Any = None,
+                         grace_s: float = 5.0) -> RunHandle:
+        """Start a process-parallel run without blocking; returns a
+        :class:`~repro.core.executor.RunHandle` (see
+        :meth:`launch_threaded` for the preemption semantics)."""
+        from .procexec import ProcessExecutor
+
+        self._claim_run()
+        executor = ProcessExecutor(self.graph, stop=stop, watch=watch,
+                                   faults=faults, injector=injector,
+                                   strict=strict, trace=trace,
+                                   trace_metric=trace_metric,
+                                   trace_reference=trace_reference,
+                                   grace_s=grace_s)
+        return executor.launch()
 
     def _claim_run(self) -> None:
         if self._ran:

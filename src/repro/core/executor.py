@@ -30,6 +30,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Any
 
+from .buffer import Snapshot
 from .channel import ChannelClosed
 from .controller import StopCondition
 from .faults import (FaultInjector, FaultPolicy, StageReport,
@@ -41,7 +42,7 @@ from .stage import (CHANNEL_END, CloseChannel, Compute, Emit, PollInputs,
 from .syncstage import SynchronousStage
 from .tracing import TraceEvent, TraceSink, active_sink
 
-__all__ = ["ThreadedExecutor", "ThreadedResult"]
+__all__ = ["ThreadedExecutor", "ThreadedResult", "RunHandle"]
 
 _POLL_S = 0.005
 
@@ -79,6 +80,87 @@ class ThreadedResult:
     @property
     def failed_stages(self) -> list[str]:
         return sorted(n for n, r in self.stage_reports.items() if r.failed)
+
+
+class RunHandle:
+    """Control surface over a *launched*, in-flight executor run.
+
+    This is the inversion of control the serving layer is built on: an
+    executor no longer owns its run loop from start to finish — it is
+    launched, and the holder of the handle decides when the run is
+    paused, resumed, stopped, or collected.  Works identically over the
+    threaded and process executors (both implement the small private
+    protocol the handle delegates to).
+
+    The anytime guarantee makes every operation safe at any moment:
+    pausing, stopping or abandoning the run leaves the output buffer
+    holding a valid approximation (Property 3), so a scheduler can
+    preempt a run between output versions with nothing to clean up.
+    """
+
+    def __init__(self, executor: Any) -> None:
+        self.executor = executor
+
+    # -- preemption ------------------------------------------------------
+
+    def pause(self) -> None:
+        """Suspend progress at the next inter-command boundary.
+
+        Stages stop pumping their generators (the threaded executor
+        gates every command dispatch; the process executor stops
+        answering worker requests, so workers block on their next
+        blocking command).  Idempotent; wall clocks keep running.
+        """
+        self.executor._set_paused(True)
+
+    def resume(self) -> None:
+        """Undo :meth:`pause`; progress restarts within one poll tick."""
+        self.executor._set_paused(False)
+
+    @property
+    def paused(self) -> bool:
+        return self.executor._is_paused()
+
+    # -- interruption ----------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Interrupt the run (thread-safe, idempotent); also resumes a
+        paused run so its stages can observe the halt and wind down."""
+        self.executor.request_stop()
+
+    # -- observation -----------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True once every stage has wound down (result is ready)."""
+        return not self.executor._is_active()
+
+    def snapshot(self) -> Snapshot:
+        """Atomic snapshot of the watched terminal buffer, right now.
+
+        By Property 3 this is always a valid approximation (or empty
+        before the first write) — the live ``peek`` a server streams
+        intermediate refinements from.
+        """
+        return self.executor._peek()
+
+    def wait(self, timeout_s: float | None = None) -> bool:
+        """Block until the run finishes; False on timeout."""
+        return self.executor._wait_done(timeout_s)
+
+    # -- collection ------------------------------------------------------
+
+    def result(self, timeout_s: float | None = None) -> ThreadedResult:
+        """Collect the run's result, interrupting it at ``timeout_s``.
+
+        Blocks until the run finishes; if ``timeout_s`` expires first
+        the run is stopped and the partial result returned (the classic
+        anytime contract).  Idempotent once finished.
+        """
+        if not self.executor._wait_done(timeout_s):
+            self.executor.request_stop()
+            self.executor._wait_done(None)
+        return self.executor._finalize()
 
 
 class ThreadedExecutor:
@@ -137,6 +219,14 @@ class ThreadedExecutor:
         self._energy = 0.0
         self._halt = threading.Event()
         self._stop_requested = threading.Event()
+        # The pause gate: cleared = stage threads park between commands
+        # (preemption boundary for the serving scheduler).
+        self._gate = threading.Event()
+        self._gate.set()
+        self._threads: list[threading.Thread] | None = None
+        self._ended_at: float | None = None
+        self._final_lock = threading.Lock()
+        self._final_result: ThreadedResult | None = None
         self._lock = threading.Lock()
         self._timeline = Timeline()
         self._errors: list[tuple[str, BaseException]] = []
@@ -155,6 +245,49 @@ class ThreadedExecutor:
         """Interrupt the automaton (thread-safe, idempotent)."""
         self._stop_requested.set()
         self._halt.set()
+        # release paused threads so they can observe the halt
+        self._gate.set()
+
+    # -- RunHandle protocol ----------------------------------------------
+
+    def _set_paused(self, paused: bool) -> None:
+        if paused:
+            if not self._halt.is_set():
+                self._gate.clear()
+        else:
+            self._gate.set()
+
+    def _is_paused(self) -> bool:
+        return not self._gate.is_set()
+
+    def _is_active(self) -> bool:
+        return self._threads is not None and any(
+            t.is_alive() for t in self._threads)
+
+    def _wait_done(self, timeout_s: float | None) -> bool:
+        """Join all stage threads; False if ``timeout_s`` expired first."""
+        if self._threads is None:
+            raise RuntimeError("executor was never launched")
+        deadline = (None if timeout_s is None
+                    else _time.monotonic() + timeout_s)
+        for t in self._threads:
+            while t.is_alive():
+                t.join(timeout=_POLL_S)
+                if deadline is not None \
+                        and _time.monotonic() >= deadline:
+                    if self._is_active():
+                        return False
+        if self._ended_at is None:
+            self._ended_at = _time.perf_counter()
+        return True
+
+    def _watch_name(self) -> str:
+        if len(self.watch) == 1:
+            return next(iter(self.watch))
+        return self.graph.terminal_buffer().name
+
+    def _peek(self) -> Snapshot:
+        return self.graph.buffers[self._watch_name()].snapshot()
 
     # -- tracing ---------------------------------------------------------
 
@@ -292,6 +425,11 @@ class ThreadedExecutor:
         send_value: Any = None
         report = self._reports[stage.name]
         while not self._halt.is_set():
+            if not self._gate.is_set():
+                # paused: park between commands (the preemption point);
+                # the short timeout keeps the halt flag live
+                self._gate.wait(timeout=_POLL_S)
+                continue
             try:
                 cmd = gen.send(send_value)
             except StopIteration:
@@ -484,43 +622,59 @@ class ThreadedExecutor:
 
     # -- whole-run driver ------------------------------------------------
 
-    def run(self, timeout_s: float | None = None) -> ThreadedResult:
-        """Execute until completion, stop condition, or ``timeout_s``."""
+    def launch(self) -> RunHandle:
+        """Start the stage threads without blocking; returns a handle.
+
+        The run proceeds in the background; the caller pauses, resumes,
+        stops and collects it through the :class:`RunHandle` — the
+        schedulable-resource form of this executor.
+        """
+        if self._threads is not None:
+            raise RuntimeError("executor already launched")
         self._t0 = _time.perf_counter()
         self._install_hooks()
-        threads = [threading.Thread(target=self._run_stage, args=(s,),
-                                    name=f"stage-{s.name}", daemon=True)
-                   for s in self.graph.stages]
-        for t in threads:
+        self._threads = [
+            threading.Thread(target=self._run_stage, args=(s,),
+                             name=f"stage-{s.name}", daemon=True)
+            for s in self.graph.stages]
+        for t in self._threads:
             t.start()
-        deadline = (None if timeout_s is None
-                    else self._t0 + timeout_s)
-        for t in threads:
-            while t.is_alive():
-                t.join(timeout=_POLL_S)
-                if deadline is not None \
-                        and _time.perf_counter() > deadline:
-                    self.request_stop()
-        duration = _time.perf_counter() - self._t0
-        if self._stop_requested.is_set():
-            self._shutdown_io()
-        completed = (all(r.completed for r in self._reports.values())
-                     and not self._stop_requested.is_set())
-        final_values = {b.name: b.snapshot().value
-                        for b in self.graph.buffers.values()}
-        if self.strict:
-            unrecovered = [(n, r) for n, r in self._reports.items()
-                           if r.last_error is not None and not r.completed]
-            if unrecovered:
-                name, _ = unrecovered[0]
-                first = next(exc for sname, exc in self._errors
-                             if sname == name)
-                raise RuntimeError(
-                    f"stage {name!r} failed during threaded execution: "
-                    f"{first}") from first
-        return ThreadedResult(
-            timeline=self._timeline, duration=duration,
-            completed=completed,
-            stopped_early=self._stop_requested.is_set(),
-            final_values=final_values, errors=list(self._errors),
-            stage_reports=dict(self._reports))
+        return RunHandle(self)
+
+    def _finalize(self) -> ThreadedResult:
+        """Assemble the result after every stage thread has exited."""
+        with self._final_lock:
+            if self._final_result is None:
+                ended = (self._ended_at if self._ended_at is not None
+                         else _time.perf_counter())
+                duration = ended - self._t0
+                if self._stop_requested.is_set():
+                    self._shutdown_io()
+                completed = (all(r.completed
+                                 for r in self._reports.values())
+                             and not self._stop_requested.is_set())
+                final_values = {b.name: b.snapshot().value
+                                for b in self.graph.buffers.values()}
+                self._final_result = ThreadedResult(
+                    timeline=self._timeline, duration=duration,
+                    completed=completed,
+                    stopped_early=self._stop_requested.is_set(),
+                    final_values=final_values,
+                    errors=list(self._errors),
+                    stage_reports=dict(self._reports))
+            if self.strict:
+                unrecovered = [
+                    (n, r) for n, r in self._reports.items()
+                    if r.last_error is not None and not r.completed]
+                if unrecovered:
+                    name, _ = unrecovered[0]
+                    first = next(exc for sname, exc in self._errors
+                                 if sname == name)
+                    raise RuntimeError(
+                        f"stage {name!r} failed during threaded "
+                        f"execution: {first}") from first
+            return self._final_result
+
+    def run(self, timeout_s: float | None = None) -> ThreadedResult:
+        """Execute until completion, stop condition, or ``timeout_s``."""
+        return self.launch().result(timeout_s=timeout_s)

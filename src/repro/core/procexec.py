@@ -45,6 +45,7 @@ Design notes and tradeoffs:
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
 import time as _time
 from multiprocessing import connection as mp_connection
 from typing import Any, Callable
@@ -52,7 +53,7 @@ from typing import Any, Callable
 from .buffer import Snapshot
 from .channel import ChannelClosed
 from .controller import StopCondition
-from .executor import ThreadedResult
+from .executor import RunHandle, ThreadedResult
 from .faults import (FaultInjector, FaultPolicy, StageReport,
                      resolve_policy)
 from .graph import AutomatonGraph
@@ -300,8 +301,18 @@ class ProcessExecutor:
         self._energy = 0.0
         self._halted = False
         self._stop_requested = False
+        self._paused = False
         self._grace_deadline = 0.0
         self._t0 = 0.0
+        self._timeout_s: float | None = None
+        self._reactor: threading.Thread | None = None
+        self._ended_at: float | None = None
+        self._final_lock = threading.Lock()
+        self._final_result: ThreadedResult | None = None
+        #: newest decoded value per watched buffer (the handle's peek
+        #: path — decoding a slab from outside the reactor could race a
+        #: writer reusing slots, so the reactor caches at write time)
+        self._latest: dict[str, Snapshot] = {}
         #: debug hook ``tap(direction, stage, message)`` observing every
         #: control message ("recv" = worker->parent, "send" = reply);
         #: the zero-copy test uses it to prove descriptor-only traffic
@@ -498,6 +509,9 @@ class ProcessExecutor:
         watched = stage.output.name in self.watch
         now = self._now()
         value = self._decode(stage.output.name) if watched else None
+        if watched:
+            self._latest[stage.output.name] = Snapshot(
+                stage.output.name, value, version, final)
         record = WriteRecord(now, stage.output.name, version, final,
                              self._energy, value)
         self._timeline.add(record)
@@ -760,8 +774,59 @@ class ProcessExecutor:
         self._ext_writers.clear()
         self._registry.unlink_all()
 
-    def run(self, timeout_s: float | None = None) -> ThreadedResult:
-        """Execute until completion, stop condition, or ``timeout_s``."""
+    # -- RunHandle protocol ----------------------------------------------
+
+    def _set_paused(self, paused: bool) -> None:
+        """Pause = the reactor stops draining and answering workers.
+
+        Workers block on their next blocking command's reply (writes,
+        waits, emits, recvs); pure compute between yields still runs to
+        its next command — preemption lands at the command boundary,
+        exactly like the threaded gate.
+        """
+        self._paused = bool(paused)
+
+    def _is_paused(self) -> bool:
+        return self._paused
+
+    def _is_active(self) -> bool:
+        return self._reactor is not None and self._reactor.is_alive()
+
+    def _wait_done(self, timeout_s: float | None) -> bool:
+        if self._reactor is None:
+            raise RuntimeError("executor was never launched")
+        self._reactor.join(timeout=timeout_s)
+        return not self._reactor.is_alive()
+
+    def _watch_name(self) -> str:
+        if len(self.watch) == 1:
+            return next(iter(self.watch))
+        return self.graph.terminal_buffer().name
+
+    def _peek(self) -> Snapshot:
+        name = self._watch_name()
+        flags = self.graph.buffers[name].snapshot()
+        cached = self._latest.get(name)
+        if cached is None:
+            return Snapshot(name, None, flags.version, flags.final,
+                            flags.sealed)
+        if cached.version == flags.version:
+            return Snapshot(name, cached.value, flags.version,
+                            flags.final, flags.sealed)
+        return cached   # a write raced the flag read; cached is valid
+
+    # -- whole-run driver --------------------------------------------------
+
+    def launch(self) -> RunHandle:
+        """Fork the workers and start the reactor thread; returns a
+        handle (see :class:`~repro.core.executor.RunHandle`).
+
+        The caller's thread forks the workers (inheriting the graph
+        copy-on-write); the reactor loop then runs in a daemon thread
+        so the run is pause/resume/stop-able from outside.
+        """
+        if self._reactor is not None:
+            raise RuntimeError("executor already launched")
         self._t0 = _time.perf_counter()
         self._install_hooks()
         try:
@@ -776,8 +841,22 @@ class ProcessExecutor:
         try:
             for w in self._workers.values():
                 self._launch(w)
-            deadline = (None if timeout_s is None
-                        else self._t0 + timeout_s)
+        except BaseException:
+            self._initiate_halt()
+            self._terminate_stragglers()
+            self._join_all()
+            self._cleanup_plane()
+            raise
+        self._reactor = threading.Thread(target=self._reactor_main,
+                                         name="procexec-reactor",
+                                         daemon=True)
+        self._reactor.start()
+        return RunHandle(self)
+
+    def _reactor_main(self) -> None:
+        deadline = (None if self._timeout_s is None
+                    else self._t0 + self._timeout_s)
+        try:
             while True:
                 conns = self._live_conns()
                 if not conns and not any(
@@ -793,6 +872,11 @@ class ProcessExecutor:
                 if self._halted and self._now() > self._grace_deadline:
                     self._terminate_stragglers()
                 self._spawn_due_restarts()
+                if self._paused and not self._halted:
+                    # preempted: leave workers parked on their pipes;
+                    # halt/stop checks above stay live
+                    _time.sleep(_WAIT_S)
+                    continue
                 if conns:
                     for conn in mp_connection.wait(conns,
                                                    timeout=_WAIT_S):
@@ -804,34 +888,51 @@ class ProcessExecutor:
             self._initiate_halt()
             self._terminate_stragglers()
             self._join_all()
-        duration = _time.perf_counter() - self._t0
-        if self._stop_requested:
-            # same hygiene as ThreadedExecutor._shutdown_io: nothing
-            # outside the executor may hang on a buffer or channel no
-            # worker will ever touch again
-            for b in self.graph.buffers.values():
-                b.seal()
-            for c in self.graph.channels.values():
-                if not c.closed:
-                    c.abort()
-        completed = (all(r.completed for r in self._reports.values())
-                     and not self._stop_requested)
-        final_values = {name: self._decode(name)
-                        for name in self.graph.buffers}
-        self._cleanup_plane()
-        if self.strict:
-            unrecovered = [(n, r) for n, r in self._reports.items()
-                           if r.last_error is not None
-                           and not r.completed]
-            if unrecovered:
-                name, _ = unrecovered[0]
-                first = next(exc for sname, exc in self._errors
-                             if sname == name)
-                raise RuntimeError(
-                    f"stage {name!r} failed during process execution: "
-                    f"{first}") from first
-        return ThreadedResult(
-            timeline=self._timeline, duration=duration,
-            completed=completed, stopped_early=self._stop_requested,
-            final_values=final_values, errors=list(self._errors),
-            stage_reports=dict(self._reports))
+            self._ended_at = _time.perf_counter()
+
+    def _finalize(self) -> ThreadedResult:
+        """Assemble the result after the reactor has wound down."""
+        with self._final_lock:
+            if self._final_result is None:
+                ended = (self._ended_at if self._ended_at is not None
+                         else _time.perf_counter())
+                duration = ended - self._t0
+                if self._stop_requested:
+                    # same hygiene as ThreadedExecutor._shutdown_io:
+                    # nothing outside the executor may hang on a buffer
+                    # or channel no worker will ever touch again
+                    for b in self.graph.buffers.values():
+                        b.seal()
+                    for c in self.graph.channels.values():
+                        if not c.closed:
+                            c.abort()
+                completed = (all(r.completed
+                                 for r in self._reports.values())
+                             and not self._stop_requested)
+                final_values = {name: self._decode(name)
+                                for name in self.graph.buffers}
+                self._cleanup_plane()
+                self._final_result = ThreadedResult(
+                    timeline=self._timeline, duration=duration,
+                    completed=completed,
+                    stopped_early=self._stop_requested,
+                    final_values=final_values,
+                    errors=list(self._errors),
+                    stage_reports=dict(self._reports))
+            if self.strict:
+                unrecovered = [(n, r) for n, r in self._reports.items()
+                               if r.last_error is not None
+                               and not r.completed]
+                if unrecovered:
+                    name, _ = unrecovered[0]
+                    first = next(exc for sname, exc in self._errors
+                                 if sname == name)
+                    raise RuntimeError(
+                        f"stage {name!r} failed during process "
+                        f"execution: {first}") from first
+            return self._final_result
+
+    def run(self, timeout_s: float | None = None) -> ThreadedResult:
+        """Execute until completion, stop condition, or ``timeout_s``."""
+        self._timeout_s = timeout_s
+        return self.launch().result(timeout_s=None)

@@ -34,6 +34,14 @@ Event vocabulary (the ``kind`` field):
     Accuracy of a watched buffer write against a reference, when the
     executor was given ``trace_metric``/``trace_reference`` — the raw
     material of a live accuracy-vs-time stream.
+``server.*``
+    Serving-layer request lifecycle (emitted by
+    :class:`~repro.serve.AnytimeServer`, ``stage`` = request name):
+    ``server.enqueue``, ``server.admit``, ``server.shed``,
+    ``server.preempt``, ``server.resume``, ``server.complete``,
+    ``server.cancel``.  Unknown kinds render as instants in the
+    Chrome sink, so server events compose with per-run events in one
+    trace file.
 
 Sinks:
 

@@ -1,0 +1,36 @@
+"""The anytime serving layer (``repro.serve``).
+
+Multiplexes many concurrent automaton runs over a bounded pool of
+executor slots, with deadline/quality SLOs, bounded-queue admission
+control (backpressure + load shedding), and quality-aware preemptive
+scheduling built on the model's interruptibility guarantee: pausing or
+stopping a request at any moment leaves a valid approximation in its
+output buffer, so slots can chase marginal accuracy instead of
+babysitting stragglers.
+
+Entry points::
+
+    from repro.serve import AnytimeServer, SLO
+
+    with AnytimeServer(slots=4, queue_limit=16) as server:
+        session = server.submit(lambda: build_app(x),
+                                SLO(deadline_s=0.5, target_db=30.0),
+                                metric=quality)
+        for snap in session.stream():
+            ...                       # streaming refinement
+        outcome = session.result()    # always a valid answer
+"""
+
+from .scheduler import FairSharePolicy, MarginalGainPolicy, ServePolicy
+from .server import AnytimeServer, shutdown_all_servers
+from .session import ServeResult, Session, SessionState, TERMINAL_STATES
+from .slo import SLO
+from .workload import percentile, run_open_loop, summarize
+
+__all__ = [
+    "AnytimeServer", "shutdown_all_servers",
+    "FairSharePolicy", "MarginalGainPolicy", "ServePolicy",
+    "ServeResult", "Session", "SessionState", "TERMINAL_STATES",
+    "SLO",
+    "percentile", "run_open_loop", "summarize",
+]

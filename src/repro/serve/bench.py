@@ -1,0 +1,158 @@
+"""Serving benchmark: latency/throughput/quality vs offered load.
+
+Drives a synthetic open-loop workload (one evaluation app, identical
+inputs, per-request SLOs) against an :class:`AnytimeServer` at a sweep
+of offered loads, and reports — per load — p50/p99 latency, goodput,
+shed rate, SLO attainment and mean SNR-at-interrupt.  The result dict
+is what ``repro bench serve`` writes to ``BENCH_serve.json``.
+
+Calibration comes first: one simulated run yields the app's
+runtime-accuracy profile (for the marginal-gain policy) and one solo
+threaded run yields ``baseline_wall_s`` (mapping wall seconds onto the
+profile's normalized axis).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from ..apps.registry import get_app
+from ..metrics.profiles import RuntimeAccuracyProfile
+from .scheduler import FairSharePolicy, MarginalGainPolicy, ServePolicy
+from .server import AnytimeServer
+from .slo import SLO
+from .workload import run_open_loop, summarize
+
+__all__ = ["calibrate_app", "run_serve_bench"]
+
+
+def calibrate_app(app: str = "2dconv", size: int = 32, seed: int = 7,
+                  total_cores: float = 8.0,
+                  ) -> dict[str, Any]:
+    """Calibrate one app for serving.
+
+    Returns ``builder`` (fresh-automaton thunk), ``metric`` (value →
+    dB against the fixed reference), ``profile`` (simulated
+    runtime-accuracy curve) and ``baseline_wall_s`` (measured solo
+    threaded wall time — normalized runtime 1.0 on this machine).
+    """
+    spec = get_app(app)
+    image = spec.make_input(size, seed)
+    reference = (image if spec.reference_kind == "input"
+                 else spec.reference(image))
+
+    def builder() -> Any:
+        return spec.build(image)
+
+    def metric(value: Any) -> float:
+        return spec.metric(value, reference)
+
+    calib = builder()
+    sim = calib.run_simulated(total_cores=total_cores,
+                              schedule=spec.schedule)
+    profile = calib.profile(sim, total_cores=total_cores,
+                            metric=spec.metric, reference=reference,
+                            label=f"{app} serve calibration")
+
+    solo = builder()
+    run = solo.run_threaded()
+    baseline_wall_s = max(run.duration, 1e-6)
+    return {
+        "app": app, "size": size, "builder": builder, "metric": metric,
+        "profile": profile, "baseline_wall_s": baseline_wall_s,
+    }
+
+
+def _make_policy(name: str, profile: RuntimeAccuracyProfile,
+                 baseline_wall_s: float) -> ServePolicy:
+    if name == "gain":
+        return MarginalGainPolicy(profile, baseline_wall_s)
+    if name in ("fair", "fifo"):
+        return FairSharePolicy()
+    raise ValueError(f"unknown serve policy {name!r}; "
+                     f"pick from ('fair', 'gain')")
+
+
+def run_serve_bench(app: str = "2dconv",
+                    loads: tuple[float, ...] | list[float] = (),
+                    n_requests: int = 24,
+                    slots: int = 4,
+                    queue_limit: int = 8,
+                    size: int = 32,
+                    policy: str = "fair",
+                    executor: str = "threaded",
+                    deadline_factor: float = 8.0,
+                    target_db: float | None = None,
+                    seed: int = 0,
+                    wait_s: float = 0.0,
+                    quantum_s: float = 0.02,
+                    progress: Callable[[str], None] | None = None,
+                    ) -> dict[str, Any]:
+    """Sweep offered load; return the ``BENCH_serve.json`` payload.
+
+    ``loads`` are offered arrival rates in requests/s; empty = a
+    default sweep derived from the measured per-request service time
+    (under-, near-, and over-saturation).  Each request carries a
+    deadline of ``deadline_factor * baseline_wall_s`` (queue wait
+    included) and, optionally, a ``target_db`` quality objective.
+    """
+    say = progress or (lambda _msg: None)
+    say(f"calibrating {app} (size={size}) ...")
+    calib = calibrate_app(app=app, size=size, seed=seed + 7)
+    baseline = calib["baseline_wall_s"]
+    if not loads:
+        # Service capacity ≈ slots / service_time; sweep around it.
+        capacity = slots / baseline
+        loads = (0.5 * capacity, 1.5 * capacity, 4.0 * capacity)
+    say(f"baseline_wall_s={baseline:.4f}s -> "
+        f"loads {[round(x, 2) for x in loads]} rps")
+
+    slo = SLO(deadline_s=deadline_factor * baseline, target_db=target_db)
+    sweep: list[dict[str, Any]] = []
+    for load in loads:
+        server = AnytimeServer(
+            slots=slots, queue_limit=queue_limit, executor=executor,
+            policy=_make_policy(policy, calib["profile"], baseline),
+            quantum_s=quantum_s)
+        with server:
+            sessions = run_open_loop(
+                server, lambda i: calib["builder"], n_requests,
+                rate_hz=load, slo=slo,
+                metric=lambda i: calib["metric"],
+                wait_s=wait_s, seed=seed,
+                name_prefix=f"load{load:.0f}")
+            server.drain(timeout_s=max(120.0,
+                                       4 * n_requests * baseline))
+        summary = summarize(sessions)
+        stats = server.stats()
+        sweep.append({
+            "offered_rps": load,
+            **summary,
+            "preempt_count": stats["preemptions"],
+            "resume_count": stats["resumes"],
+        })
+        say(f"load {load:.2f} rps: "
+            f"p50={summary['latency_p50_s']:.3f}s "
+            f"p99={summary['latency_p99_s']:.3f}s "
+            f"goodput={summary['throughput_rps']:.2f} rps "
+            f"shed={summary['shed']}")
+
+    final_snr = calib["profile"].final_snr_db
+    return {
+        "bench": "serve",
+        "app": app,
+        "size": size,
+        "slots": slots,
+        "queue_limit": queue_limit,
+        "n_requests": n_requests,
+        "policy": policy,
+        "executor": executor,
+        "deadline_s": slo.deadline_s,
+        "target_db": target_db,
+        "baseline_wall_s": baseline,
+        "calibration_points": len(calib["profile"]),
+        "calibration_final_snr_db": (None if math.isinf(final_snr)
+                                     else final_snr),
+        "sweep": sweep,
+    }

@@ -1,0 +1,514 @@
+"""The anytime serving layer: many requests, few slots, every answer valid.
+
+:class:`AnytimeServer` multiplexes concurrent automaton runs over a
+bounded pool of executor slots.  It inverts the repo's original control
+flow: executors no longer own the run loop — each admitted request is
+``launch()``-ed into a :class:`~repro.core.executor.RunHandle` and
+becomes a schedulable resource the server can pause, resume, stop and
+harvest at any tick.  The anytime properties are what make this serving
+model cheap and safe:
+
+* **Preemption is free of bookkeeping.**  Pausing a run needs no
+  checkpoint: its output buffer already holds a sealed-on-demand valid
+  approximation (Property 3), so a preempted request can be resumed,
+  finished early, or abandoned with whatever quality it reached.
+* **Deadlines are exact, not best-effort.**  A request stopped at its
+  SLO deadline returns its newest output version — degraded, never
+  invalid.
+* **Quality-aware scheduling has a calibrated currency.**  With a
+  :class:`~repro.serve.scheduler.MarginalGainPolicy`, slots flow to the
+  requests whose accuracy profile still climbs steeply, and away from
+  requests past their target dB.
+
+Lifecycle (all transitions traced as ``server.*`` events)::
+
+    submit ──enqueue──> QUEUED ──admit──> RUNNING ⇄ PREEMPTED
+        └──shed (queue full)──> SHED         └──> COMPLETED/…
+
+The scheduler thread ticks every ``tick_s``: it harvests finished and
+expired runs, fills free slots from the ready pool (queued + preempted,
+policy-ranked, with a starvation guard), and preempts past-quantum
+runners when ready work would gain more.  Admission applies
+backpressure (``submit(wait_s=…)`` blocks while the queue is full) and
+sheds what it cannot hold.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time as _time
+import weakref
+from collections import deque
+from typing import Any, Callable
+
+from ..core.buffer import Snapshot
+from ..core.faults import FaultInjector, FaultPolicy
+from ..core.tracing import TraceEvent, TraceSink
+from .scheduler import FairSharePolicy, ServePolicy
+from .session import Session, SessionState, TERMINAL_STATES
+from .slo import SLO
+
+__all__ = ["AnytimeServer", "shutdown_all_servers"]
+
+_EXECUTORS = ("threaded", "process")
+
+# Live servers, so test harnesses (the conftest watchdog) can reap
+# serving threads that a failing test left behind.
+_LIVE_SERVERS: "weakref.WeakSet[AnytimeServer]" = weakref.WeakSet()
+
+
+def shutdown_all_servers(timeout_s: float = 5.0) -> int:
+    """Shut down every live server (best effort); returns how many."""
+    count = 0
+    for server in list(_LIVE_SERVERS):
+        try:
+            server.shutdown(timeout_s=timeout_s)
+            count += 1
+        except Exception:
+            pass
+    return count
+
+
+class AnytimeServer:
+    """Serve concurrent anytime requests over ``slots`` executor slots.
+
+    Parameters
+    ----------
+    slots:
+        How many requests run concurrently (each admitted run uses one
+        slot, regardless of its internal stage count).
+    queue_limit:
+        Bound on the admission queue; submissions beyond it are shed
+        (after ``wait_s`` of backpressure, if the caller asked for any).
+    executor:
+        ``"threaded"`` (in-process stage threads) or ``"process"``
+        (one forked worker per stage; POSIX only).
+    policy:
+        Slot-allocation policy; default :class:`FairSharePolicy`.
+    quantum_s:
+        Minimum slot tenure before a run becomes preemptible.
+    tick_s:
+        Scheduler tick period.
+    starvation_s:
+        Hard fairness override: a ready request older than this is
+        granted the next slot regardless of policy ranking.  Defaults
+        to ``50 * quantum_s``.
+    default_faults:
+        Fault policy applied to requests that do not bring their own;
+        defaults to per-request graceful degradation so one faulty
+        request cannot take the server down with a strict-mode raise.
+    trace:
+        Optional :class:`~repro.core.tracing.TraceSink` receiving
+        ``server.*`` events (stage = request name) alongside whatever
+        per-run events the executors emit.
+    grace_s:
+        How long a harvest waits for a stopped run to wind down.
+    """
+
+    def __init__(self, slots: int = 4, queue_limit: int = 16,
+                 executor: str = "threaded",
+                 policy: ServePolicy | None = None,
+                 quantum_s: float = 0.05,
+                 tick_s: float = 0.005,
+                 starvation_s: float | None = None,
+                 default_faults: FaultPolicy | dict[str, FaultPolicy]
+                 | None = None,
+                 injector: FaultInjector | None = None,
+                 trace: TraceSink | None = None,
+                 grace_s: float = 5.0) -> None:
+        if slots <= 0:
+            raise ValueError(f"slots must be positive: {slots}")
+        if queue_limit < 0:
+            raise ValueError(f"queue_limit cannot be negative: {queue_limit}")
+        if executor not in _EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; pick from {_EXECUTORS}")
+        if quantum_s <= 0 or tick_s <= 0:
+            raise ValueError("quantum_s and tick_s must be positive")
+        self.slots = slots
+        self.queue_limit = queue_limit
+        self.executor = executor
+        self.policy = policy or FairSharePolicy()
+        self.quantum_s = quantum_s
+        self.tick_s = tick_s
+        self.starvation_s = (starvation_s if starvation_s is not None
+                             else 50.0 * quantum_s)
+        self._default_faults = (default_faults if default_faults is not None
+                                else FaultPolicy(on_failure="degrade"))
+        self._injector = injector
+        self._sink = trace
+        self._grace_s = grace_s
+
+        self._lock = threading.RLock()
+        self._space = threading.Condition(self._lock)
+        self._queue: deque[Session] = deque()
+        self._scheduled: list[Session] = []   # RUNNING + PREEMPTED
+        self._finished: list[Session] = []
+        self._ids = itertools.count(1)
+        self._accepting = False
+        self._stop_loop = False
+        self._thread: threading.Thread | None = None
+        self._t0 = _time.monotonic()
+        self.counters = {
+            "submitted": 0, "admitted": 0, "shed": 0, "completed": 0,
+            "cancelled": 0, "failed": 0, "preemptions": 0, "resumes": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "AnytimeServer":
+        """Start the scheduler thread and begin accepting requests."""
+        with self._lock:
+            if self._thread is not None:
+                raise RuntimeError("server already started")
+            self._accepting = True
+            self._stop_loop = False
+            self._thread = threading.Thread(
+                target=self._loop, name="anytime-server", daemon=True)
+            self._thread.start()
+        _LIVE_SERVERS.add(self)
+        return self
+
+    def __enter__(self) -> "AnytimeServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    def drain(self, timeout_s: float | None = None) -> bool:
+        """Stop accepting, let in-flight work finish; True if it did."""
+        with self._lock:
+            self._accepting = False
+            self._space.notify_all()
+        deadline = (None if timeout_s is None
+                    else _time.monotonic() + timeout_s)
+        while True:
+            with self._lock:
+                if not self._queue and not self._scheduled:
+                    return True
+            if deadline is not None and _time.monotonic() >= deadline:
+                return False
+            _time.sleep(self.tick_s)
+
+    def shutdown(self, timeout_s: float = 10.0) -> None:
+        """Cancel everything in flight and stop the scheduler thread.
+
+        Idempotent; safe to call on a server that never started.  Every
+        non-terminal session is terminalized (CANCELLED), so no client
+        blocks forever on :meth:`Session.result`.
+        """
+        with self._lock:
+            self._accepting = False
+            self._stop_loop = True
+            thread = self._thread
+            self._space.notify_all()
+        if thread is not None:
+            thread.join(timeout=timeout_s)
+        with self._lock:
+            now = _time.monotonic()
+            while self._queue:
+                session = self._queue.popleft()
+                session._terminalize(SessionState.CANCELLED,
+                                     session.snapshot(), now,
+                                     interrupted=True)
+                self.counters["cancelled"] += 1
+                self._trace("server.cancel", session, now)
+                self._finished.append(session)
+            for session in list(self._scheduled):
+                self._finish(session, SessionState.CANCELLED, now,
+                             interrupted=True)
+            self._thread = None
+        _LIVE_SERVERS.discard(self)
+
+    # -- client API ------------------------------------------------------
+
+    def submit(self, builder: Callable[[], Any], slo: SLO | None = None,
+               *, metric: Callable[[Any], float] | None = None,
+               name: str | None = None,
+               faults: FaultPolicy | dict[str, FaultPolicy] | None = None,
+               wait_s: float = 0.0) -> Session:
+        """Submit one request; returns its :class:`Session` immediately.
+
+        ``builder`` is a zero-argument callable producing a *fresh*
+        :class:`~repro.core.automaton.AnytimeAutomaton` (automata are
+        single-use; the server builds at admission time so shed requests
+        cost nothing).  ``metric`` maps an output value to dB — required
+        for ``target_db`` SLOs and for accuracy-at-interrupt accounting.
+        ``wait_s`` is the backpressure budget: how long to block while
+        the admission queue is full before giving up; on a still-full
+        queue the request is returned in the terminal ``SHED`` state.
+        """
+        slo = slo or SLO()
+        now = _time.monotonic()
+        with self._lock:
+            self.counters["submitted"] += 1
+            sid = next(self._ids)
+            session = Session(
+                sid=sid, name=name or f"req-{sid}", builder=builder,
+                slo=slo, metric=metric, submitted_at=now,
+                faults=faults if faults is not None
+                else self._default_faults)
+            if not self._accepting:
+                self._shed(session, now, reason="not-accepting")
+                return session
+            if len(self._queue) >= self.queue_limit and wait_s > 0.0:
+                deadline = now + wait_s
+                while (len(self._queue) >= self.queue_limit
+                       and self._accepting):
+                    remaining = deadline - _time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._space.wait(timeout=remaining)
+            if not self._accepting:
+                self._shed(session, _time.monotonic(),
+                           reason="not-accepting")
+                return session
+            if len(self._queue) >= self.queue_limit:
+                self._shed(session, _time.monotonic(), reason="queue-full")
+                return session
+            session._ready_since = _time.monotonic()
+            self._queue.append(session)
+            self._trace("server.enqueue", session, session._ready_since,
+                        queue_depth=len(self._queue))
+            return session
+
+    def sessions(self) -> list[Session]:
+        with self._lock:
+            return list(self._queue) + list(self._scheduled) \
+                + list(self._finished)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            running = sum(1 for s in self._scheduled
+                          if s.state is SessionState.RUNNING)
+            return {
+                **self.counters,
+                "queued": len(self._queue),
+                "running": running,
+                "preempted": len(self._scheduled) - running,
+                "finished": len(self._finished),
+                "slots": self.slots,
+                "queue_limit": self.queue_limit,
+                "policy": self.policy.name,
+                "executor": self.executor,
+            }
+
+    # -- scheduler thread ------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._stop_loop:
+                    return
+                try:
+                    self._tick(_time.monotonic())
+                except Exception:
+                    # A tick must never kill the serving thread; broken
+                    # sessions are failed individually in _tick.
+                    pass
+            _time.sleep(self.tick_s)
+
+    def _tick(self, now: float) -> None:
+        self._harvest(now)
+        self._fill_slots(now)
+        self._preempt(now)
+
+    def _harvest(self, now: float) -> None:
+        """Retire runs that ended, expired, got cancelled or met target."""
+        for session in [s for s in self._queue if s._cancel_requested]:
+            self._queue.remove(session)
+            self._space.notify_all()
+            session._terminalize(SessionState.CANCELLED,
+                                 session.snapshot(), now, interrupted=True)
+            self.counters["cancelled"] += 1
+            self._trace("server.cancel", session, now)
+            self._finished.append(session)
+        for session in list(self._scheduled):
+            if session._cancel_requested:
+                self._finish(session, SessionState.CANCELLED, now,
+                             interrupted=True)
+                continue
+            assert session._handle is not None
+            if session._handle.finished:
+                self._finish(session, SessionState.COMPLETED, now)
+                continue
+            if session.deadline_passed(now):
+                self._finish(session, SessionState.COMPLETED, now,
+                             interrupted=True)
+                continue
+            if (session.state is SessionState.RUNNING
+                    and session.metric is not None
+                    and session.slo.target_db is not None):
+                snap = session._handle.snapshot()
+                if snap.version > session._last_version \
+                        and snap.value is not None:
+                    session._last_version = snap.version
+                    try:
+                        session._last_snr = float(session.metric(snap.value))
+                    except Exception:
+                        session._last_snr = None
+                if session.target_met():
+                    self._finish(session, SessionState.COMPLETED, now,
+                                 interrupted=True)
+
+    def _ready(self) -> list[Session]:
+        return list(self._queue) + [
+            s for s in self._scheduled
+            if s.state is SessionState.PREEMPTED]
+
+    def _running(self) -> list[Session]:
+        return [s for s in self._scheduled
+                if s.state is SessionState.RUNNING]
+
+    def _fill_slots(self, now: float) -> None:
+        free = self.slots - len(self._running())
+        while free > 0:
+            ready = self._ready()
+            if not ready:
+                return
+            starving = [s for s in ready
+                        if now - s._ready_since >= self.starvation_s]
+            if starving:
+                chosen = min(starving, key=lambda s: s._ready_since)
+            else:
+                chosen = self.policy.rank_ready(ready, now)[0]
+            self._grant(chosen, now)
+            free -= 1
+
+    def _preempt(self, now: float) -> None:
+        """Rotate a past-quantum runner out when ready work wants in."""
+        ready = self._ready()
+        if not ready or self.slots > len(self._running()):
+            return
+        candidates = [
+            s for s in self._running()
+            if s._dispatched_at is not None
+            and now - s._dispatched_at >= self.quantum_s]
+        victim = self.policy.pick_victim(candidates, ready, now)
+        if victim is None:
+            return
+        assert victim._handle is not None
+        victim._handle.pause()
+        victim._run_s += now - (victim._dispatched_at or now)
+        victim._dispatched_at = None
+        victim._ready_since = now
+        victim._state = SessionState.PREEMPTED
+        victim._preemptions += 1
+        self.counters["preemptions"] += 1
+        self._trace("server.preempt", victim, now,
+                    run_s=round(victim._run_s, 6))
+        self._fill_slots(now)
+
+    def _grant(self, session: Session, now: float) -> None:
+        """Give one slot to a ready session (launch or resume)."""
+        if session.state is SessionState.PREEMPTED:
+            assert session._handle is not None
+            session._handle.resume()
+            session._state = SessionState.RUNNING
+            session._dispatched_at = now
+            self.counters["resumes"] += 1
+            self._trace("server.resume", session, now)
+            return
+        self._queue.remove(session)
+        self._space.notify_all()
+        try:
+            automaton = session.builder()
+            stop = session.slo.stop_condition(
+                now - session.submitted_at, session.metric)
+            if self.executor == "process":
+                handle = automaton.launch_processes(
+                    stop=stop, faults=session.faults,
+                    injector=self._injector, trace=self._sink,
+                    grace_s=self._grace_s)
+            else:
+                handle = automaton.launch_threaded(
+                    stop=stop, faults=session.faults,
+                    injector=self._injector, trace=self._sink)
+        except Exception as exc:
+            session._terminalize(
+                SessionState.FAILED, session.snapshot(), now,
+                errors=(f"{type(exc).__name__}: {exc}",))
+            self.counters["failed"] += 1
+            self._trace("server.complete", session, now, state="failed")
+            self._finished.append(session)
+            return
+        session._handle = handle
+        session._state = SessionState.RUNNING
+        session._first_run_at = now
+        session._dispatched_at = now
+        self.counters["admitted"] += 1
+        self._scheduled.append(session)
+        self._trace("server.admit", session, now,
+                    queued_s=round(now - session.submitted_at, 6))
+
+    def _finish(self, session: Session, state: SessionState, now: float,
+                interrupted: bool = False) -> None:
+        """Stop, harvest and terminalize a scheduled session."""
+        handle = session._handle
+        assert handle is not None
+        if not handle.finished:
+            # Deadline, met target, or cancellation of a live run: stop
+            # it now so the harvest below is bounded by wind-down time,
+            # not by grace_s.  (A naturally finished run is left alone
+            # so its result is not misreported as stopped early.)
+            handle.request_stop()
+        if session._dispatched_at is not None:
+            session._run_s += now - session._dispatched_at
+            session._dispatched_at = None
+        run_result = None
+        errors: tuple[str, ...] = ()
+        degraded = False
+        try:
+            run_result = handle.result(timeout_s=self._grace_s)
+            interrupted = interrupted or run_result.stopped_early
+            degraded = bool(run_result.degraded_stages
+                            or run_result.failed_stages)
+            errors = tuple(f"{stage}: {exc!r}"
+                           for stage, exc in run_result.errors)
+        except Exception as exc:
+            errors = (f"{type(exc).__name__}: {exc}",)
+        snapshot = handle.snapshot()
+        snr = None
+        if session.metric is not None and snapshot.value is not None:
+            try:
+                snr = float(session.metric(snapshot.value))
+            except Exception:
+                snr = None
+        if state is SessionState.COMPLETED and snapshot.version == 0:
+            # Never produced an output version: that is a failure, not
+            # an approximation.
+            state = SessionState.FAILED
+        self._scheduled.remove(session)
+        session._terminalize(state, snapshot, now, snr_db=snr,
+                             interrupted=interrupted, degraded=degraded,
+                             errors=errors, run_result=run_result)
+        key = {SessionState.COMPLETED: "completed",
+               SessionState.CANCELLED: "cancelled",
+               SessionState.FAILED: "failed"}.get(state)
+        if key:
+            self.counters[key] += 1
+        kind = ("server.cancel" if state is SessionState.CANCELLED
+                else "server.complete")
+        self._trace(kind, session, now, state=state.value,
+                    version=snapshot.version,
+                    latency_s=round(now - session.submitted_at, 6))
+        self._finished.append(session)
+
+    def _shed(self, session: Session, now: float, reason: str) -> None:
+        session._terminalize(SessionState.SHED, session.snapshot(), now)
+        self.counters["shed"] += 1
+        self._trace("server.shed", session, now, reason=reason,
+                    queue_depth=len(self._queue))
+        self._finished.append(session)
+
+    def _trace(self, kind: str, session: Session, now: float,
+               **extra: Any) -> None:
+        if self._sink is None:
+            return
+        try:
+            self._sink.emit(TraceEvent(
+                ts=now - self._t0, kind=kind, stage=session.name,
+                args={"sid": session.sid, **extra}))
+        except Exception:
+            pass

@@ -1,0 +1,211 @@
+"""Request sessions: the client's view of one automaton run being served.
+
+A :class:`Session` is returned by ``AnytimeServer.submit`` immediately —
+before the request is admitted, sometimes before it will ever run (load
+shedding).  The client can watch it refine (:meth:`snapshot`,
+:meth:`stream`), interrupt it (:meth:`cancel`) and collect the outcome
+(:meth:`result`).  Every read is anytime-valid: whatever state the
+request is in, the snapshot is either empty (not started) or a valid
+approximation published by an atomic buffer write (Property 3).
+
+State machine::
+
+    QUEUED ──admit──> RUNNING <──resume/preempt──> PREEMPTED
+      │                  │
+      │ cancel/shed      │ finish / deadline / target / cancel / fault
+      v                  v
+    CANCELLED|SHED    COMPLETED | CANCELLED | FAILED
+
+``SHED`` is deliberately distinct from ``CANCELLED``: a shed request was
+refused by admission control (the server's choice, under overload); a
+cancelled one was withdrawn (the client's choice, or server shutdown).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..core.buffer import Snapshot
+from ..core.executor import RunHandle, ThreadedResult
+from .slo import SLO
+
+__all__ = ["Session", "SessionState", "ServeResult", "TERMINAL_STATES"]
+
+
+class SessionState(enum.Enum):
+    QUEUED = "queued"          # admitted, waiting for a slot
+    RUNNING = "running"        # holds an executor slot
+    PREEMPTED = "preempted"    # launched, paused by the scheduler
+    COMPLETED = "completed"    # finished (precise, SLO-stopped, degraded)
+    CANCELLED = "cancelled"    # withdrawn by the client or shutdown
+    SHED = "shed"              # refused by admission control
+    FAILED = "failed"          # produced no output version at all
+
+
+TERMINAL_STATES = frozenset({
+    SessionState.COMPLETED, SessionState.CANCELLED,
+    SessionState.SHED, SessionState.FAILED,
+})
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Terminal outcome of one request.
+
+    ``latency_s`` is submission-to-terminal wall time (what the client
+    experienced); ``queue_s`` the portion spent waiting for admission
+    or a slot before first running.  ``snr_db`` is the quality of the
+    final snapshot by the request's metric (None without a metric or
+    output).  ``interrupted`` means the run was stopped before its
+    natural end (deadline, target reached, preempt-to-finish, cancel);
+    ``slo_met`` whether every stated objective held.
+    """
+
+    state: SessionState
+    snapshot: Snapshot
+    latency_s: float
+    queue_s: float
+    snr_db: float | None = None
+    slo_met: bool = False
+    interrupted: bool = False
+    degraded: bool = False
+    preemptions: int = 0
+    errors: tuple[str, ...] = ()
+    run_result: ThreadedResult | None = None
+
+
+@dataclass
+class Session:
+    """One submitted request (constructed by the server, not directly).
+
+    Client-safe methods: :meth:`snapshot`, :meth:`stream`,
+    :meth:`cancel`, :meth:`result`, :attr:`state`, :meth:`wait`.
+    Underscored fields are owned by the server's scheduler thread.
+    """
+
+    sid: int
+    name: str
+    builder: Callable[[], Any]
+    slo: SLO
+    metric: Callable[[Any], float] | None
+    submitted_at: float
+    faults: Any = None
+
+    # -- scheduler-owned state ------------------------------------------
+    _state: SessionState = SessionState.QUEUED
+    _handle: RunHandle | None = None
+    _result: ServeResult | None = None
+    _done: threading.Event = field(default_factory=threading.Event)
+    _cancel_requested: bool = False
+    _deadline_at: float | None = None
+    _first_run_at: float | None = None
+    _dispatched_at: float | None = None   # set while holding a slot
+    _ready_since: float = 0.0             # enqueue / preempt timestamp
+    _run_s: float = 0.0                   # accumulated slot time
+    _preemptions: int = 0
+    _last_snr: float | None = None
+    _last_version: int = 0
+
+    def __post_init__(self) -> None:
+        self._deadline_at = self.slo.deadline_at(self.submitted_at)
+        self._ready_since = self.submitted_at
+
+    # -- client API ------------------------------------------------------
+
+    @property
+    def state(self) -> SessionState:
+        return self._state
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout_s: float | None = None) -> bool:
+        """Block until the session reaches a terminal state."""
+        return self._done.wait(timeout=timeout_s)
+
+    def snapshot(self) -> Snapshot:
+        """The newest output version right now (empty before any)."""
+        result = self._result
+        if result is not None:
+            return result.snapshot
+        handle = self._handle
+        if handle is not None:
+            return handle.snapshot()
+        return Snapshot(self.name, None, 0, False)
+
+    def stream(self, poll_s: float = 0.005,
+               timeout_s: float | None = None) -> Iterator[Snapshot]:
+        """Yield each new output version as it lands (streaming
+        refinement), ending with the final snapshot at a terminal
+        state.  ``timeout_s`` bounds the total wait."""
+        deadline = (None if timeout_s is None
+                    else _time.monotonic() + timeout_s)
+        seen = 0
+        while True:
+            snap = self.snapshot()
+            if snap.version > seen:
+                seen = snap.version
+                yield snap
+            if self.done and self.snapshot().version <= seen:
+                return
+            if deadline is not None and _time.monotonic() >= deadline:
+                return
+            self._done.wait(timeout=poll_s)
+
+    def cancel(self) -> None:
+        """Withdraw the request (idempotent; honored within a tick)."""
+        self._cancel_requested = True
+
+    def result(self, timeout_s: float | None = None) -> ServeResult:
+        """Block for the terminal outcome; TimeoutError on timeout."""
+        if not self._done.wait(timeout=timeout_s):
+            raise TimeoutError(
+                f"request {self.name!r} not terminal after "
+                f"{timeout_s}s (state={self._state.value})")
+        assert self._result is not None
+        return self._result
+
+    # -- scheduler helpers ----------------------------------------------
+
+    def run_seconds(self, now: float) -> float:
+        """Total wall time spent holding a slot, up to ``now``."""
+        extra = (now - self._dispatched_at
+                 if self._dispatched_at is not None else 0.0)
+        return self._run_s + extra
+
+    def target_met(self) -> bool:
+        return (self.slo.target_db is not None
+                and self._last_snr is not None
+                and self._last_snr >= self.slo.target_db)
+
+    def deadline_passed(self, now: float) -> bool:
+        return self._deadline_at is not None and now >= self._deadline_at
+
+    def _terminalize(self, state: SessionState, snapshot: Snapshot,
+                     now: float, snr_db: float | None = None,
+                     interrupted: bool = False, degraded: bool = False,
+                     errors: tuple[str, ...] = (),
+                     run_result: ThreadedResult | None = None) -> None:
+        latency = now - self.submitted_at
+        queue_s = ((self._first_run_at - self.submitted_at)
+                   if self._first_run_at is not None else latency)
+        slo_met = state is SessionState.COMPLETED
+        if self.slo.deadline_s is not None:
+            slo_met = slo_met and latency <= self.slo.deadline_s * 1.25
+        if self.slo.target_db is not None and self.metric is not None:
+            slo_met = (slo_met and snr_db is not None
+                       and (snr_db >= self.slo.target_db
+                            or snapshot.final))
+        self._state = state
+        self._result = ServeResult(
+            state=state, snapshot=snapshot, latency_s=latency,
+            queue_s=queue_s, snr_db=snr_db, slo_met=slo_met,
+            interrupted=interrupted, degraded=degraded,
+            preemptions=self._preemptions, errors=errors,
+            run_result=run_result)
+        self._done.set()

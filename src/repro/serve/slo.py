@@ -1,0 +1,87 @@
+"""Service-level objectives for anytime requests.
+
+An :class:`SLO` states what "good enough" means for one request: a wall-
+clock deadline counted from *submission* (queue wait included — the
+client experiences total latency, not run time), a target output quality
+in dB, or both.  The paper's interruptibility guarantee is what makes
+these objectives cheap to enforce: a request stopped at its deadline
+returns whatever valid approximation its output buffer holds, and a
+request that reached its target dB early frees its slot for queued work.
+
+SLOs compile onto the existing :class:`~repro.core.controller`
+stop-condition algebra (``DeadlineStop | AccuracyTarget``) so the
+in-run enforcement path is exactly the one interactive and planned runs
+already use; the server adds only the between-writes enforcement a stop
+condition cannot provide (stop conditions are consulted on terminal
+writes, and a paused or stalled request writes nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.controller import (AccuracyTarget, AnyOf, DeadlineStop,
+                               StopCondition)
+
+__all__ = ["SLO"]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """What one request needs: latency bound, quality target, weight.
+
+    Parameters
+    ----------
+    deadline_s:
+        Wall-clock latency bound in seconds, measured from submission
+        (time spent queued counts).  None = no deadline.
+    target_db:
+        Output quality (dB, by the request's metric) at which the
+        request is satisfied and may be finished early.  None = run to
+        the precise output unless the deadline fires.
+    priority:
+        Relative weight for the scheduler (>= larger is more
+        important); policies may use it to break ties.
+    """
+
+    deadline_s: float | None = None
+    target_db: float | None = None
+    priority: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive: {self.deadline_s}")
+        if self.priority <= 0:
+            raise ValueError(
+                f"priority must be positive: {self.priority}")
+
+    def deadline_at(self, submitted_at: float) -> float | None:
+        """Absolute monotonic deadline for a given submission time."""
+        if self.deadline_s is None:
+            return None
+        return submitted_at + self.deadline_s
+
+    def stop_condition(self, queued_s: float,
+                       metric: Callable[[Any], float] | None,
+                       ) -> StopCondition | None:
+        """Compile to the stop-condition algebra for an admitted run.
+
+        ``queued_s`` is how long the request already waited in the
+        admission queue: the in-run deadline is the *remaining* wall
+        budget (executor record times are seconds from run start).
+        ``metric`` maps an output value to dB; without one the quality
+        target cannot be checked in-run and is left to the scheduler.
+        """
+        conditions: list[StopCondition] = []
+        if self.deadline_s is not None:
+            remaining = max(self.deadline_s - queued_s, 0.0)
+            conditions.append(DeadlineStop(remaining))
+        if self.target_db is not None and metric is not None:
+            conditions.append(AccuracyTarget(metric, self.target_db))
+        if not conditions:
+            return None
+        if len(conditions) == 1:
+            return conditions[0]
+        return AnyOf(*conditions)

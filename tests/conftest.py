@@ -13,9 +13,14 @@ def pytest_configure(config):
         "markers", "faults: fault-tolerance / fault-injection tests")
     config.addinivalue_line(
         "markers",
+        "serve: serving-layer tests that hold long-lived server "
+        "threads (the watchdog reaps leaked servers on expiry)")
+    config.addinivalue_line(
+        "markers",
         "timeout(seconds): fail the test if it runs longer than "
         "`seconds` (lightweight SIGALRM watchdog; no-op where "
-        "SIGALRM is unavailable)")
+        "SIGALRM is unavailable; `timeout(0)` disarms, e.g. for an "
+        "intentionally idle server test under a file-level mark)")
 
 
 @pytest.fixture(autouse=True)
@@ -27,17 +32,40 @@ def _watchdog(request):
     ``@pytest.mark.timeout(s)`` get a SIGALRM that raises in the main
     thread, turning a hang into a prompt failure.  Only armed on
     platforms with SIGALRM (everywhere tier-1 runs).
+
+    Serving-layer interplay: a server test that trips the watchdog
+    unwinds past its ``with server:`` block by exception while the
+    scheduler thread and per-request stage threads are still live —
+    those would haunt every later test.  So on expiry (and on teardown
+    of any ``serve``-marked test) leaked servers are shut down via the
+    serve layer's live-server registry.  A ``serve`` test that is
+    *intentionally* idle can opt out of an inherited file-level mark
+    with ``@pytest.mark.timeout(0)``.
     """
     marker = request.node.get_closest_marker("timeout")
+    serving = request.node.get_closest_marker("serve") is not None
+
+    def _reap_servers():
+        if not serving:
+            return
+        from repro.serve import shutdown_all_servers
+        shutdown_all_servers(timeout_s=2.0)
+
     if marker is None or not hasattr(signal, "SIGALRM"):
         yield
+        _reap_servers()
         return
     seconds = float(marker.args[0]) if marker.args else 60.0
+    if seconds <= 0:       # timeout(0): explicitly disarmed
+        yield
+        _reap_servers()
+        return
 
     def _expired(signum, frame):
+        _reap_servers()
         raise TimeoutError(
             f"watchdog: test exceeded {seconds:.0f}s (likely a wedged "
-            f"threaded executor)")
+            f"threaded executor or a stuck serving drain)")
 
     previous = signal.signal(signal.SIGALRM, _expired)
     signal.setitimer(signal.ITIMER_REAL, seconds)
@@ -46,6 +74,7 @@ def _watchdog(request):
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        _reap_servers()
 
 
 @pytest.fixture(scope="session")
