@@ -1,0 +1,376 @@
+"""Differential conformance: one automaton, every executor, one truth.
+
+The convergence guarantee says an uninterrupted run reaches the
+bit-exact precise output *regardless of the execution substrate*.  This
+harness runs one application on the simulated, threaded and process
+executors — each with a :class:`~repro.check.invariants.Checker`
+attached — and cross-checks:
+
+* **final outputs** bit-exactly against the graph's precise evaluation
+  (and therefore against each other);
+* **version counts** — every produced buffer publishes at least once,
+  the terminal buffer publishes exactly one final version, and source
+  stages (whose inputs are all external, hence final from the start)
+  publish the same deterministic version ladder everywhere;
+* **trace shapes** — the same stages appear, every span balances, every
+  run ends with every stage ``completed``;
+* **invariant reports** — zero checker violations per run.
+
+A fourth leg replays the same application under
+:class:`~repro.serve.AnytimeServer` preemption: two concurrent requests
+share one slot with a tiny quantum, the harness polls their snapshots
+mid-flight (each observed snapshot must refine monotonically — the
+interrupt-validity guarantee), and both must still finish bit-exact.
+
+Everything lands in a machine-readable :class:`DifferentialReport`
+(``to_dict()`` / ``repro check --json``).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..apps.registry import get_app
+from ..core.tracing import InMemorySink
+from .invariants import Checker, CheckReport
+
+__all__ = ["RunObservation", "DifferentialReport", "run_differential",
+           "DEFAULT_EXECUTORS", "DEFAULT_APPS", "ACCURACY_TOLERANCE_DB"]
+
+DEFAULT_EXECUTORS = ("simulated", "threaded", "process")
+
+#: the acceptance trio: a diffusive map app, an iterative multi-stage
+#: app, and a loop-perforated wavelet app
+DEFAULT_APPS = ("2dconv", "kmeans", "dwt53")
+
+#: per-app accuracy-regression tolerance (dB) for the monotone-accuracy
+#: check; None exempts apps whose metric is non-monotone by design
+#: (kmeans' assignment refinement can transiently lower SNR while
+#: centroids move, dwt53's reconstruction metric jumps across
+#: perforation levels)
+ACCURACY_TOLERANCE_DB: dict[str, float | None] = {
+    "2dconv": None,
+    "kmeans": None,
+    "dwt53": None,
+}
+
+
+@dataclass
+class RunObservation:
+    """What one executor did with one build of the automaton."""
+
+    executor: str
+    wall_s: float
+    completed: bool
+    stopped_early: bool
+    final_matches_precise: bool
+    version_counts: dict[str, int]
+    final_counts: dict[str, int]
+    stage_set: list[str]
+    kind_counts: dict[str, int]
+    check: CheckReport
+    errors: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "executor": self.executor, "wall_s": self.wall_s,
+            "completed": self.completed,
+            "stopped_early": self.stopped_early,
+            "final_matches_precise": self.final_matches_precise,
+            "version_counts": dict(self.version_counts),
+            "final_counts": dict(self.final_counts),
+            "stage_set": list(self.stage_set),
+            "kind_counts": dict(self.kind_counts),
+            "check": self.check.to_dict(),
+            "errors": list(self.errors),
+        }
+
+
+@dataclass
+class DifferentialReport:
+    """Cross-executor conformance verdict for one application."""
+
+    app: str
+    size: int
+    seed: int
+    ok: bool
+    observations: list[RunObservation]
+    mismatches: list[dict[str, Any]]
+    serve: dict[str, Any] | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "report": "differential-conformance",
+            "app": self.app, "size": self.size, "seed": self.seed,
+            "ok": self.ok,
+            "observations": [o.to_dict() for o in self.observations],
+            "mismatches": list(self.mismatches),
+            "serve": self.serve,
+        }
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        legs = ", ".join(o.executor for o in self.observations)
+        serve = ("" if self.serve is None else
+                 f" + serve({'ok' if self.serve.get('ok') else 'FAIL'})")
+        return (f"{self.app}: {verdict} across [{legs}]{serve}; "
+                f"{len(self.mismatches)} mismatch(es)")
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    """Bit-exact structural equality over arrays and containers."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (np.asarray(a).shape == np.asarray(b).shape
+                and np.array_equal(np.asarray(a), np.asarray(b)))
+    if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
+        return (len(a) == len(b)
+                and all(_values_equal(x, y) for x, y in zip(a, b)))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return (a.keys() == b.keys()
+                and all(_values_equal(v, b[k]) for k, v in a.items()))
+    return bool(a == b)
+
+
+def _observe(spec: Any, image: np.ndarray, executor: str,
+             reference: Any, timeout_s: float,
+             tolerance_db: float | None) -> RunObservation:
+    """Run one fresh build on one executor with a checker attached."""
+    automaton = spec.build(image)
+    precise = automaton.precise_output()
+    mem = InMemorySink()
+    checker = Checker.for_graph(
+        automaton.graph, hash_values=(executor != "process"),
+        strict_order=(executor == "simulated"), forward=mem,
+        tolerances={automaton.terminal_buffer_name: tolerance_db})
+    t0 = _time.perf_counter()
+    kwargs: dict[str, Any] = dict(
+        trace=checker, trace_metric=spec.metric,
+        trace_reference=reference)
+    if executor == "simulated":
+        result = automaton.run_simulated(schedule=spec.schedule, **kwargs)
+    elif executor == "threaded":
+        result = automaton.run_threaded(timeout_s=timeout_s, **kwargs)
+    elif executor == "process":
+        result = automaton.run_processes(timeout_s=timeout_s, **kwargs)
+    else:
+        raise ValueError(f"unknown executor {executor!r}; expected one "
+                         f"of {DEFAULT_EXECUTORS}")
+    wall = _time.perf_counter() - t0
+    checker.close()
+
+    terminal = automaton.terminal_buffer_name
+    final_rec = result.timeline.final_record(terminal)
+    matches = (final_rec is not None
+               and _values_equal(final_rec.value, precise))
+    counts: dict[str, int] = {}
+    finals: dict[str, int] = {}
+    for r in result.timeline.records:
+        counts[r.buffer] = counts.get(r.buffer, 0) + 1
+        if r.final:
+            finals[r.buffer] = finals.get(r.buffer, 0) + 1
+    stage_set = sorted({e.stage for e in mem.events
+                        if e.kind == "stage.start" and e.stage})
+    return RunObservation(
+        executor=executor, wall_s=wall, completed=result.completed,
+        stopped_early=result.stopped_early,
+        final_matches_precise=matches,
+        version_counts=counts, final_counts=finals,
+        stage_set=stage_set, kind_counts=mem.counts(),
+        check=checker.report(),
+        errors=[f"{name}: {exc!r}" for name, exc in result.errors])
+
+
+def _serve_input(spec: Any, size: int, seed: int, quantum_s: float,
+                 timeout_s: float) -> tuple[np.ndarray, int]:
+    """Pick an input large enough that one request spans many quanta.
+
+    Preemption only happens when a run outlives its quantum; the fast
+    apps (dwt53 finishes a 24-point signal in ~1 ms) would otherwise
+    complete in their first tenure and the preempt/resume leg would
+    test nothing.  Probe solo wall time, doubling the input until a
+    run costs at least a dozen quanta.
+    """
+    target_s = 12.0 * quantum_s
+    for _ in range(8):
+        image = spec.make_input(size, seed)
+        probe = spec.build(image)
+        t0 = _time.perf_counter()
+        probe.run_threaded(timeout_s=timeout_s)
+        if _time.perf_counter() - t0 >= target_s:
+            break
+        size *= 2
+    return spec.make_input(size, seed), size
+
+
+def _observe_serve(spec: Any, size: int, seed: int,
+                   timeout_s: float, quantum_s: float = 0.005,
+                   requests: int = 2) -> dict[str, Any]:
+    """Replay the app under AnytimeServer preempt/resume.
+
+    ``requests`` concurrent submissions share a single slot, so the
+    scheduler must preempt and resume to be fair; every mid-flight
+    snapshot poll must observe a monotonically refining, never-regressing
+    approximation, and every request must still converge bit-exactly.
+    """
+    from ..serve import SLO, AnytimeServer
+
+    problems: list[str] = []
+    image, size = _serve_input(spec, size, seed, quantum_s, timeout_s)
+    reference = (spec.reference(image)
+                 if spec.reference_kind != "input" else image)
+    precise = spec.build(image).precise_output()
+    with AnytimeServer(slots=1, queue_limit=requests + 1,
+                       quantum_s=quantum_s, tick_s=0.002) as server:
+        sessions = [
+            server.submit(lambda: spec.build(image),
+                          SLO(deadline_s=timeout_s),
+                          metric=lambda v: spec.metric(v, reference),
+                          name=f"diff-{i}")
+            for i in range(requests)]
+        seen = {s.name: 0 for s in sessions}
+        exhausted = {s.name: False for s in sessions}
+        deadline = _time.monotonic() + timeout_s
+        while (not all(s.done for s in sessions)
+               and _time.monotonic() < deadline):
+            for s in sessions:
+                snap = s.snapshot()
+                if snap.version < seen[s.name]:
+                    problems.append(
+                        f"{s.name}: snapshot regressed from version "
+                        f"{seen[s.name]} to {snap.version}")
+                if exhausted[s.name] and not snap.exhausted:
+                    problems.append(
+                        f"{s.name}: snapshot un-exhausted (was "
+                        f"final/sealed, now neither)")
+                seen[s.name] = max(seen[s.name], snap.version)
+                exhausted[s.name] = exhausted[s.name] or snap.exhausted
+            _time.sleep(0.002)
+        drained = server.drain(timeout_s=timeout_s)
+        stats = server.stats()
+    if not drained:
+        problems.append("server drain timed out")
+    states: dict[str, str] = {}
+    for s in sessions:
+        r = s.result(timeout_s=0.0)
+        states[s.name] = r.state.value
+        if r.state.value != "completed":
+            problems.append(f"{s.name}: ended {r.state.value}")
+        elif not _values_equal(r.snapshot.value, precise):
+            problems.append(f"{s.name}: completed output is not "
+                            f"bit-exact against the precise reference")
+    if stats.get("preemptions", 0) < 1:
+        problems.append(
+            f"no preemption occurred ({requests} requests on 1 slot "
+            f"with quantum {quantum_s}s should contend)")
+    return {
+        "ok": not problems,
+        "requests": requests,
+        "size": size,
+        "states": states,
+        "preemptions": stats.get("preemptions", 0),
+        "resumes": stats.get("resumes", 0),
+        "problems": problems,
+    }
+
+
+def run_differential(app: str = "2dconv", size: int = 24, seed: int = 0,
+                     executors: tuple[str, ...] = DEFAULT_EXECUTORS,
+                     serve: bool = True, timeout_s: float = 120.0,
+                     tolerance_db: float | None = "default",
+                     progress: Callable[[str], None] | None = None,
+                     ) -> DifferentialReport:
+    """Run one app across executors and cross-check the guarantees.
+
+    ``tolerance_db="default"`` looks the app up in
+    :data:`ACCURACY_TOLERANCE_DB`; pass a float (or None to disable)
+    to override.
+    """
+    spec = get_app(app)
+    image = spec.make_input(size, seed)
+    reference = (spec.reference(image)
+                 if spec.reference_kind != "input" else image)
+    if tolerance_db == "default":
+        tolerance_db = ACCURACY_TOLERANCE_DB.get(app)
+
+    observations: list[RunObservation] = []
+    mismatches: list[dict[str, Any]] = []
+
+    def note(kind: str, detail: str, **extra: Any) -> None:
+        mismatches.append({"kind": kind, "detail": detail, **extra})
+
+    for executor in executors:
+        if progress:
+            progress(f"  {app}: {executor} executor ...")
+        obs = _observe(spec, image, executor, reference, timeout_s,
+                       tolerance_db)
+        observations.append(obs)
+        if not obs.completed:
+            note("incomplete", f"{executor} run did not complete",
+                 executor=executor, errors=obs.errors)
+        if not obs.final_matches_precise:
+            note("final-mismatch",
+                 f"{executor} final output differs from the precise "
+                 f"evaluation", executor=executor)
+        for buffer, n in obs.final_counts.items():
+            if n != 1:
+                note("final-count",
+                     f"{executor}: buffer {buffer!r} carries {n} final "
+                     f"versions (expected exactly 1)", executor=executor)
+        if not obs.check.ok:
+            note("invariant-violations",
+                 f"{executor}: {len(obs.check.violations)} checker "
+                 f"violation(s)", executor=executor,
+                 violations=[v.to_dict() for v in obs.check.violations])
+
+    # cross-executor shape checks (need at least two legs)
+    if len(observations) >= 2:
+        base = observations[0]
+        for obs in observations[1:]:
+            if obs.stage_set != base.stage_set:
+                note("trace-shape",
+                     f"stage sets differ: {base.executor} saw "
+                     f"{base.stage_set}, {obs.executor} saw "
+                     f"{obs.stage_set}")
+            missing = (set(base.version_counts)
+                       - set(obs.version_counts))
+            extra = set(obs.version_counts) - set(base.version_counts)
+            if missing or extra:
+                note("trace-shape",
+                     f"buffer sets differ between {base.executor} and "
+                     f"{obs.executor} (missing={sorted(missing)}, "
+                     f"extra={sorted(extra)})")
+        # source stages see final inputs from the start, so their
+        # version ladder is structural — identical on every executor
+        automaton = spec.build(image)
+        source_buffers = [s.output.name
+                          for s in automaton.graph.source_stages()]
+        for buffer in source_buffers:
+            counts = {o.executor: o.version_counts.get(buffer, 0)
+                      for o in observations}
+            if len(set(counts.values())) > 1:
+                note("version-count",
+                     f"source buffer {buffer!r} version counts "
+                     f"diverge: {counts}", buffer=buffer)
+    for obs in observations:
+        for buffer, n in obs.version_counts.items():
+            if n < 1:
+                note("missing-versions",
+                     f"{obs.executor}: buffer {buffer!r} never "
+                     f"published", executor=obs.executor)
+
+    serve_leg: dict[str, Any] | None = None
+    if serve:
+        if progress:
+            progress(f"  {app}: AnytimeServer preempt/resume ...")
+        serve_leg = _observe_serve(spec, size, seed, timeout_s)
+        if not serve_leg["ok"]:
+            note("serve", "; ".join(serve_leg["problems"]))
+
+    ok = not mismatches
+    return DifferentialReport(app=app, size=size, seed=seed, ok=ok,
+                              observations=observations,
+                              mismatches=mismatches, serve=serve_leg)

@@ -22,6 +22,11 @@ Commands
     :class:`~repro.serve.AnytimeServer`: many concurrent requests with
     deadline/quality SLOs multiplexed over a bounded slot pool, with
     admission control and quality-aware preemption.
+``check``
+    Conformance checking (:mod:`repro.check`): run the differential
+    harness across all executors (and under server preemption), the
+    checker self-test (``--self-test``), the property-based automaton
+    fuzzer (``--fuzz``), or replay a saved fuzz failure (``--replay``).
 """
 
 from __future__ import annotations
@@ -203,6 +208,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write server + run events to PATH")
     serve.add_argument("--trace-format", choices=("jsonl", "chrome"),
                        default="chrome")
+
+    check = sub.add_parser(
+        "check", help="conformance checking (invariants, differential "
+                      "harness, self-test, fuzzing)")
+    check.add_argument("apps", nargs="*", metavar="APP",
+                       help="applications to cross-check (default: "
+                            "2dconv kmeans dwt53)")
+    check.add_argument("--size", type=int, default=24,
+                       help="input edge length for the differential "
+                            "harness (default 24)")
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--executors", type=str,
+                       default="simulated,threaded,process",
+                       help="comma-separated executors to cross-check "
+                            "(default: all three)")
+    check.add_argument("--no-serve", action="store_true",
+                       help="skip the AnytimeServer preempt/resume leg")
+    check.add_argument("--timeout-s", type=float, default=120.0,
+                       help="wall-clock bound per leg (default 120)")
+    check.add_argument("--json", type=str, default=None, metavar="PATH",
+                       help="write the machine-readable report to PATH")
+    check.add_argument("--self-test", action="store_true",
+                       help="inject each class of violation and assert "
+                            "the checker catches every one")
+    check.add_argument("--fuzz", action="store_true",
+                       help="property-based fuzzing of random automata")
+    check.add_argument("--max-examples", type=int, default=50,
+                       help="fuzzing examples to draw (default 50)")
+    check.add_argument("--fuzz-seed-file", type=str, default=None,
+                       metavar="PATH",
+                       help="write the shrunk falsifying spec to PATH "
+                            "(default: fuzz-failure.json)")
+    check.add_argument("--replay", type=str, default=None,
+                       metavar="PATH",
+                       help="replay a saved fuzz failure seed file")
     return parser
 
 
@@ -576,6 +616,81 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    if args.replay is not None:
+        from .check.fuzz import replay
+        try:
+            summary = replay(args.replay)
+        except AssertionError as exc:
+            print(f"replay of {args.replay} still fails:\n{exc}")
+            return 1
+        print(f"replay of {args.replay} passed: {summary}")
+        return 0
+
+    if args.self_test:
+        from .check import run_self_test
+        executors = tuple(e.strip()
+                          for e in args.executors.split(",") if e.strip())
+        report = run_self_test(executors=executors, progress=print)
+        print(report.summary())
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=2)
+                fh.write("\n")
+            print(f"report written to {args.json}")
+        return 0 if report.ok else 1
+
+    if args.fuzz:
+        from .check.fuzz import fuzz
+        seed_file = args.fuzz_seed_file or "fuzz-failure.json"
+        print(f"fuzzing {args.max_examples} random automata ...")
+        failure = fuzz(max_examples=args.max_examples,
+                       seed_file=seed_file)
+        if failure is not None:
+            print(str(failure))
+            print(f"replay with: repro check --replay {seed_file}")
+            return 1
+        print(f"no falsifying automaton in {args.max_examples} "
+              f"examples")
+        return 0
+
+    from .check import DEFAULT_APPS, run_differential
+    apps = args.apps or list(DEFAULT_APPS)
+    unknown = [a for a in apps if a not in APP_REGISTRY]
+    if unknown:
+        print(f"error: unknown app(s) {unknown}; known: "
+              f"{sorted(APP_REGISTRY)}", file=sys.stderr)
+        return 2
+    executors = tuple(e.strip()
+                      for e in args.executors.split(",") if e.strip())
+    reports = []
+    for app in apps:
+        print(f"{app}: differential conformance on "
+              f"[{', '.join(executors)}]"
+              + ("" if args.no_serve else " + serve"))
+        report = run_differential(
+            app=app, size=args.size, seed=args.seed,
+            executors=executors, serve=not args.no_serve,
+            timeout_s=args.timeout_s, progress=print)
+        reports.append(report)
+        print(report.summary())
+        for mismatch in report.mismatches:
+            print(f"    {mismatch['kind']}: {mismatch['detail']}")
+    ok = all(r.ok for r in reports)
+    print(f"\nconformance: {'PASS' if ok else 'FAIL'} "
+          f"({sum(r.ok for r in reports)}/{len(reports)} apps clean)")
+    if args.json:
+        payload = {"report": "conformance", "ok": ok,
+                   "apps": [r.to_dict() for r in reports]}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"report written to {args.json}")
+    return 0 if ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "apps":
@@ -588,6 +703,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "check":
+        return _cmd_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

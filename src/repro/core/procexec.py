@@ -393,6 +393,13 @@ class ProcessExecutor:
             for r in old:
                 self._registry.ring_for(r).unpin(r.slot)
         self._pins[key] = refs
+        for r in refs:
+            self._trace("shm.pin", stage=stage_name, target=buffer_name,
+                        segment=r.segment, slot=r.slot)
+        for r in old:
+            self._trace("shm.unpin", stage=stage_name,
+                        target=buffer_name, segment=r.segment,
+                        slot=r.slot)
         return payload
 
     def _decode(self, buffer_name: str) -> Any:

@@ -27,6 +27,12 @@ Event vocabulary (the ``kind`` field):
     graceful degradation.
 ``channel.emit`` / ``channel.recv`` / ``channel.close`` / ``channel.abort``
     Synchronous-pipeline stream operations (``queued`` = depth after).
+``shm.pin`` / ``shm.unpin``
+    Shared-memory data-plane slot lifecycle under the process executor
+    (``segment``, ``slot``; ``stage`` = the consuming stage, ``target``
+    = the buffer): a slot stays pinned while a consumer may still read
+    its payload.  :mod:`repro.check` audits that unpins never outnumber
+    pins.
 ``fault.injected``
     A :class:`~repro.core.faults.FaultInjector` spec fired
     (``at`` = command count, ``fault`` = kind).

@@ -1,11 +1,30 @@
 """Shared fixtures for the test suite."""
 
+import os
 import signal
 
 import numpy as np
 import pytest
 
 from repro.data import bayer_mosaic, clustered_image, scene_image
+
+try:
+    from hypothesis import HealthCheck, settings as _hyp_settings
+
+    # ``ci``: deterministic and bounded — no wall-clock deadline (CI
+    # machines are noisy), a fixed derandomized seed so a red run is
+    # reproducible, and capped examples so property tests stay cheap.
+    # ``dev``: hypothesis defaults plus deadline=None (the simulated
+    # executor's first call can exceed the default 200 ms deadline).
+    _hyp_settings.register_profile(
+        "ci", deadline=None, max_examples=25, derandomize=True,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow])
+    _hyp_settings.register_profile("dev", deadline=None)
+    _hyp_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:       # pragma: no cover - hypothesis is a dev dep
+    pass
 
 
 def pytest_configure(config):
@@ -15,6 +34,13 @@ def pytest_configure(config):
         "markers",
         "serve: serving-layer tests that hold long-lived server "
         "threads (the watchdog reaps leaked servers on expiry)")
+    config.addinivalue_line(
+        "markers",
+        "check: conformance-subsystem tests (repro.check)")
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running tests (differential harness, fuzzing); "
+        "deselect with -m 'not slow' for a quick pass")
     config.addinivalue_line(
         "markers",
         "timeout(seconds): fail the test if it runs longer than "

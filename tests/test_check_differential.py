@@ -1,0 +1,74 @@
+"""Differential conformance harness tests (repro.check.differential)."""
+
+import json
+
+import pytest
+
+from repro.check import run_differential
+from repro.check import differential as diff_mod
+
+pytestmark = pytest.mark.check
+
+
+class TestCrossExecutor:
+    @pytest.mark.timeout(120)
+    def test_two_executor_pass_is_clean(self):
+        report = run_differential(app="dwt53", size=16, serve=False,
+                                  executors=("simulated", "threaded"))
+        assert report.ok, report.mismatches
+        assert [o.executor for o in report.observations] == \
+            ["simulated", "threaded"]
+        for obs in report.observations:
+            assert obs.completed
+            assert obs.final_matches_precise
+            assert obs.check.ok
+
+    @pytest.mark.slow
+    @pytest.mark.timeout(300)
+    def test_three_executor_pass_is_clean(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        report = run_differential(app="2dconv", size=24, serve=False)
+        assert report.ok, report.mismatches
+        assert len(report.observations) == 3
+
+    @pytest.mark.timeout(120)
+    def test_report_is_json_serializable(self):
+        report = run_differential(app="dwt53", size=16, serve=False,
+                                  executors=("simulated",))
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["report"] == "differential-conformance"
+        assert payload["ok"] is True
+        assert payload["observations"][0]["version_counts"]
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            run_differential(app="dwt53", size=16, serve=False,
+                             executors=("gpu",))
+
+
+class TestMismatchDetection:
+    @pytest.mark.timeout(120)
+    def test_forged_final_is_reported(self, monkeypatch):
+        # force the bit-exact comparison to fail: the harness must
+        # report a final-mismatch for every executor, not pass silently
+        monkeypatch.setattr(diff_mod, "_values_equal",
+                            lambda a, b: False)
+        report = run_differential(app="dwt53", size=16, serve=False,
+                                  executors=("simulated",))
+        assert not report.ok
+        assert any(m["kind"] == "final-mismatch"
+                   for m in report.mismatches)
+
+
+@pytest.mark.serve
+@pytest.mark.slow
+class TestServeLeg:
+    @pytest.mark.timeout(180)
+    def test_preempt_resume_stays_conformant(self):
+        report = run_differential(app="2dconv", size=24, serve=True,
+                                  executors=("simulated",))
+        assert report.serve is not None
+        assert report.serve["ok"], report.serve["problems"]
+        assert report.serve["preemptions"] >= 1
+        assert all(state == "completed"
+                   for state in report.serve["states"].values())

@@ -1,0 +1,123 @@
+"""Property-based fuzzer tests (repro.check.fuzz)."""
+
+import json
+
+import pytest
+
+from repro.check import fuzz as fz
+
+pytestmark = pytest.mark.check
+
+BASE_SPEC = {
+    "format": 1,
+    "stages": [{"kind": 2, "op": 1, "cost": 10, "inputs": [0],
+                "chunks": 3, "perm": "tree", "sync": False}],
+    "data": list(range(16)),
+    "cores": 4,
+    "faults": None,
+    "stop_after": None,
+}
+
+
+def _spec(**overrides):
+    spec = json.loads(json.dumps(BASE_SPEC))
+    spec.update(overrides)
+    return spec
+
+
+class TestBuildAndRun:
+    @pytest.mark.parametrize("perm", fz._PERMUTATIONS)
+    def test_every_permutation_converges(self, perm):
+        spec = _spec(stages=[dict(BASE_SPEC["stages"][0], perm=perm)])
+        summary = fz.run_spec(spec)
+        assert summary["completed"]
+
+    def test_sync_pair_converges(self):
+        spec = _spec(stages=[dict(BASE_SPEC["stages"][0], sync=True)])
+        summary = fz.run_spec(spec)
+        assert summary["completed"]
+
+    def test_faulted_run_terminates_clean(self):
+        spec = _spec(faults={"seed": 3, "n": 2, "max_at": 10,
+                             "policy": "degrade"})
+        summary = fz.run_spec(spec)     # must not raise
+        assert summary["events"] > 0
+
+    def test_interrupted_run_terminates_clean(self):
+        spec = _spec(stop_after=1,
+                     stages=[dict(BASE_SPEC["stages"][0], chunks=4)])
+        summary = fz.run_spec(spec)
+        assert summary["terminal_versions"] >= 1
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="format"):
+            fz.build_automaton(_spec(format=99))
+
+    def test_build_is_deterministic(self):
+        a = fz.build_automaton(_spec())
+        b = fz.build_automaton(_spec())
+        assert [s.name for s in a.graph.stages] == \
+            [s.name for s in b.graph.stages]
+        import numpy as np
+        assert np.array_equal(a.precise_output(), b.precise_output())
+
+
+class TestStrategy:
+    def test_specs_are_json_round_trippable(self):
+        hypothesis = pytest.importorskip("hypothesis")
+
+        @hypothesis.settings(max_examples=20, deadline=None,
+                             database=None)
+        @hypothesis.given(fz.spec_strategy())
+        def check(spec):
+            assert json.loads(json.dumps(spec)) == spec
+
+        check()
+
+
+class TestFuzzLoop:
+    @pytest.mark.slow
+    @pytest.mark.timeout(300)
+    def test_bounded_fuzz_finds_nothing(self):
+        pytest.importorskip("hypothesis")
+        assert fz.fuzz(max_examples=10) is None
+
+    @pytest.mark.slow
+    @pytest.mark.timeout(300)
+    def test_planted_bug_is_captured_shrunk_and_replayable(
+            self, tmp_path, monkeypatch):
+        pytest.importorskip("hypothesis")
+        real = fz.run_spec
+
+        def planted(spec):
+            real(spec)
+            assert spec["faults"] is None, "planted: faulted spec"
+
+        monkeypatch.setattr(fz, "run_spec", planted)
+        seed_file = str(tmp_path / "seed.json")
+        failure = fz.fuzz(max_examples=60, seed_file=seed_file)
+        assert failure is not None
+        assert "planted" in failure.error
+        assert failure.spec["faults"] is not None
+        # the captured spec is the shrunk falsifying example and the
+        # seed file round-trips it
+        assert fz.load_spec(seed_file) == failure.spec
+        # under the real property the shrunk spec passes again
+        monkeypatch.setattr(fz, "run_spec", real)
+        fz.replay(seed_file)
+
+
+class TestSeedFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "spec.json")
+        fz.save_spec(_spec(), path, error="synthetic")
+        assert fz.load_spec(path) == _spec()
+        payload = json.loads(open(path).read())
+        assert payload["error"] == "synthetic"
+
+    def test_load_rejects_unknown_format(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        path_obj = tmp_path / "bad.json"
+        path_obj.write_text('{"spec": {"format": 42}}')
+        with pytest.raises(ValueError, match="format"):
+            fz.load_spec(path)

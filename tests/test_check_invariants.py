@@ -1,0 +1,196 @@
+"""Unit tests for the runtime invariant checker (repro.check.invariants)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import get_app
+from repro.check import (CheckFailure, Checker, Violation, check_events)
+from repro.core.buffer import VersionedBuffer
+from repro.core.tracing import InMemorySink, TraceEvent
+
+pytestmark = pytest.mark.check
+
+
+def _ev(ts, kind, stage=None, target=None, **args):
+    return TraceEvent(ts=ts, kind=kind, stage=stage, target=target,
+                      args=args)
+
+
+def _w(ts, version, final=False, stage="s", target="b"):
+    return _ev(ts, "buffer.write", stage, target,
+               version=version, final=final)
+
+
+class TestCheckerBasics:
+    def test_clean_stream_is_ok(self):
+        report = check_events([
+            _ev(0.0, "stage.start", "s"),
+            _w(0.1, 1), _w(0.2, 2, final=True),
+            _ev(0.3, "stage.finish", "s", status="completed"),
+        ])
+        assert report.ok
+        assert report.events == 4
+        assert report.kind_counts["buffer.write"] == 2
+
+    def test_version_skip_flagged(self):
+        report = check_events([_w(0.0, 1), _w(1.0, 3)])
+        assert [v.invariant for v in report.violations] == \
+            ["version-order"]
+
+    def test_fail_fast_raises_on_first_violation(self):
+        checker = Checker(fail_fast=True)
+        checker.emit(_w(0.0, 1))
+        with pytest.raises(CheckFailure, match="version-order"):
+            checker.emit(_w(1.0, 3))
+
+    def test_raise_if_violations_carries_structured_records(self):
+        checker = Checker()
+        checker.emit(_w(0.0, 2))
+        checker.emit(_w(1.0, 2))
+        checker.close()
+        with pytest.raises(CheckFailure) as exc:
+            checker.raise_if_violations()
+        assert all(isinstance(v, Violation)
+                   for v in exc.value.violations)
+
+    def test_forward_tees_every_event(self):
+        mem = InMemorySink()
+        checker = Checker(forward=mem)
+        events = [_w(0.0, 1), _w(1.0, 2, final=True)]
+        for e in events:
+            checker.emit(e)
+        checker.close()
+        assert mem.events == events
+        assert mem.closed
+
+    def test_report_is_json_serializable(self):
+        report = check_events([_w(0.0, 1), _w(1.0, 1)])
+        payload = json.dumps(report.to_dict())
+        assert "version-order" in payload
+
+
+class TestOwnership:
+    def test_foreign_writer_needs_owner_map(self):
+        assert check_events([_w(0.0, 1, stage="intruder")]).ok
+        report = check_events([_w(0.0, 1, stage="intruder")],
+                              owners={"b": "s"})
+        assert [v.invariant for v in report.violations] == \
+            ["foreign-writer"]
+
+    def test_for_graph_derives_owners(self):
+        spec = get_app("dwt53")
+        automaton = spec.build(spec.make_input(16, 0))
+        checker = Checker.for_graph(automaton.graph)
+        assert checker.owners == {s.output.name: s.name
+                                  for s in automaton.graph.stages}
+
+
+class TestAccuracyTolerance:
+    def _samples(self, values):
+        return [_ev(float(i), "accuracy.sample", "s", "b", accuracy=v)
+                for i, v in enumerate(values)]
+
+    def test_disabled_without_tolerance(self):
+        assert check_events(self._samples([10.0, 1.0])).ok
+
+    def test_regression_beyond_tolerance_flagged(self):
+        report = check_events(self._samples([10.0, 7.0]),
+                              tolerance_db=1.0)
+        assert [v.invariant for v in report.violations] == \
+            ["accuracy-regression"]
+
+    def test_dip_within_tolerance_allowed(self):
+        assert check_events(self._samples([10.0, 9.5, 11.0]),
+                            tolerance_db=1.0).ok
+
+    def test_per_buffer_override_exempts(self):
+        report = check_events(self._samples([10.0, 1.0]),
+                              tolerance_db=0.0,
+                              tolerances={"b": None})
+        assert report.ok
+
+
+class TestChannels:
+    def test_relaxed_mode_defers_totals_to_close(self):
+        # out-of-order emit/recv interleaving from threads: per-event
+        # causality is not checkable, but totals are
+        checker = Checker(strict_order=False)
+        checker.emit(_ev(0.0, "channel.recv", "g", "c", queued=0))
+        checker.emit(_ev(1.0, "channel.recv", "g", "c", queued=0))
+        checker.emit(_ev(2.0, "channel.emit", "f", "c", queued=1))
+        checker.close()
+        assert [v.invariant for v in checker.violations] == \
+            ["channel-causality"]
+
+    def test_strict_mode_flags_at_the_event(self):
+        checker = Checker(strict_order=True)
+        checker.emit(_ev(0.0, "channel.recv", "g", "c", queued=0))
+        assert any(v.invariant == "channel-causality"
+                   for v in checker.violations)
+
+
+class TestPins:
+    def test_balanced_pins_ok_and_reported(self):
+        report = check_events([
+            _ev(0.0, "shm.pin", "w", "b", segment="seg", slot=1),
+            _ev(1.0, "shm.unpin", "w", "b", segment="seg", slot=1),
+        ])
+        assert report.ok
+        assert report.stats["outstanding_pins"] == {}
+
+    def test_outstanding_pin_reported_not_flagged(self):
+        report = check_events([
+            _ev(0.0, "shm.pin", "w", "b", segment="seg", slot=2),
+        ])
+        assert report.ok
+        assert report.stats["outstanding_pins"] == {"seg:2": 1}
+
+
+class TestValueMutation:
+    def test_mutation_after_write_detected(self):
+        buffer = VersionedBuffer("b")
+        buffer.register_writer("s")
+        value = [1, 2]
+        version = buffer.write(value, final=True, writer="s")
+        checker = Checker(hash_buffers={"b": buffer})
+        checker.emit(_w(0.0, version, final=True))
+        value[0] = 99
+        checker.close()
+        assert [v.invariant for v in checker.violations] == \
+            ["value-mutated"]
+
+    def test_untouched_value_passes(self):
+        buffer = VersionedBuffer("b")
+        buffer.register_writer("s")
+        version = buffer.write(np.arange(4), final=True, writer="s")
+        checker = Checker(hash_buffers={"b": buffer})
+        checker.emit(_w(0.0, version, final=True))
+        checker.close()
+        assert checker.ok
+
+
+class TestLiveAttachment:
+    @pytest.mark.timeout(60)
+    def test_simulated_run_is_clean(self):
+        spec = get_app("2dconv")
+        automaton = spec.build(spec.make_input(16, 0))
+        checker = Checker.for_graph(automaton.graph, hash_values=True,
+                                    strict_order=True)
+        result = automaton.run_simulated(trace=checker,
+                                         schedule=spec.schedule)
+        checker.close()
+        assert result.completed
+        checker.raise_if_violations()
+        assert checker.report().stats["buffers"] >= 1
+
+    @pytest.mark.timeout(60)
+    def test_threaded_run_is_clean(self):
+        spec = get_app("dwt53")
+        automaton = spec.build(spec.make_input(16, 0))
+        checker = Checker.for_graph(automaton.graph, hash_values=True)
+        result = automaton.run_threaded(timeout_s=30.0, trace=checker)
+        checker.close()
+        assert result.completed
+        checker.raise_if_violations()

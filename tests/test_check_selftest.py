@@ -1,0 +1,63 @@
+"""Table-driven self-test suite: every known-bad automaton must be
+caught under exactly its expected invariant, on every executor it can
+run on."""
+
+import pytest
+
+from repro.check import SELF_TEST_CASES, run_self_test
+from repro.check.invariants import INVARIANTS
+
+pytestmark = pytest.mark.check
+
+# (case, executor) axes: tamper cases are executor-independent, live
+# cases fan out over the executors the breakage is observable on
+CASE_RUNS = [
+    (case, executor)
+    for case in SELF_TEST_CASES
+    for executor in (case.executors if case.mode == "live"
+                     else ("trace",))
+]
+
+
+class TestTable:
+    def test_every_invariant_class_has_a_case(self):
+        covered = {case.invariant for case in SELF_TEST_CASES}
+        assert covered == set(INVARIANTS)
+
+    def test_case_names_unique(self):
+        names = [case.name for case in SELF_TEST_CASES]
+        assert len(names) == len(set(names))
+
+    @pytest.mark.parametrize(
+        "case,executor", CASE_RUNS,
+        ids=[f"{c.name}-{e}" for c, e in CASE_RUNS])
+    @pytest.mark.timeout(120)
+    def test_known_bad_automaton_is_caught(self, case, executor):
+        if executor == "process":
+            pytest.importorskip("multiprocessing.shared_memory")
+        outcome = case.evaluate(executor)
+        assert outcome.caught, (
+            f"{case.name} on {executor}: expected {case.invariant}, "
+            f"checker found only {outcome.found}")
+        assert not outcome.stray, (
+            f"{case.name} on {executor}: stray violations "
+            f"{outcome.stray} beyond allowed "
+            f"{set(case.allowed) | {case.invariant}}")
+
+
+class TestRunner:
+    @pytest.mark.timeout(120)
+    def test_full_self_test_passes(self):
+        report = run_self_test(executors=("simulated", "threaded"))
+        assert report.ok, report.summary()
+
+    @pytest.mark.timeout(120)
+    def test_report_shape(self):
+        report = run_self_test(executors=("simulated",))
+        payload = report.to_dict()
+        assert payload["report"] == "checker-self-test"
+        assert payload["ok"] is True
+        assert payload["cases"] == len(report.outcomes)
+        # a clean-run control is part of the table
+        assert any(o["case"] == "clean-control"
+                   for o in payload["outcomes"])

@@ -183,3 +183,59 @@ class TestBenchCommand:
     def test_bench_rejects_unknown_backend(self, capsys):
         assert main(["bench", "--backends", "simulated"]) == 2
         assert "unknown backend" in capsys.readouterr().err
+
+
+@pytest.mark.check
+class TestCheckCommand:
+    @pytest.mark.timeout(120)
+    def test_check_self_test(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "selftest.json"
+        assert main(["check", "--self-test",
+                     "--executors", "simulated",
+                     "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "violation cases caught" in out
+        doc = json.load(open(path))
+        assert doc["ok"] is True
+
+    @pytest.mark.timeout(120)
+    def test_check_differential_writes_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "conformance.json"
+        assert main(["check", "dwt53", "--size", "16",
+                     "--executors", "simulated,threaded",
+                     "--no-serve", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        doc = json.load(open(path))
+        assert doc["ok"] is True
+        assert doc["apps"][0]["app"] == "dwt53"
+
+    def test_check_rejects_unknown_app(self, capsys):
+        assert main(["check", "fft", "--no-serve"]) == 2
+        assert "unknown app" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    @pytest.mark.timeout(300)
+    def test_check_fuzz_smoke(self, tmp_path, capsys, monkeypatch):
+        pytest.importorskip("hypothesis")
+        monkeypatch.chdir(tmp_path)
+        assert main(["check", "--fuzz", "--max-examples", "5"]) == 0
+        assert "no falsifying automaton" in capsys.readouterr().out
+
+    @pytest.mark.timeout(120)
+    def test_check_replay_round_trip(self, tmp_path, capsys):
+        from repro.check.fuzz import save_spec
+
+        spec = {"format": 1, "cores": 4, "faults": None,
+                "stop_after": None, "data": list(range(16)),
+                "stages": [{"kind": 0, "op": 0, "cost": 5,
+                            "inputs": [0], "chunks": 1,
+                            "perm": "tree", "sync": False}]}
+        path = tmp_path / "seed.json"
+        save_spec(spec, str(path))
+        assert main(["check", "--replay", str(path)]) == 0
+        assert "passed" in capsys.readouterr().out

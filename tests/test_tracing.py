@@ -280,9 +280,11 @@ class TestExecutorParity:
 
     def _shape(self, counts):
         # wait spans are timing-dependent (the threaded executor only
-        # records a wait when it actually blocked); everything else is
-        # determined by the dataflow
-        return {k: v for k, v in counts.items() if k != "stage.wait"}
+        # records a wait when it actually blocked) and shm.* events
+        # are process-backend data-plane bookkeeping; everything else
+        # is determined by the dataflow
+        return {k: v for k, v in counts.items()
+                if k != "stage.wait" and not k.startswith("shm.")}
 
     def test_pipeline_demo_trace_shapes_match(self):
         """All three executors — simulated, threaded, process — must
