@@ -85,6 +85,11 @@ class KMeansAssignStage(DiffusiveStage):
             prefetcher=prefetcher)
         self.k = k
         self._fill = TreeFill(spatial_ndim=2)
+        # assignment is elementwise in the pixels, so several chunks can
+        # be assigned in one vectorized pass; the per-chunk accumulator
+        # updates (add.at / bincount) still run level by level in
+        # apply_chunk, keeping every published partial bit-identical
+        self.supports_batch = True
 
     def init_state(self, values: tuple[Any, ...]) -> dict[str, Any]:
         prev = self._state
@@ -99,10 +104,28 @@ class KMeansAssignStage(DiffusiveStage):
         centroids, image = values
         pixels = np.asarray(image).reshape(-1, 3)[indices]
         labels = assign_pixels(pixels, centroids)
+        return self._fold(state, indices, pixels, labels)
+
+    def _fold(self, state: dict[str, Any], indices: np.ndarray,
+              pixels: np.ndarray, labels: np.ndarray) -> Any:
         state["assign"].reshape(-1)[indices] = labels
         np.add.at(state["sums"], labels, pixels.astype(np.float64))
         state["counts"] += np.bincount(labels, minlength=self.k)
         return (indices, labels)
+
+    def batch_chunks(self, state: dict[str, Any], indices: np.ndarray,
+                     values: tuple[Any, ...]) -> tuple[np.ndarray,
+                                                       np.ndarray]:
+        centroids, image = values
+        pixels = np.asarray(image).reshape(-1, 3)[indices]
+        return pixels, assign_pixels(pixels, centroids)
+
+    def apply_chunk(self, state: dict[str, Any], indices: np.ndarray,
+                    batch: tuple[np.ndarray, np.ndarray], offset: int,
+                    values: tuple[Any, ...]) -> Any:
+        pixels, labels = batch
+        span = slice(offset, offset + len(indices))
+        return self._fold(state, indices, pixels[span], labels[span])
 
     def materialize(self, state: dict[str, Any], count: int,
                     values: tuple[Any, ...]) -> dict[str, Any]:

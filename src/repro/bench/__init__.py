@@ -14,6 +14,8 @@ from .experiments import (ablation_backends, ablation_locality,
                           fig20_sram)
 from .harness import (FigureData, bench_cores, bench_size, format_rows,
                       run_profile)
+from .plane import (compare_plane_baseline, data_plane_profiles,
+                    PLANE_APPS, PLANE_EXECUTORS)
 
 __all__ = [
     "ablation_backends", "ablation_locality", "ablation_prefetcher",
@@ -28,4 +30,6 @@ __all__ = [
     "fig20_sram",
     "FigureData", "bench_cores", "bench_size", "format_rows",
     "run_profile",
+    "compare_plane_baseline", "data_plane_profiles",
+    "PLANE_APPS", "PLANE_EXECUTORS",
 ]

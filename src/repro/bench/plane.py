@@ -1,0 +1,200 @@
+"""Data-plane microbenchmark (``repro bench plane``).
+
+Measures the cost of *moving versions*, not computing them: pipe
+round-trips per published version on the process backend, published
+versions per wall second, and the latency of pulling a pinned snapshot
+out of a run — each under command leases (``lease_k > 1``) and with
+leases disabled (``lease_k = 1``, the historical one-round-trip-per-
+command protocol).  Workloads are the Figure 11 (2dconv) and Figure 15
+(kmeans) pipelines, whose kernels carry vectorized multi-level batching.
+
+The machine form feeds ``BENCH_plane.json``; the committed baseline in
+``benchmarks/results/`` anchors the CI perf gate
+(:func:`compare_plane_baseline`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable
+
+from ..core.automaton import AnytimeAutomaton
+from .harness import bench_size
+
+__all__ = ["PLANE_APPS", "PLANE_EXECUTORS", "data_plane_profiles",
+           "compare_plane_baseline"]
+
+PLANE_APPS = ("2dconv", "kmeans")
+PLANE_EXECUTORS = ("simulated", "threaded", "process")
+
+
+def _builder(app: str, size: int,
+             seed: int = 0) -> Callable[[], AnytimeAutomaton]:
+    from ..apps.conv2d import build_conv2d_automaton
+    from ..apps.kmeans import build_kmeans_automaton
+    from ..data.images import clustered_image, scene_image
+
+    if app == "2dconv":
+        return lambda: build_conv2d_automaton(scene_image(size,
+                                                          seed=seed))
+    if app == "kmeans":
+        ksize = max(size // 2, 16)
+        return lambda: build_kmeans_automaton(
+            clustered_image(ksize, seed=4, clusters=6), k=6)
+    raise ValueError(f"unknown plane app {app!r}; known: {PLANE_APPS}")
+
+
+def _probe_latency(snapshot: Callable[[], Any], probes: int) -> float:
+    worst = 0.0
+    for _ in range(max(probes, 1)):
+        t0 = time.perf_counter()
+        snapshot()
+        worst = max(worst, time.perf_counter() - t0)
+    return worst
+
+
+def _measure(build: Callable[[], AnytimeAutomaton], executor: str,
+             lease_k: int, snapshot_probes: int = 32) -> dict[str, Any]:
+    automaton = build()
+    latencies: list[float] = []
+    if executor == "simulated":
+        t0 = time.perf_counter()
+        result = automaton.run_simulated(lease_k=lease_k)
+        wall = time.perf_counter() - t0
+        buffer = automaton.graph.buffers[automaton.terminal_buffer_name]
+        latencies.append(_probe_latency(buffer.snapshot,
+                                        snapshot_probes))
+    elif executor in ("threaded", "process"):
+        launch = (automaton.launch_threaded if executor == "threaded"
+                  else automaton.launch_processes)
+        t0 = time.perf_counter()
+        handle = launch(lease_k=lease_k)
+        # live pinned-snapshot polls, the serving layer's peek path
+        while not handle.finished:
+            s0 = time.perf_counter()
+            handle.snapshot()
+            latencies.append(time.perf_counter() - s0)
+            time.sleep(0.002)
+        result = handle.result()
+        wall = time.perf_counter() - t0
+        if not latencies:   # the run beat the first poll
+            latencies.append(_probe_latency(handle.snapshot,
+                                            snapshot_probes))
+    else:
+        raise ValueError(f"unknown executor {executor!r}; known: "
+                         f"{PLANE_EXECUTORS}")
+    versions = len(result.timeline.records)
+    round_trips = sum(r.round_trips
+                      for r in result.stage_reports.values())
+    return {
+        "lease_k": lease_k,
+        "completed": bool(result.completed),
+        "versions": versions,
+        "wall_s": wall,
+        "versions_per_s": versions / wall if wall > 0 else 0.0,
+        "round_trips": round_trips,
+        "round_trips_per_version": (round_trips / versions
+                                    if versions else 0.0),
+        "snapshot_latency_s": max(latencies),
+        "snapshot_polls": len(latencies),
+    }
+
+
+def data_plane_profiles(size: int | None = None,
+                        apps: tuple[str, ...] = PLANE_APPS,
+                        executors: tuple[str, ...] = PLANE_EXECUTORS,
+                        lease_k: int = 8,
+                        progress: Callable[[str], None] | None = None,
+                        ) -> dict[str, Any]:
+    """The ``BENCH_plane.json`` document (machine form).
+
+    Every (app, executor) cell is measured twice — ``sync`` with
+    ``lease_k=1`` (the historical protocol) and ``leased`` with the
+    requested ``lease_k`` — so the lease win is a self-relative number
+    on the same machine and input.  ``round_trip_reduction`` (process
+    cells) is sync round-trips/version over leased round-trips/version:
+    the deterministic metric the CI perf gate anchors on.
+    """
+    if lease_k < 2:
+        raise ValueError(f"lease_k must be >= 2 to compare against the "
+                         f"sync protocol, got {lease_k}")
+    size = size or bench_size(default=32)
+    data: dict[str, Any] = {
+        "size": size,
+        "cpu_count": os.cpu_count(),
+        "lease_k": lease_k,
+        "apps": {},
+    }
+    for app in apps:
+        build = _builder(app, size)
+        entry: dict[str, Any] = {}
+        for executor in executors:
+            if progress:
+                progress(f"  plane: {app} / {executor} ...")
+            modes = {"sync": _measure(build, executor, 1),
+                     "leased": _measure(build, executor, lease_k)}
+            leased_rpv = modes["leased"]["round_trips_per_version"]
+            sync_rpv = modes["sync"]["round_trips_per_version"]
+            if leased_rpv > 0:
+                modes["round_trip_reduction"] = sync_rpv / leased_rpv
+            entry[executor] = modes
+        data["apps"][app] = entry
+    return data
+
+
+def compare_plane_baseline(fresh: dict[str, Any],
+                           baseline: dict[str, Any],
+                           tolerance: float = 0.25,
+                           wall_tolerance: float = 0.60,
+                           ) -> list[str]:
+    """Perf-gate comparison; returns regression descriptions (empty =
+    pass).
+
+    Machine-independent checks (always applied, ``tolerance`` band):
+
+    - leased round-trips/version on the process backend must not exceed
+      the baseline by more than ``tolerance`` — the protocol got
+      chattier;
+    - the sync/leased round-trip reduction must not fall below the
+      baseline by more than ``tolerance`` — the lease stopped paying.
+
+    Wall-clock check (``wall_tolerance`` band, only when ``cpu_count``
+    matches the baseline — versions/sec is meaningless across machine
+    classes): leased versions/sec on the process backend must not drop
+    below ``(1 - wall_tolerance)`` of the baseline.
+    """
+    problems: list[str] = []
+    same_machine = fresh.get("cpu_count") == baseline.get("cpu_count")
+    for app, base_entry in baseline.get("apps", {}).items():
+        fresh_entry = fresh.get("apps", {}).get(app)
+        if fresh_entry is None:
+            problems.append(f"{app}: missing from fresh results")
+            continue
+        base = base_entry.get("process")
+        cur = fresh_entry.get("process")
+        if not base or not cur:
+            continue
+        b_rpv = base["leased"]["round_trips_per_version"]
+        f_rpv = cur["leased"]["round_trips_per_version"]
+        if b_rpv > 0 and f_rpv > b_rpv * (1.0 + tolerance):
+            problems.append(
+                f"{app}: leased round-trips/version regressed "
+                f"{f_rpv:.2f} vs baseline {b_rpv:.2f} "
+                f"(tolerance {tolerance:.0%})")
+        b_red = base.get("round_trip_reduction")
+        f_red = cur.get("round_trip_reduction")
+        if b_red and f_red is not None \
+                and f_red < b_red * (1.0 - tolerance):
+            problems.append(
+                f"{app}: round-trip reduction fell to {f_red:.2f}x vs "
+                f"baseline {b_red:.2f}x (tolerance {tolerance:.0%})")
+        if same_machine:
+            b_vps = base["leased"]["versions_per_s"]
+            f_vps = cur["leased"]["versions_per_s"]
+            if b_vps > 0 and f_vps < b_vps * (1.0 - wall_tolerance):
+                problems.append(
+                    f"{app}: leased versions/sec regressed "
+                    f"{f_vps:.1f} vs baseline {b_vps:.1f} "
+                    f"(tolerance {wall_tolerance:.0%})")
+    return problems

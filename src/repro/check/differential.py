@@ -137,7 +137,8 @@ def _values_equal(a: Any, b: Any) -> bool:
 
 def _observe(spec: Any, image: np.ndarray, executor: str,
              reference: Any, timeout_s: float,
-             tolerance_db: float | None) -> RunObservation:
+             tolerance_db: float | None,
+             lease_k: int = 8) -> RunObservation:
     """Run one fresh build on one executor with a checker attached."""
     automaton = spec.build(image)
     precise = automaton.precise_output()
@@ -149,7 +150,7 @@ def _observe(spec: Any, image: np.ndarray, executor: str,
     t0 = _time.perf_counter()
     kwargs: dict[str, Any] = dict(
         trace=checker, trace_metric=spec.metric,
-        trace_reference=reference)
+        trace_reference=reference, lease_k=lease_k)
     if executor == "simulated":
         result = automaton.run_simulated(schedule=spec.schedule, **kwargs)
     elif executor == "threaded":
@@ -282,12 +283,14 @@ def run_differential(app: str = "2dconv", size: int = 24, seed: int = 0,
                      serve: bool = True, timeout_s: float = 120.0,
                      tolerance_db: float | None = "default",
                      progress: Callable[[str], None] | None = None,
-                     ) -> DifferentialReport:
+                     lease_k: int = 8) -> DifferentialReport:
     """Run one app across executors and cross-check the guarantees.
 
     ``tolerance_db="default"`` looks the app up in
     :data:`ACCURACY_TOLERANCE_DB`; pass a float (or None to disable)
-    to override.
+    to override.  ``lease_k`` is forwarded to every executor leg —
+    the report must come out identical at any setting (the lease
+    safety rule: batching may not change the published versions).
     """
     spec = get_app(app)
     image = spec.make_input(size, seed)
@@ -306,7 +309,7 @@ def run_differential(app: str = "2dconv", size: int = 24, seed: int = 0,
         if progress:
             progress(f"  {app}: {executor} executor ...")
         obs = _observe(spec, image, executor, reference, timeout_s,
-                       tolerance_db)
+                       tolerance_db, lease_k=lease_k)
         observations.append(obs)
         if not obs.completed:
             note("incomplete", f"{executor} run did not complete",

@@ -125,18 +125,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="override REPRO_BENCH_SIZE")
 
     bench = sub.add_parser(
-        "bench", help="wall-clock benchmarks (backends or serving)")
+        "bench", help="wall-clock benchmarks (backends, serving, or "
+                      "the process data plane)")
     bench.add_argument("what", nargs="?", default="backends",
-                       choices=("backends", "serve"),
+                       choices=("backends", "serve", "plane"),
                        help="what to benchmark: execution backends "
-                            "(default) or the serving layer")
+                            "(default), the serving layer, or the "
+                            "data-plane microbenchmark")
     bench.add_argument("--size", type=int, default=None,
-                       help="override REPRO_BENCH_SIZE (backends) / "
-                            "input edge length (serve)")
+                       help="override REPRO_BENCH_SIZE (backends, "
+                            "plane) / input edge length (serve)")
     bench.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="write machine-readable results to PATH "
-                            "(default: $REPRO_BENCH_JSON when set; "
-                            "serve falls back to BENCH_serve.json)")
+                            "(default: $REPRO_BENCH_JSON when set, "
+                            "else BENCH_<what>.json)")
+    bench.add_argument("--lease-k", type=int, default=8,
+                       help="lease size for the leased leg of the "
+                            "plane bench (default 8)")
+    bench.add_argument("--check-against", type=str, default=None,
+                       metavar="PATH",
+                       help="baseline BENCH_plane.json to gate "
+                            "against; exits 1 on regression beyond "
+                            "the tolerance band (plane bench)")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="allowed relative regression in the "
+                            "deterministic round-trip metrics "
+                            "(default 0.25)")
+    bench.add_argument("--wall-tolerance", type=float, default=0.60,
+                       help="allowed relative regression in "
+                            "versions/sec, applied only when the "
+                            "baseline machine matches (default 0.60)")
     bench.add_argument("--backends", type=str,
                        default="threaded,process",
                        help="comma-separated backends to time "
@@ -561,12 +579,69 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
               f"{row['latency_p50_s']:>9.3f}{row['latency_p99_s']:>9.3f}"
               f"{row['shed']:>6}{slo_pct:>7}{row['preempt_count']:>8}")
 
-    json_path = (args.json or os.environ.get("REPRO_BENCH_JSON")
-                 or "BENCH_serve.json")
+    json_path = _bench_json_path(args, "BENCH_serve.json")
     with open(json_path, "w", encoding="utf-8") as fh:
         json.dump(data, fh, indent=2)
         fh.write("\n")
     print(f"results written to {json_path}")
+    return 0
+
+
+def _bench_json_path(args: argparse.Namespace, default: str) -> str:
+    """The one fallback chain every bench flavor shares:
+    ``--json`` > ``$REPRO_BENCH_JSON`` > a per-flavor default."""
+    import os
+
+    return (args.json or os.environ.get("REPRO_BENCH_JSON")
+            or default)
+
+
+def _cmd_bench_plane(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .bench.plane import compare_plane_baseline, data_plane_profiles
+
+    if args.size is not None:
+        os.environ["REPRO_BENCH_SIZE"] = str(args.size)
+    data = data_plane_profiles(lease_k=args.lease_k, progress=print)
+
+    print(f"\ndata plane at size {data['size']} on "
+          f"{data['cpu_count']} CPU core(s), lease_k={data['lease_k']}")
+    print(f"{'app':<9}{'executor':<11}{'mode':<8}{'versions':>9}"
+          f"{'vers/s':>9}{'rt/ver':>8}{'peek (ms)':>11}")
+    for app, entry in data["apps"].items():
+        for executor, modes in entry.items():
+            for mode in ("sync", "leased"):
+                row = modes[mode]
+                print(f"{app:<9}{executor:<11}{mode:<8}"
+                      f"{row['versions']:>9}"
+                      f"{row['versions_per_s']:>9.1f}"
+                      f"{row['round_trips_per_version']:>8.2f}"
+                      f"{row['snapshot_latency_s'] * 1e3:>11.3f}")
+            reduction = modes.get("round_trip_reduction")
+            if reduction is not None:
+                print(f"{app:<9}{executor:<11}round-trip reduction = "
+                      f"{reduction:.2f}x")
+
+    json_path = _bench_json_path(args, "BENCH_plane.json")
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    print(f"results written to {json_path}")
+
+    if args.check_against:
+        with open(args.check_against, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        problems = compare_plane_baseline(
+            data, baseline, tolerance=args.tolerance,
+            wall_tolerance=args.wall_tolerance)
+        if problems:
+            print(f"\nperf gate FAILED against {args.check_against}:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"\nperf gate passed against {args.check_against}")
     return 0
 
 
@@ -578,6 +653,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.what == "serve":
         return _cmd_bench_serve(args)
+    if args.what == "plane":
+        return _cmd_bench_plane(args)
 
     if args.size is not None:
         os.environ["REPRO_BENCH_SIZE"] = str(args.size)
@@ -607,12 +684,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if ratio is not None:
             print(f"{fig_name:<14}process/threaded t90 = {ratio:.2f}x")
 
-    json_path = args.json or os.environ.get("REPRO_BENCH_JSON")
-    if json_path:
-        with open(json_path, "w", encoding="utf-8") as fh:
-            json.dump(data, fh, indent=2)
-            fh.write("\n")
-        print(f"results written to {json_path}")
+    json_path = _bench_json_path(args, "BENCH_backends.json")
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    print(f"results written to {json_path}")
     return 0
 
 

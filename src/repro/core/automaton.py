@@ -121,7 +121,8 @@ class AnytimeAutomaton:
                       trace: TraceSink | None = None,
                       trace_metric: Callable[[Any, Any], float]
                       | None = None,
-                      trace_reference: Any = None) -> SimResult:
+                      trace_reference: Any = None,
+                      lease_k: int = 8) -> SimResult:
         """Deterministic virtual-time execution (the evaluation path).
 
         ``dynamic_shares=True`` turns the policy's shares into weights
@@ -130,7 +131,9 @@ class AnytimeAutomaton:
         ``faults``/``injector``/``strict`` configure the fault-tolerance
         runtime (see :mod:`repro.core.faults`);
         ``trace``/``trace_metric``/``trace_reference`` the observability
-        layer (see :mod:`repro.core.tracing`).
+        layer (see :mod:`repro.core.tracing`); ``lease_k`` caps batched
+        command leases (``1`` disables batching — outputs are
+        bit-identical either way, see :class:`~repro.core.stage.Lease`).
         """
         self._claim_run()
         executor = SimulatedExecutor(self.graph, total_cores=total_cores,
@@ -140,7 +143,8 @@ class AnytimeAutomaton:
                                      faults=faults, injector=injector,
                                      strict=strict, trace=trace,
                                      trace_metric=trace_metric,
-                                     trace_reference=trace_reference)
+                                     trace_reference=trace_reference,
+                                     lease_k=lease_k)
         return executor.run()
 
     def run_threaded(self, stop: StopCondition | None = None,
@@ -153,7 +157,8 @@ class AnytimeAutomaton:
                      trace: TraceSink | None = None,
                      trace_metric: Callable[[Any, Any], float]
                      | None = None,
-                     trace_reference: Any = None) -> ThreadedResult:
+                     trace_reference: Any = None,
+                     lease_k: int = 8) -> ThreadedResult:
         """Wall-clock execution on real threads (the interactive path).
 
         ``faults``/``injector``/``strict`` configure the fault-tolerance
@@ -166,7 +171,8 @@ class AnytimeAutomaton:
                                     faults=faults, injector=injector,
                                     strict=strict, trace=trace,
                                     trace_metric=trace_metric,
-                                    trace_reference=trace_reference)
+                                    trace_reference=trace_reference,
+                                    lease_k=lease_k)
         return executor.run(timeout_s=timeout_s)
 
     def run_processes(self, stop: StopCondition | None = None,
@@ -180,7 +186,8 @@ class AnytimeAutomaton:
                       trace_metric: Callable[[Any, Any], float]
                       | None = None,
                       trace_reference: Any = None,
-                      grace_s: float = 5.0) -> ThreadedResult:
+                      grace_s: float = 5.0,
+                      lease_k: int = 8) -> ThreadedResult:
         """Wall-clock execution on one process per stage (true
         parallelism).
 
@@ -199,7 +206,7 @@ class AnytimeAutomaton:
                                    strict=strict, trace=trace,
                                    trace_metric=trace_metric,
                                    trace_reference=trace_reference,
-                                   grace_s=grace_s)
+                                   grace_s=grace_s, lease_k=lease_k)
         return executor.run(timeout_s=timeout_s)
 
     def launch_threaded(self, stop: StopCondition | None = None,
@@ -211,7 +218,8 @@ class AnytimeAutomaton:
                         trace: TraceSink | None = None,
                         trace_metric: Callable[[Any, Any], float]
                         | None = None,
-                        trace_reference: Any = None) -> RunHandle:
+                        trace_reference: Any = None,
+                        lease_k: int = 8) -> RunHandle:
         """Start a threaded run without blocking; returns a
         :class:`~repro.core.executor.RunHandle`.
 
@@ -225,7 +233,8 @@ class AnytimeAutomaton:
                                     faults=faults, injector=injector,
                                     strict=strict, trace=trace,
                                     trace_metric=trace_metric,
-                                    trace_reference=trace_reference)
+                                    trace_reference=trace_reference,
+                                    lease_k=lease_k)
         return executor.launch()
 
     def launch_processes(self, stop: StopCondition | None = None,
@@ -238,7 +247,8 @@ class AnytimeAutomaton:
                          trace_metric: Callable[[Any, Any], float]
                          | None = None,
                          trace_reference: Any = None,
-                         grace_s: float = 5.0) -> RunHandle:
+                         grace_s: float = 5.0,
+                         lease_k: int = 8) -> RunHandle:
         """Start a process-parallel run without blocking; returns a
         :class:`~repro.core.executor.RunHandle` (see
         :meth:`launch_threaded` for the preemption semantics)."""
@@ -250,7 +260,7 @@ class AnytimeAutomaton:
                                    strict=strict, trace=trace,
                                    trace_metric=trace_metric,
                                    trace_reference=trace_reference,
-                                   grace_s=grace_s)
+                                   grace_s=grace_s, lease_k=lease_k)
         return executor.launch()
 
     def _claim_run(self) -> None:

@@ -27,8 +27,8 @@ import numpy as np
 from ..anytime.permutations import Permutation
 from .buffer import Snapshot, VersionedBuffer
 from .channel import UpdateChannel
-from .stage import (Body, CloseChannel, Compute, Emit, Stage, Write,
-                    access_penalty)
+from .stage import (Body, CloseChannel, Compute, Emit, Lease, Stage,
+                    Write, access_penalty)
 
 __all__ = ["DiffusiveStage", "chunk_boundaries"]
 
@@ -147,6 +147,14 @@ class DiffusiveStage(Stage):
         #: in place instead of copying it defensively, so publishing a
         #: version costs O(1) array allocations.  Subclasses set this.
         self.fresh_materialize = False
+        #: whether the kernel can compute several chunks' elements in a
+        #: single vectorized pass (see :meth:`batch_chunks`).  When set,
+        #: the stage asks the executor for a :class:`Lease` and fuses up
+        #: to the granted number of levels into one numpy call — while
+        #: still yielding the identical per-level command sequence, so
+        #: the published versions are bit-identical at any lease size.
+        #: Subclasses with a pure, slice-decomposable kernel opt in.
+        self.supports_batch = False
         self._state: Any = None
         self._completed_passes = 0
         #: contract-mode trim (see :mod:`repro.core.contract`): when
@@ -175,6 +183,29 @@ class DiffusiveStage(Stage):
     def materialize(self, state: Any, count: int,
                     values: tuple[Any, ...]) -> Any:
         """Publishable output after ``count`` of ``n`` elements."""
+        raise NotImplementedError
+
+    def batch_chunks(self, state: Any, indices: np.ndarray,
+                     values: tuple[Any, ...]) -> Any:
+        """Vectorized pre-computation over several chunks at once.
+
+        ``indices`` is the concatenation of the next k chunks' permuted
+        flat indices.  Must be **pure**: no mutation of ``state`` — the
+        per-level state evolution happens chunk by chunk in
+        :meth:`apply_chunk`, which is what keeps each published version
+        bit-identical to the unbatched execution.
+        """
+        raise NotImplementedError
+
+    def apply_chunk(self, state: Any, indices: np.ndarray, batch: Any,
+                    offset: int, values: tuple[Any, ...]) -> Any:
+        """Fold one chunk's slice of a :meth:`batch_chunks` result into
+        ``state``.
+
+        ``batch[offset:offset + len(indices)]`` (along the element axis)
+        is this chunk's share.  Same return contract as
+        :meth:`process_chunk`.
+        """
         raise NotImplementedError
 
     # -- machinery -------------------------------------------------------
@@ -236,21 +267,45 @@ class DiffusiveStage(Stage):
                 label=f"{self.name}:reorder")
         spans = chunk_boundaries(len(order), self.chunks,
                                  schedule=self.chunk_schedule)
-        for ci, (start, stop) in enumerate(spans):
-            indices = order[start:stop]
-            yield Compute(self.chunk_cost(stop - start),
-                          label=f"{self.name}:chunk{ci}")
-            update = self.process_chunk(state, indices, values)
-            if self.emit_to is not None:
-                yield Emit(update)
-            last = ci == len(spans) - 1
-            yield Write(self.materialize(state, stop, values),
-                        final=inputs_final and last,
-                        transfer=self.fresh_materialize)
-            if not last and (yield from self.preempted()):
-                # a preempted pass never closes the channel; only source
-                # stages may emit, and sources are never preempted
-                return
+        # Batched multi-level execution is only legal when the command
+        # stream cannot depend on executor replies between the fused
+        # levels: no synchronous update stream and no preemption polls.
+        batchable = (self.supports_batch and self.emit_to is None
+                     and self.restart_policy != "preempt")
+        ci = 0
+        while ci < len(spans):
+            remaining = len(spans) - ci
+            granted = 1
+            if batchable and remaining > 1:
+                granted = yield Lease(remaining)
+                granted = max(1, min(int(granted), remaining))
+            batch = None
+            base = 0
+            if granted > 1:
+                base = spans[ci][0]
+                fused = order[base:spans[ci + granted - 1][1]]
+                batch = self.batch_chunks(state, fused, values)
+            for start, stop in spans[ci:ci + granted]:
+                indices = order[start:stop]
+                yield Compute(self.chunk_cost(stop - start),
+                              label=f"{self.name}:chunk{ci}")
+                if batch is not None:
+                    update = self.apply_chunk(state, indices, batch,
+                                              start - base, values)
+                else:
+                    update = self.process_chunk(state, indices, values)
+                if self.emit_to is not None:
+                    yield Emit(update)
+                last = ci == len(spans) - 1
+                yield Write(self.materialize(state, stop, values),
+                            final=inputs_final and last,
+                            transfer=self.fresh_materialize)
+                ci += 1
+                if not last and (yield from self.preempted()):
+                    # a preempted pass never closes the channel; only
+                    # source stages may emit, and sources are never
+                    # preempted
+                    return
         self._completed_passes += 1
         if self.emit_to is not None:
             yield CloseChannel()

@@ -37,8 +37,8 @@ from .faults import (FaultInjector, FaultPolicy, StageReport,
                      resolve_policy)
 from .graph import AutomatonGraph
 from .recording import Timeline, WriteRecord
-from .stage import (CHANNEL_END, CloseChannel, Compute, Emit, PollInputs,
-                    Recv, WaitInputs, Write)
+from .stage import (CHANNEL_END, CloseChannel, Compute, Emit, Lease,
+                    PollInputs, Recv, WaitInputs, Write)
 from .syncstage import SynchronousStage
 from .tracing import TraceEvent, TraceSink, active_sink
 
@@ -189,6 +189,12 @@ class ThreadedExecutor:
         When both tracing and a metric are supplied, each watched write
         additionally emits an ``accuracy.sample`` event with
         ``metric(value, trace_reference)``.
+    lease_k:
+        Cap on :class:`~repro.core.stage.Lease` grants — how many
+        accuracy levels a stage may batch into one vectorized kernel
+        pass.  ``1`` disables batching (each level computed on its own,
+        the historical behavior); the published versions are
+        bit-identical at any setting.
     """
 
     def __init__(self, graph: AutomatonGraph,
@@ -199,8 +205,12 @@ class ThreadedExecutor:
                  strict: bool = False,
                  trace: TraceSink | None = None,
                  trace_metric: Any = None,
-                 trace_reference: Any = None) -> None:
+                 trace_reference: Any = None,
+                 lease_k: int = 8) -> None:
+        if lease_k < 1:
+            raise ValueError(f"lease_k must be >= 1, got {lease_k}")
         self.graph = graph
+        self.lease_k = int(lease_k)
         self.stop = stop
         if watch is None:
             terminals = graph.terminal_stages()
@@ -479,6 +489,8 @@ class ThreadedExecutor:
                     # here instead of silently dropping it and letting
                     # the generator run on to its next wait.
                     return "halted"
+            elif isinstance(cmd, Lease):
+                send_value = max(1, min(cmd.want, self.lease_k))
             elif isinstance(cmd, CloseChannel):
                 stage.emit_to.close()
             elif isinstance(cmd, Recv):

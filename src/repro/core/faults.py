@@ -159,6 +159,10 @@ class StageReport:
     ``waits`` counts blocking waits (inputs, channel recv, backpressured
     emit) and ``wait_time`` their total duration — virtual work units
     under the simulator, wall seconds under the threaded executor.
+    ``round_trips`` counts completed control-pipe request/reply pairs on
+    the process backend (always 0 elsewhere) — the data-plane overhead
+    the batched command leases amortize; ``repro bench plane`` reports
+    it per published version.
     """
 
     stage: str
@@ -172,6 +176,7 @@ class StageReport:
     commands: int = 0
     waits: int = 0
     wait_time: float = 0.0
+    round_trips: int = 0
 
     def record_failure(self, exc: BaseException) -> int:
         """Log one failed attempt; returns the failure count."""

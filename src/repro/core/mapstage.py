@@ -104,6 +104,10 @@ class MapStage(DiffusiveStage):
         # freshly allocated — so writes can transfer ownership and skip
         # the buffer's defensive copy.
         self.fresh_materialize = True
+        # element_fn is pure and elementwise, so several chunks can be
+        # computed in one call and scattered chunk by chunk — each
+        # published level stays bit-identical to unbatched execution.
+        self.supports_batch = True
 
     def init_state(self, values: tuple[Any, ...]) -> np.ndarray:
         if self.warm_start is not None:
@@ -113,6 +117,21 @@ class MapStage(DiffusiveStage):
     def process_chunk(self, state: np.ndarray, indices: np.ndarray,
                       values: tuple[Any, ...]) -> Any:
         computed = self.element_fn(indices, *values)
+        flat = state.reshape((self.n_elements,)
+                             + self.out_shape[len(self.shape):])
+        flat[indices] = computed
+        return (indices, computed)
+
+    def batch_chunks(self, state: np.ndarray, indices: np.ndarray,
+                     values: tuple[Any, ...]) -> np.ndarray:
+        # one element_fn call for all fused chunks; pure — the dense
+        # state is untouched until apply_chunk scatters level by level
+        return np.asarray(self.element_fn(indices, *values))
+
+    def apply_chunk(self, state: np.ndarray, indices: np.ndarray,
+                    batch: np.ndarray, offset: int,
+                    values: tuple[Any, ...]) -> Any:
+        computed = batch[offset:offset + len(indices)]
         flat = state.reshape((self.n_elements,)
                              + self.out_shape[len(self.shape):])
         flat[indices] = computed

@@ -28,6 +28,17 @@ Design notes and tradeoffs:
 - **Channel emits travel inline.**  Synchronous-pipeline updates are
   usually small (per-chunk partials); they are pickled over the control
   pipe.  The slab plane covers buffer versions, which dominate traffic.
+- **Command leases amortize round-trips.**  Replies to waits and
+  synchronous writes carry *write credits* (capped by ``lease_k``): a
+  worker holding credits streams its next non-final writes without
+  waiting for per-write replies — one pipe round-trip per lease
+  instead of per accuracy level.  Grants are *speculative* (doubled)
+  when every input snapshot is already final or sealed, since no
+  future reply can change the stage's command stream.  Credits are
+  revoked (``("revoke",)``) on pause and halt so ``repro.serve``
+  quantum preemption and shutdown stay prompt, and a lease-held slab
+  slot is only reused after a later synchronous reply proves the
+  parent consumed the streamed write (pipe FIFO ordering).
 - **Worker death is a fault.**  A worker that dies without reporting
   (segfault, ``kill -9``) is handled through the stage's
   :class:`~repro.core.faults.FaultPolicy` like any raise: ``restart``
@@ -58,8 +69,8 @@ from .faults import (FaultInjector, FaultPolicy, StageReport,
                      resolve_policy)
 from .graph import AutomatonGraph
 from .recording import Timeline, WriteRecord
-from .stage import (CHANNEL_END, CloseChannel, Compute, Emit, PollInputs,
-                    Recv, WaitInputs, Write)
+from .stage import (CHANNEL_END, CloseChannel, Compute, Emit, Lease,
+                    PollInputs, Recv, WaitInputs, Write)
 from .shmplane import SegmentRegistry, SlabWriter, decode_payload
 from .syncstage import SynchronousStage
 from .tracing import TraceEvent, TraceSink, active_sink
@@ -87,27 +98,54 @@ class _Worker:
     state and injector counters, exactly like threaded restarts.
     """
 
-    def __init__(self, stage, conn, slots: int, lock, t0: float,
-                 injector: FaultInjector | None, tracing: bool) -> None:
+    def __init__(self, stage, conn, slots: int, lock,
+                 injector: FaultInjector | None, tracing: bool,
+                 lease_k: int) -> None:
         self.stage = stage
         self.conn = conn
-        self.t0 = t0
         self.injector = injector
+        self.lease_k = int(lease_k)
         self.registry = SegmentRegistry()
         self.writer = SlabWriter(
             stage.output.name, slots, lock,
             on_segment=lambda names: conn.send(("segments", names)))
         self._version = 0
+        #: write credits from the parent's last wait / sync-write reply:
+        #: how many upcoming non-final writes may skip their replies
+        self._credits = 0
         if tracing and injector is not None:
+            # raw worker clock; the parent delta-corrects against the
+            # epoch handshake below, so merged traces are monotone even
+            # across processes with skewed perf_counter epochs
             injector.tracer = (
                 lambda s, c, k: conn.send(
-                    ("trace", "fault.injected",
-                     _time.perf_counter() - self.t0,
+                    ("trace", "fault.injected", _time.perf_counter(),
                      {"at": c, "fault": k})))
 
     def _request(self, msg: tuple) -> tuple:
+        self._credits = 0
         self.conn.send(msg)
-        return self.conn.recv()
+        while True:
+            reply = self.conn.recv()
+            if reply[0] == "revoke":
+                # lease revoked mid-request; credits already zero
+                continue
+            # any reply proves the parent consumed every message sent
+            # before this request (pipe FIFO) — streamed leased writes
+            # included, so their slab slots are safe to reuse
+            self.writer.release_held()
+            return reply
+
+    def _drain_revokes(self) -> None:
+        """Consume asynchronous lease revocations before a leased write.
+
+        Between requests the only unsolicited parent->worker messages
+        are ``("revoke",)`` — replies are always consumed inside
+        :meth:`_request` — so a non-blocking drain here is safe.
+        """
+        while self.conn.poll():
+            if self.conn.recv()[0] == "revoke":
+                self._credits = 0
 
     @staticmethod
     def _reraise(reply: tuple) -> None:
@@ -117,6 +155,9 @@ class _Worker:
 
     def run(self) -> None:
         try:
+            # epoch handshake: the parent stamps its own receipt time
+            # and delta-corrects every later raw worker timestamp
+            self.conn.send(("epoch", _time.perf_counter()))
             self._run_stage()
         finally:
             self.writer.close()
@@ -163,12 +204,26 @@ class _Worker:
                 self.conn.send(("energy", amount))
             elif isinstance(cmd, Write):
                 self._version += 1
+                if self._credits > 0:
+                    self._drain_revokes()
+                if self._credits > 0 and not cmd.final:
+                    # leased write: stream it, no reply round-trip; the
+                    # slot stays held until a later sync reply
+                    self._credits -= 1
+                    payload = self.writer.encode(cmd.value,
+                                                 self._version,
+                                                 hold=True)
+                    self.conn.send(("write", payload, False, True))
+                    continue
                 payload = self.writer.encode(cmd.value, self._version)
-                reply = self._request(("write", payload, bool(cmd.final)))
+                reply = self._request(("write", payload,
+                                       bool(cmd.final), False))
                 if reply[0] == "halt":
                     return "halted"
                 if reply[0] == "raise":
                     self._reraise(reply)
+                if len(reply) > 2:
+                    self._credits = reply[2]
             elif isinstance(cmd, WaitInputs):
                 reply = self._request(("wait", dict(cmd.seen)))
                 if reply[0] == "halt":
@@ -176,15 +231,21 @@ class _Worker:
                 if reply[0] == "exhausted":
                     gen.close()
                     return _EXHAUSTED
+                if reply[0] == "raise":
+                    self._reraise(reply)
                 send_value = {
                     name: Snapshot(name,
                                    decode_payload(p, self.registry),
                                    version, final, sealed)
                     for name, p, version, final, sealed in reply[1]}
+                if len(reply) > 2:
+                    self._credits = reply[2]
             elif isinstance(cmd, PollInputs):
                 reply = self._request(("poll", dict(cmd.seen)))
                 if reply[0] == "halt":
                     return "halted"
+                if reply[0] == "raise":
+                    self._reraise(reply)
                 send_value = reply[1]
             elif isinstance(cmd, Emit):
                 reply = self._request(("emit", cmd.update))
@@ -196,20 +257,29 @@ class _Worker:
                 reply = self._request(("close_channel",))
                 if reply[0] == "halt":
                     return "halted"
+                if reply[0] == "raise":
+                    self._reraise(reply)
             elif isinstance(cmd, Recv):
                 reply = self._request(("recv",))
                 if reply[0] == "halt":
                     return "halted"
+                if reply[0] == "raise":
+                    self._reraise(reply)
                 send_value = (CHANNEL_END if reply[0] == "end"
                               else reply[1])
+            elif isinstance(cmd, Lease):
+                # answered locally — zero round-trips.  The grant caps
+                # the kernel's vectorization width; reply elision is
+                # governed separately by the parent's write credits.
+                send_value = max(1, min(cmd.want, self.lease_k))
             else:
                 raise TypeError(
                     f"stage {self.stage.name!r} yielded unknown command "
                     f"{cmd!r}")
 
 
-def _worker_main(stage, conn, inherited, slots, lock, t0, injector,
-                 tracing) -> None:
+def _worker_main(stage, conn, inherited, slots, lock, injector,
+                 tracing, lease_k) -> None:
     for other in inherited:
         # parent-end copies of earlier pipes, inherited through fork;
         # closing them keeps EOF detection per worker crisp
@@ -217,7 +287,8 @@ def _worker_main(stage, conn, inherited, slots, lock, t0, injector,
             other.close()
         except OSError:   # pragma: no cover - defensive
             pass
-    _Worker(stage, conn, slots, lock, t0, injector, tracing).run()
+    _Worker(stage, conn, slots, lock, injector, tracing,
+            lease_k).run()
 
 
 # ---------------------------------------------------------------------------
@@ -238,7 +309,8 @@ class _Parked:
 
 
 class _WorkerHandle:
-    __slots__ = ("stage", "proc", "conn", "terminal", "restart_at")
+    __slots__ = ("stage", "proc", "conn", "terminal", "restart_at",
+                 "epoch_raw", "epoch_rel", "pending_error")
 
     def __init__(self, stage) -> None:
         self.stage = stage
@@ -246,6 +318,9 @@ class _WorkerHandle:
         self.conn = None
         self.terminal = False          # reported an outcome / was resolved
         self.restart_at: float | None = None   # pending re-fork deadline
+        self.epoch_raw: float | None = None    # worker perf_counter epoch
+        self.epoch_rel = 0.0           # parent-relative receipt time
+        self.pending_error: tuple | None = None   # failed leased write
 
 
 class ProcessExecutor:
@@ -265,13 +340,17 @@ class ProcessExecutor:
                  trace: TraceSink | None = None,
                  trace_metric: Any = None,
                  trace_reference: Any = None,
-                 grace_s: float = 5.0) -> None:
+                 grace_s: float = 5.0,
+                 lease_k: int = 8) -> None:
         if "fork" not in mp.get_all_start_methods():
             raise RuntimeError(
                 "ProcessExecutor requires the 'fork' start method "
                 "(stage bodies close over unpicklable state); this "
                 "platform does not provide it — use run_threaded")
+        if lease_k < 1:
+            raise ValueError(f"lease_k must be >= 1, got {lease_k}")
         self.graph = graph
+        self.lease_k = int(lease_k)
         self.stop = stop
         if watch is None:
             watch = {t.output.name for t in graph.terminal_stages()}
@@ -285,7 +364,11 @@ class ProcessExecutor:
         self.trace_reference = trace_reference
         self._ctx = mp.get_context("fork")
         self._locks = {name: self._ctx.Lock() for name in graph.buffers}
-        self._slots = {name: max(3, len(graph.consumers_of(name)) + 2)
+        # latest + one pin per consumer + a spare, plus headroom for
+        # lease-held slots of streamed writes awaiting a sync reply
+        # (at most one speculative grant of 2 * lease_k in flight)
+        self._slots = {name: max(3, len(graph.consumers_of(name)) + 2
+                                 + 2 * self.lease_k)
                        for name in graph.buffers}
         self._registry = SegmentRegistry()
         self._payloads: dict[str, Any] = {}
@@ -302,6 +385,7 @@ class ProcessExecutor:
         self._halted = False
         self._stop_requested = False
         self._paused = False
+        self._pause_revoked = False
         self._grace_deadline = 0.0
         self._t0 = 0.0
         self._timeout_s: float | None = None
@@ -421,12 +505,13 @@ class ProcessExecutor:
             target=_worker_main,
             args=(w.stage, child_conn, inherited,
                   self._slots[w.stage.output.name],
-                  self._locks[w.stage.output.name], self._t0,
-                  injector, self._sink is not None),
+                  self._locks[w.stage.output.name],
+                  injector, self._sink is not None, self.lease_k),
             name=f"stage-{w.stage.name}", daemon=True)
         proc.start()
         child_conn.close()
         w.proc, w.conn, w.restart_at = proc, parent_conn, None
+        w.epoch_raw, w.pending_error = None, None
         self._by_conn[parent_conn] = w
         report = self._reports[w.stage.name]
         report.attempts += 1
@@ -446,6 +531,10 @@ class ProcessExecutor:
     def _reply(self, w: _WorkerHandle, msg: tuple) -> None:
         if self._message_tap is not None:
             self._message_tap("send", w.stage.name, msg)
+        if msg[0] != "revoke":
+            # every non-revoke parent->worker message answers a blocked
+            # worker request: one completed pipe round-trip
+            self._reports[w.stage.name].round_trips += 1
         try:
             w.conn.send(msg)
         except (BrokenPipeError, OSError):
@@ -466,15 +555,33 @@ class ProcessExecutor:
         stage = w.stage
         snaps = self._snapshots(stage)
         if not snaps:
-            return ("snaps", [])
+            return ("snaps", [], self._wait_credits(()))
         if not any(s.empty for s in snaps.values()) and any(
                 s.version > seen.get(n, 0) for n, s in snaps.items()):
             wire = [(n, self._hand_payload(stage.name, n), s.version,
                      s.final, s.sealed) for n, s in snaps.items()]
-            return ("snaps", wire)
+            return ("snaps", wire, self._wait_credits(snaps.values()))
         if self._inputs_exhausted(snaps):
             return ("exhausted",)
         return None
+
+    def _wait_credits(self, snaps) -> int:
+        """Write credits granted alongside an input snapshot.
+
+        Speculative (doubled) when every input is already final or
+        sealed — and for source stages, which have no inputs at all —
+        because then no future reply can change the stage's command
+        stream, so a longer unacknowledged write run is safe.
+        """
+        if self.lease_k <= 1:
+            return 0
+        if all(s.final or s.sealed for s in snaps):
+            return 2 * self.lease_k
+        return self.lease_k
+
+    def _write_credits(self) -> int:
+        """Write credits refreshed by a synchronous write reply."""
+        return 0 if self.lease_k <= 1 else self.lease_k
 
     def _try_poll(self, w: _WorkerHandle, seen: dict) -> tuple:
         snaps = self._snapshots(w.stage)
@@ -592,20 +699,64 @@ class ProcessExecutor:
             self._energy += msg[1]
         elif kind == "segments":
             self._registry.register(msg[1])
+        elif kind == "epoch":
+            w.epoch_raw = msg[1]
+            w.epoch_rel = self._now()
         elif kind == "trace":
-            self._trace(msg[1], stage=w.stage.name, ts=msg[2], **msg[3])
+            ts = msg[2]
+            if w.epoch_raw is not None:
+                # delta-correct the worker's raw clock against the
+                # epoch handshake: merged traces stay monotone even if
+                # the two processes' perf_counter epochs are skewed.
+                # The handshake overestimates the offset by the epoch
+                # message's transit time, so clamp to the receipt
+                # instant — an event cannot postdate the moment the
+                # parent read it, and min() of two nondecreasing
+                # per-worker sequences stays monotone.
+                ts = min(w.epoch_rel + (ts - w.epoch_raw), self._now())
+            self._trace(msg[1], stage=w.stage.name, ts=ts, **msg[3])
         elif kind == "write":
             report.commands += 1
-            if self._halted:
+            leased = len(msg) > 3 and msg[3]
+            if self._halted or self._stop_requested:
                 # mirror the threaded halt check before each command: a
                 # write racing shutdown must not hit a sealed buffer
-                self._reply(w, ("halt",))
+                # (a leased write expects no reply — just drop it; the
+                # worker halts at its next synchronous request).  A
+                # stop *request* counts too: a leased worker may have
+                # streamed writes past the one that satisfied the stop
+                # condition before the reactor loop could halt — under
+                # sync semantics those writes never happen, so they
+                # must not be recorded here either
+                if not leased:
+                    self._reply(w, ("halt",))
                 return
-            self._reply(w, self._do_write(w, msg[1], msg[2]))
+            if w.pending_error is not None:
+                # an earlier leased write failed: under sync semantics
+                # the stage would have raised there, so later streamed
+                # writes never happen — drop them and deliver the
+                # error at the worker's next synchronous request
+                if not leased:
+                    error, w.pending_error = w.pending_error, None
+                    self._reply(w, error)
+                return
+            result = self._do_write(w, msg[1], msg[2])
+            if leased:
+                if result[0] == "raise":
+                    w.pending_error = result
+                return
+            if result[0] == "raise":
+                self._reply(w, result)
+            else:
+                self._reply(w, result + (self._write_credits(),))
         elif kind in ("wait", "poll", "emit", "recv"):
             report.commands += 1
             if self._halted:
                 self._reply(w, ("halt",))
+                return
+            if w.pending_error is not None:
+                error, w.pending_error = w.pending_error, None
+                self._reply(w, error)
                 return
             reply = self._service(w, kind, msg[1] if len(msg) > 1
                                   else None)
@@ -617,9 +768,14 @@ class ProcessExecutor:
                 self._reply(w, self._wire(reply))
         elif kind == "close_channel":
             report.commands += 1
+            if w.pending_error is not None and not self._halted:
+                error, w.pending_error = w.pending_error, None
+                self._reply(w, error)
+                return
             w.stage.emit_to.close()
             self._reply(w, ("halt",) if self._halted else ("ok",))
         elif kind == "failed":
+            w.pending_error = None
             self._on_failure(w, RuntimeError(msg[1]), in_process=True)
         elif kind in ("done", "degraded", "halted"):
             self._on_terminal(w, kind)
@@ -736,10 +892,22 @@ class ProcessExecutor:
                 f"(exitcode={w.proc.exitcode})"),
             in_process=False)
 
+    def _revoke_leases(self) -> None:
+        """Zero every live worker's write credits (reactor thread only).
+
+        A worker mid-lease sees the revoke before its next leased write
+        (:meth:`_Worker._drain_revokes`) or inside its blocked request
+        loop, and falls back to synchronous operation immediately.
+        """
+        for w in self._workers.values():
+            if w.conn is not None and not w.terminal:
+                self._reply(w, ("revoke",))
+
     def _initiate_halt(self) -> None:
         if self._halted:
             return
         self._halted = True
+        self._revoke_leases()
         self._grace_deadline = self._now() + self.grace_s
         for parked in self._parked:
             self._reply(parked.worker, ("halt",))
@@ -881,9 +1049,15 @@ class ProcessExecutor:
                 self._spawn_due_restarts()
                 if self._paused and not self._halted:
                     # preempted: leave workers parked on their pipes;
-                    # halt/stop checks above stay live
+                    # halt/stop checks above stay live.  Revoke leases
+                    # once per pause episode so streaming workers stop
+                    # spending credits and sync up promptly.
+                    if not self._pause_revoked:
+                        self._pause_revoked = True
+                        self._revoke_leases()
                     _time.sleep(_WAIT_S)
                     continue
+                self._pause_revoked = False
                 if conns:
                     for conn in mp_connection.wait(conns,
                                                    timeout=_WAIT_S):

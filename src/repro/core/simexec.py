@@ -39,7 +39,8 @@ from .faults import (FaultInjector, FaultPolicy, StageReport,
 from .graph import AutomatonGraph
 from .recording import Timeline, WriteRecord
 from .scheduling import SchedulingPolicy, proportional_shares
-from .stage import (CHANNEL_END, CloseChannel, Compute, Emit, PollInputs,
+from .stage import (CHANNEL_END, CloseChannel, Compute, Emit, Lease,
+                    PollInputs,
                     Recv, Stage, WaitInputs, Write)
 from .syncstage import SynchronousStage
 from .tracing import TraceEvent, TraceSink, active_sink
@@ -166,6 +167,11 @@ class SimulatedExecutor:
         additionally emits an ``accuracy.sample`` event with
         ``metric(value, trace_reference)`` — the accuracy-vs-time event
         stream.
+    lease_k:
+        Cap on :class:`~repro.core.stage.Lease` grants — how many
+        accuracy levels a stage may batch into one vectorized kernel
+        pass.  ``1`` disables batching; the published versions are
+        bit-identical at any setting.
     """
 
     def __init__(self, graph: AutomatonGraph,
@@ -181,7 +187,11 @@ class SimulatedExecutor:
                  strict: bool = False,
                  trace: TraceSink | None = None,
                  trace_metric: Any = None,
-                 trace_reference: Any = None) -> None:
+                 trace_reference: Any = None,
+                 lease_k: int = 8) -> None:
+        if lease_k < 1:
+            raise ValueError(f"lease_k must be >= 1, got {lease_k}")
+        self.lease_k = int(lease_k)
         if total_cores <= 0:
             raise ValueError(f"total_cores must be positive: {total_cores}")
         self.graph = graph
@@ -567,6 +577,8 @@ class SimulatedExecutor:
                 elif isinstance(cmd, PollInputs):
                     send_value = wait_satisfied(
                         proc.stage, cmd.seen) is not None
+                elif isinstance(cmd, Lease):
+                    send_value = max(1, min(cmd.want, self.lease_k))
                 elif isinstance(cmd, Emit):
                     channel = proc.stage.emit_to
                     assert channel is not None

@@ -28,7 +28,7 @@ from .channel import UpdateChannel
 
 __all__ = [
     "Compute", "Write", "WaitInputs", "PollInputs", "Emit", "CloseChannel",
-    "Recv", "Command", "CHANNEL_END", "Stage", "PreciseStage",
+    "Recv", "Lease", "Command", "CHANNEL_END", "Stage", "PreciseStage",
     "DEFAULT_ACCESS_PENALTIES", "access_penalty",
 ]
 
@@ -103,8 +103,31 @@ class Recv:
     """
 
 
+@dataclass(frozen=True)
+class Lease:
+    """Ask how many accuracy levels the stage may batch before its next
+    mandatory synchronization point.
+
+    The executor responds with an int grant in ``[1, want]``.  A grant of
+    ``k`` is *advisory*: the stage may vectorize the computation of its
+    next ``k`` levels in one pass, but it must still yield the exact same
+    per-level :class:`Compute`/:class:`Write` command sequence it would
+    have yielded unbatched, so the published version ladder is
+    bit-identical for every grant size (the lease safety rule).  On the
+    process backend a grant additionally lets the worker stream that many
+    writes without waiting for per-write replies (one pipe round trip per
+    lease instead of per level).
+    """
+
+    want: int = 1
+
+    def __post_init__(self) -> None:
+        if self.want < 1:
+            raise ValueError(f"lease want must be >= 1: {self.want}")
+
+
 Command = (Compute, Write, WaitInputs, PollInputs, Emit, CloseChannel,
-           Recv)
+           Recv, Lease)
 
 #: sentinel sent in response to :class:`Recv` on a drained, closed channel
 CHANNEL_END = object()

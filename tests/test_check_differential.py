@@ -46,6 +46,59 @@ class TestCrossExecutor:
                              executors=("gpu",))
 
 
+class TestLeaseEquivalence:
+    """The lease safety rule, enforced by the harness: batching under a
+    command lease may only elide round-trips, never change what gets
+    published."""
+
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("lease_k", [1, 8])
+    def test_differential_clean_at_any_lease(self, lease_k):
+        report = run_differential(app="2dconv", size=16, serve=False,
+                                  executors=("simulated", "threaded"),
+                                  lease_k=lease_k)
+        assert report.ok, report.mismatches
+        for obs in report.observations:
+            assert obs.completed and obs.final_matches_precise
+
+    @pytest.mark.slow
+    @pytest.mark.timeout(300)
+    @pytest.mark.parametrize("executor",
+                             ["simulated", "threaded", "process"])
+    def test_version_ladder_bit_identical_across_lease_sizes(
+            self, executor):
+        """Every published version — not just the final — must be bit
+        for bit the same whether the executor grants leases of 1 or 8
+        levels."""
+        import numpy as np
+
+        from repro.apps.registry import get_app
+
+        spec = get_app("2dconv")
+        image = spec.make_input(16, 0)
+        ladders = {}
+        for lease_k in (1, 8):
+            automaton = spec.build(image)
+            if executor == "simulated":
+                result = automaton.run_simulated(lease_k=lease_k)
+            elif executor == "threaded":
+                result = automaton.run_threaded(timeout_s=120.0,
+                                                lease_k=lease_k)
+            else:
+                result = automaton.run_processes(timeout_s=120.0,
+                                                 lease_k=lease_k)
+            assert result.completed
+            ladders[lease_k] = result.output_records(
+                automaton.terminal_buffer_name)
+        sync, leased = ladders[1], ladders[8]
+        assert [r.version for r in sync] == \
+            [r.version for r in leased]
+        for s, l in zip(sync, leased):
+            assert s.final == l.final
+            assert np.array_equal(s.value, l.value), \
+                f"version {s.version} diverged under a lease"
+
+
 class TestMismatchDetection:
     @pytest.mark.timeout(120)
     def test_forged_final_is_reported(self, monkeypatch):

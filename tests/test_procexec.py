@@ -211,6 +211,139 @@ class TestFaults:
         assert auto.graph.buffers["out"].sealed
 
 
+class TestCommandLeases:
+    def test_leased_run_is_bit_identical_to_sync(self):
+        """The lease safety rule made executable: the version ladder a
+        leased worker publishes must equal the one-round-trip-per-command
+        protocol's ladder bit for bit."""
+        results = {}
+        for k in (1, 8):
+            auto, _ = map_automaton(chunks=8)
+            executor = ProcessExecutor(auto.graph, lease_k=k)
+            results[k] = executor.run(timeout_s=60.0)
+        sync, leased = results[1], results[8]
+        assert sync.completed and leased.completed
+        s_recs = sync.output_records("out")
+        l_recs = leased.output_records("out")
+        assert [r.version for r in s_recs] == [r.version for r in l_recs]
+        for s, l in zip(s_recs, l_recs):
+            assert s.final == l.final
+            assert np.array_equal(s.value, l.value)
+
+    def test_leases_cut_round_trips(self):
+        """The tentpole's whole point: granted leases elide the blocking
+        reply on intermediate writes, so the pipe round-trips per run
+        drop by at least 2x on a batched map workload."""
+        trips = {}
+        for k in (1, 8):
+            auto, _ = map_automaton(chunks=32)
+            executor = ProcessExecutor(auto.graph, lease_k=k)
+            result = executor.run(timeout_s=60.0)
+            assert result.completed
+            trips[k] = result.stage_reports["m"].round_trips
+        assert trips[1] > 0 and trips[8] > 0
+        assert trips[8] * 2 <= trips[1], \
+            f"leases saved too little: {trips[8]} vs {trips[1]} round-trips"
+
+    def test_leased_writes_stay_descriptor_only(self):
+        """Fire-and-forget writes ride the same descriptor wire: no
+        pickled ndarray may leak even when replies are elided."""
+        auto, _ = map_automaton(chunks=32)
+        executor = ProcessExecutor(auto.graph, lease_k=8)
+        taps = []
+        executor._message_tap = lambda d, s, m: taps.append((d, s, m))
+        result = executor.run(timeout_s=60.0)
+        assert result.completed
+        writes = [m for d, _, m in taps
+                  if d == "recv" and m[0] == "write"]
+        leased = [m for m in writes if len(m) > 3 and m[3]]
+        assert leased, "the worker used its lease"
+        assert all(m[1][0] == "tree" for m in writes)
+        for _, _, m in taps:
+            assert not _holds_ndarray(m)
+
+    def test_lease_k_one_run_has_no_leased_writes(self):
+        """lease_k=1 must reproduce the historical protocol exactly:
+        every write blocks for its reply."""
+        auto, _ = map_automaton(chunks=8)
+        executor = ProcessExecutor(auto.graph, lease_k=1)
+        taps = []
+        executor._message_tap = lambda d, s, m: taps.append((d, s, m))
+        result = executor.run(timeout_s=60.0)
+        assert result.completed
+        writes = [m for d, _, m in taps
+                  if d == "recv" and m[0] == "write"]
+        assert writes
+        assert all(not (len(m) > 3 and m[3]) for m in writes)
+
+    def test_lease_k_validated(self):
+        auto, _ = map_automaton()
+        with pytest.raises(ValueError, match="lease_k"):
+            ProcessExecutor(auto.graph, lease_k=0)
+
+    def test_faulty_leased_run_still_recovers(self):
+        """A fault raised mid-lease must surface at the next synchronous
+        exchange and drive the normal restart path to an exact result."""
+        auto, ref = map_automaton(chunks=32)
+        injector = FaultInjector.from_specs(["m:3:error"])
+        executor = ProcessExecutor(
+            auto.graph, faults=FaultPolicy(max_retries=2,
+                                           on_failure="restart"),
+            injector=injector, lease_k=8)
+        result = executor.run(timeout_s=60.0)
+        report = result.stage_reports["m"]
+        assert result.completed
+        assert report.failures == 1 and report.attempts == 2
+        final = result.timeline.final_record("out")
+        assert np.array_equal(final.value, ref)
+
+
+class TestTraceClockSkew:
+    def test_worker_events_merge_monotone_with_parent_spans(self):
+        """Worker-side trace events are re-based onto the parent clock
+        (epoch correction), so a fault injected inside the worker must
+        timestamp *inside* its stage's start/finish span, and the merged
+        per-stage stream must be monotone."""
+        auto, _ = map_automaton(chunks=8)
+        injector = FaultInjector.from_specs(["m:3:error"])
+        mem = InMemorySink()
+        result = auto.run_processes(
+            faults=FaultPolicy(max_retries=2, on_failure="restart"),
+            injector=injector, trace=mem, timeout_s=60.0)
+        assert result.completed
+
+        starts = mem.for_kind("stage.start")
+        finishes = mem.for_kind("stage.finish")
+        faults = mem.for_kind("fault.injected")
+        assert starts and finishes and len(faults) == 1
+
+        run_start = min(e.ts for e in starts)
+        run_finish = max(e.ts for e in finishes)
+        fault = faults[0]
+        assert run_start <= fault.ts <= run_finish, \
+            (f"worker fault event at {fault.ts} fell outside the parent "
+             f"span [{run_start}, {run_finish}]: clock skew")
+
+        # causality across the process boundary: the parent's restart
+        # event reacts to the worker's fault, so the corrected fault
+        # timestamp must precede it (raw worker clocks would not)
+        restarts = mem.for_kind("stage.restart")
+        assert len(restarts) == 1
+        assert fault.ts <= restarts[0].ts
+
+        # each emitter's own stream stays monotone after correction
+        for kind in ("stage.start", "stage.finish", "fault.injected"):
+            ts = [e.ts for e in mem.for_kind(kind)]
+            assert ts == sorted(ts)
+
+        # writes carry parent timestamps; versions and time agree
+        writes = [e for e in mem.for_kind("buffer.write")
+                  if e.target == "out"]
+        by_version = sorted(writes, key=lambda e: e.args["version"])
+        ts = [e.ts for e in by_version]
+        assert ts == sorted(ts)
+
+
 class TestShutdownHygiene:
     def _slow_automaton(self):
         def fn(idx, im):
@@ -243,7 +376,9 @@ class TestShutdownHygiene:
         """The PR's bugfix: ``timeout_s`` expiry must leave no orphaned
         worker processes and no leaked shared-memory segments."""
         auto, _ = self._slow_automaton()
-        executor = ProcessExecutor(auto.graph)
+        # lease_k=1 keeps the kernel un-batched so every chunk pays its
+        # sleep and the run reliably outlives the timeout
+        executor = ProcessExecutor(auto.graph, lease_k=1)
         names = self._spy_segment_names(executor)
         result = executor.run(timeout_s=0.3)
         assert result.stopped_early and not result.completed

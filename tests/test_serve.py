@@ -235,6 +235,60 @@ class TestLifecycle:
 # Scheduler invariants
 # ---------------------------------------------------------------------
 
+@pytest.mark.check
+class TestLeasedPreemptPins:
+    @staticmethod
+    def _leased_builder(tag, size=16, chunks=32, sleep_s=0.04):
+        """A diffusive map automaton (leased on the process backend)
+        with per-request buffer names so one Checker can watch the
+        whole server without cross-request version collisions."""
+        from repro.anytime.permutations import TreePermutation
+        from repro.core.mapstage import MapStage
+
+        img = np.arange(size * size,
+                        dtype=np.float64).reshape(size, size)
+
+        def fn(idx, im):
+            time.sleep(sleep_s)
+            return np.asarray(im).reshape(-1)[idx] * 2.0
+
+        b_in = VersionedBuffer(f"in-{tag}")
+        b_out = VersionedBuffer(f"out-{tag}")
+        stage = MapStage(f"m-{tag}", b_out, (b_in,), fn,
+                         shape=(size, size), dtype=np.float64,
+                         permutation=TreePermutation(), chunks=chunks)
+        return AnytimeAutomaton([stage], external={f"in-{tag}": img})
+
+    def test_preempting_leased_stage_keeps_pins_balanced(self):
+        """Regression for the lease protocol under the serving layer:
+        preempt/resume of a process run whose worker holds a command
+        lease (and un-acked fire-and-forget writes) must never unpin a
+        slot twice or lose a pin — the checker's pin-balance invariant
+        stays silent across the whole server trace."""
+        from repro.check import Checker
+
+        checker = Checker()
+        with AnytimeServer(slots=1, queue_limit=4, executor="process",
+                           quantum_s=0.05, tick_s=0.005,
+                           trace=checker) as server:
+            sessions = [
+                server.submit(lambda t=t: self._leased_builder(t),
+                              SLO(deadline_s=90.0), name=f"req-{t}")
+                for t in range(2)]
+            for s in sessions:
+                assert s.wait(timeout_s=90.0), f"{s.name} never finished"
+            assert server.counters["preemptions"] >= 1, \
+                "the scenario must actually preempt the leased run"
+            for s in sessions:
+                assert s.state is SessionState.COMPLETED
+
+        report = checker.report()
+        pin_violations = [v for v in report.violations
+                          if v.invariant == "pin-balance"]
+        assert pin_violations == [], [v.describe()
+                                      for v in pin_violations]
+
+
 class TestSchedulerInvariants:
     def test_no_starvation_under_sustained_overload(self):
         n = 8
