@@ -27,7 +27,8 @@ from ..core.iterative import AccuracyLevel, IterativeStage
 from ..core.stage import access_penalty
 
 __all__ = ["dwt53_rows", "idwt53_rows", "dwt53_forward", "dwt53_inverse",
-           "dwt53_perforated", "build_dwt53_automaton", "reconstruct",
+           "dwt53_perforated", "PerforatedDWTStage",
+           "build_dwt53_automaton", "reconstruct",
            "reconstruction_metric"]
 
 
@@ -130,6 +131,59 @@ def dwt53_perforated(image: np.ndarray, stride: int,
     return coeffs
 
 
+class PerforatedDWTStage(IterativeStage):
+    """The dwt53 forward stage, with vectorized multi-level batching.
+
+    Under a command lease the stage fuses the granted perforation
+    levels into one kernel call that computes the *row pass once* at
+    the finest granted stride and derives every coarser stride's row
+    pass from it by subsampling: ``dwt53_rows`` operates on each row
+    independently, so when ``s_min`` divides ``s``,
+
+        ``dwt53_rows(img[::s]) == dwt53_rows(img[::s_min])[::s//s_min]``
+
+    holds bit-exactly (integer lifting).  The column pass cannot be
+    shared — each stride's column input is its own row-pass output — so
+    it stays per-level.  Outputs are bit-identical to the per-level
+    path (the lease safety rule), which the ladder-equality
+    conformance test enforces.
+
+    Batching is enabled only at wavelet depth 1 (deeper transforms
+    recurse into the approximation quadrant, which breaks the
+    subsampling identity) and when every adjacent stride pair divides
+    (true for the default geometric schedule).
+    """
+
+    def __init__(self, name: str, output: VersionedBuffer,
+                 inputs: tuple[VersionedBuffer, ...],
+                 levels, strides: tuple[int, ...],
+                 wavelet_levels: int = 1) -> None:
+        super().__init__(name, output, inputs, levels)
+        self.strides = tuple(strides)
+        self.wavelet_levels = wavelet_levels
+        self.supports_batch = (
+            wavelet_levels == 1
+            and all(a % b == 0
+                    for a, b in zip(self.strides, self.strides[1:])))
+
+    def batch_levels(self, values, start: int, count: int):
+        img = np.asarray(values[0], dtype=np.int64)
+        strides = self.strides[start:start + count]
+        s_min = strides[-1]           # strides decrease; finest last
+        rows_min = dwt53_rows(img[::s_min])
+        outs = []
+        for s in strides:
+            if s == 1:
+                row_passed = rows_min
+            else:
+                processed = rows_min[::s // s_min]
+                owner = np.arange(img.shape[0]) // s
+                owner = np.minimum(owner, processed.shape[0] - 1)
+                row_passed = processed[owner]
+            outs.append(_perforate_lines(row_passed.T, s).T)
+        return outs
+
+
 def build_dwt53_automaton(image: np.ndarray,
                           strides: tuple[int, ...] | None = None,
                           levels: int = 1) -> AnytimeAutomaton:
@@ -159,7 +213,9 @@ def build_dwt53_automaton(image: np.ndarray,
             label=f"stride={s}")
         for s in schedule.strides
     ]
-    s_fwd = IterativeStage("forward", b_coeffs, (b_in,), acc_levels)
+    s_fwd = PerforatedDWTStage("forward", b_coeffs, (b_in,), acc_levels,
+                               strides=schedule.strides,
+                               wavelet_levels=levels)
     return AnytimeAutomaton([s_fwd], name="dwt53",
                             external={"input": image})
 

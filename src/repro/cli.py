@@ -144,9 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "plane bench (default 8)")
     bench.add_argument("--check-against", type=str, default=None,
                        metavar="PATH",
-                       help="baseline BENCH_plane.json to gate "
-                            "against; exits 1 on regression beyond "
-                            "the tolerance band (plane bench)")
+                       help="baseline BENCH_plane.json / "
+                            "BENCH_serve.json to gate against; exits 1 "
+                            "on regression beyond the tolerance band "
+                            "(plane and serve benches)")
     bench.add_argument("--tolerance", type=float, default=0.25,
                        help="allowed relative regression in the "
                             "deterministic round-trip metrics "
@@ -181,6 +182,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--target-snr", type=float, default=None,
                        metavar="DB",
                        help="per-request quality target (serve bench)")
+    bench.add_argument("--fleet", action="store_true",
+                       help="serve bench: benchmark the sharded worker "
+                            "fleet (goodput scaling + request "
+                            "coalescing) instead of one in-process "
+                            "server; writes BENCH_fleet.json")
+    bench.add_argument("--workers", type=str, default="1,2",
+                       metavar="N,M,...",
+                       help="fleet sizes for the scaling leg "
+                            "(serve bench --fleet; default 1,2)")
+    bench.add_argument("--distinct", type=int, default=6,
+                       help="unique request specs in the duplicate-"
+                            "heavy coalescing leg (serve bench "
+                            "--fleet; default 6)")
     bench.add_argument("--seed", type=int, default=0)
 
     serve = sub.add_parser(
@@ -222,6 +236,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="slot tenure before preemption (default "
                             "0.02)")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="serve through a sharded fleet of N worker "
+                            "processes (router + consistent-hash "
+                            "placement + coalescing) instead of one "
+                            "in-process server")
+    serve.add_argument("--distinct", type=int, default=4,
+                       help="unique inputs to spread requests over in "
+                            "fleet mode (duplicates coalesce; "
+                            "default 4)")
+    serve.add_argument("--no-coalesce", action="store_true",
+                       help="fleet mode: disable same-key request "
+                            "coalescing on the workers")
     serve.add_argument("--trace", type=str, default=None, metavar="PATH",
                        help="write server + run events to PATH")
     serve.add_argument("--trace-format", choices=("jsonl", "chrome"),
@@ -479,10 +505,87 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    import random
+    import time as _time
+
+    from .serve.bench import calibrate_app
+    from .serve.router import FleetRouter, summarize_fleet
+
+    print(f"calibrating {args.app} at size {args.size} ...")
+    calib = calibrate_app(app=args.app, size=args.size,
+                          seed=args.seed + 7)
+    baseline = calib["baseline_wall_s"]
+    capacity = args.workers * args.slots / baseline
+    rate = args.rate if args.rate is not None else 1.5 * capacity
+    deadline_s = (args.deadline_s if args.deadline_s is not None
+                  else 8.0 * baseline)
+    slo = {"deadline_s": deadline_s, "target_db": args.target_snr}
+    distinct = max(1, args.distinct)
+    print(f"solo run {baseline:.3f}s -> fleet capacity "
+          f"~{capacity:.1f} req/s over {args.workers} worker(s); "
+          f"offering {rate:.1f} req/s across {distinct} distinct "
+          f"input(s), deadline {deadline_s:.3f}s")
+
+    rng = random.Random(args.seed)
+    config = {"slots": args.slots, "queue_limit": args.queue_limit,
+              "executor": args.executor, "quantum_s": args.quantum_s,
+              "coalesce": not args.no_coalesce}
+    with FleetRouter(workers=args.workers,
+                     worker_config=config) as fleet:
+        started = _time.monotonic()
+        requests = []
+        for i in range(args.requests):
+            requests.append(fleet.submit(
+                args.app, size=args.size,
+                seed=args.seed + i % distinct, slo=slo,
+                wait_s=args.wait_s))
+            if i + 1 < args.requests:
+                _time.sleep(rng.expovariate(rate))
+        if not fleet.drain(timeout_s=max(60.0,
+                                         4 * args.requests * baseline)):
+            print("error: fleet drain timed out", file=sys.stderr)
+            return 1
+        wall_s = _time.monotonic() - started
+        summary = summarize_fleet(requests, wall_s=wall_s)
+        stats = fleet.aggregate_stats()
+
+    print(f"\n{'request':<9}{'worker':>7}  {'state':<11}{'latency':>9}"
+          f"{'coal':>6}{'memo':>6}{'SNR (dB)':>10}")
+    for request in requests:
+        r = request.result(timeout_s=0.0)
+        snr = ("inf" if r.get("precise_snr")
+               else "-" if r.get("snr_db") is None
+               else f"{r['snr_db']:.1f}")
+        print(f"r{request.rid:<8}{r['worker']!s:>7}  {r['state']:<11}"
+              f"{r['fleet_latency_s']:>9.3f}"
+              f"{'y' if r.get('coalesced') else '-':>6}"
+              f"{'y' if r.get('memo_hit') else '-':>6}{snr:>10}")
+
+    print(f"\nserved {summary['completed']}/{summary['requests']} "
+          f"(shed {summary['shed']}, failed {summary['failed']}) at "
+          f"{summary['goodput_rps']:.2f} req/s goodput on workers "
+          f"{summary['workers_used']}")
+    print(f"latency p50 {summary['latency_p50_s']:.3f}s  "
+          f"p99 {summary['latency_p99_s']:.3f}s  "
+          f"SLO attainment {summary['slo_attainment']:.0%}")
+    print(f"coalesced {summary['coalesced']}, memo hits "
+          f"{summary['memo_hits']}, re-dispatched "
+          f"{summary['redispatched']}; router counters "
+          f"{stats['router']}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .core.tracing import make_sink as _make_sink
     from .serve import SLO, AnytimeServer, summarize, run_open_loop
     from .serve.bench import calibrate_app, _make_policy
+
+    if args.workers is not None:
+        if args.workers < 1:
+            print("error: --workers must be >= 1", file=sys.stderr)
+            return 2
+        return _cmd_serve_fleet(args)
 
     print(f"calibrating {args.app} at size {args.size} ...")
     calib = calibrate_app(app=args.app, size=args.size,
@@ -551,11 +654,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve.bench import run_fleet_bench
+
+    workers = tuple(int(x) for x in args.workers.split(",") if x)
+    data = run_fleet_bench(
+        app=args.app, size=args.size if args.size is not None else 24,
+        n_requests=args.requests,
+        workers=workers, slots=args.slots, distinct=args.distinct,
+        executor=args.serve_executor, seed=args.seed, progress=print)
+
+    print(f"\nfleet scaling ({data['app']}, {data['slots']} slot(s) "
+          f"per worker, {data['n_requests']} distinct requests):")
+    print(f"{'workers':>8}{'goodput':>9}{'p50 (s)':>9}{'p99 (s)':>9}"
+          f"{'done':>6}{'shed':>6}")
+    for leg in data["scaling"]:
+        print(f"{leg['workers']:>8}{leg['goodput_rps']:>9.2f}"
+              f"{leg['latency_p50_s']:>9.3f}{leg['latency_p99_s']:>9.3f}"
+              f"{leg['completed']:>6}{leg['shed']:>6}")
+    if data["scaling_ratio"] is not None:
+        print(f"goodput scaling {data['scaling'][0]['workers']} -> "
+              f"{data['scaling'][-1]['workers']} workers: "
+              f"{data['scaling_ratio']:.2f}x")
+
+    print(f"\ncoalescing (2 workers, {data['n_requests']} requests "
+          f"over {data['distinct']} distinct inputs):")
+    print(f"{'coalesce':>9}{'shared':>8}{'memo':>6}{'mean (s)':>10}"
+          f"{'goodput':>9}")
+    for mode in ("on", "off"):
+        leg = data["coalescing"][mode]
+        print(f"{mode:>9}{leg['coalesced']:>8}{leg['memo_hits']:>6}"
+              f"{leg['latency_mean_s']:>10.3f}"
+              f"{leg['goodput_rps']:>9.2f}")
+
+    json_path = _bench_json_path(args, "BENCH_fleet.json")
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    print(f"results written to {json_path}")
+    return 0
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     import json
     import os
 
-    from .serve.bench import run_serve_bench
+    from .serve.bench import compare_serve_baseline, run_serve_bench
+
+    if args.fleet:
+        return _cmd_bench_fleet(args)
 
     loads: tuple[float, ...] = ()
     if args.loads:
@@ -584,6 +733,19 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         json.dump(data, fh, indent=2)
         fh.write("\n")
     print(f"results written to {json_path}")
+
+    if args.check_against:
+        with open(args.check_against, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        problems = compare_serve_baseline(
+            data, baseline, tolerance=args.tolerance,
+            wall_tolerance=args.wall_tolerance)
+        if problems:
+            print(f"\nperf gate FAILED against {args.check_against}:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"\nperf gate passed against {args.check_against}")
     return 0
 
 

@@ -19,8 +19,25 @@ Entry points::
         for snap in session.stream():
             ...                       # streaming refinement
         outcome = session.result()    # always a valid answer
+
+Scale-out: :class:`~repro.serve.router.FleetRouter` shards requests by
+content-addressed identity across N worker processes (each one an
+``AnytimeServer``), where same-key concurrent requests coalesce onto a
+single shared run::
+
+    from repro.serve import FleetRouter, summarize_fleet
+
+    with FleetRouter(workers=4) as fleet:
+        requests = [fleet.submit("2dconv", size=32, seed=i % 4,
+                                 slo={"deadline_s": 0.5})
+                    for i in range(64)]
+        fleet.drain(timeout_s=60.0)
+        print(summarize_fleet(requests))
 """
 
+from .digest import input_digest, request_key
+from .fleet import spec_key, value_digest
+from .router import FleetRequest, FleetRouter, summarize_fleet
 from .scheduler import FairSharePolicy, MarginalGainPolicy, ServePolicy
 from .server import AnytimeServer, shutdown_all_servers
 from .session import ServeResult, Session, SessionState, TERMINAL_STATES
@@ -30,7 +47,9 @@ from .workload import percentile, run_open_loop, summarize
 __all__ = [
     "AnytimeServer", "shutdown_all_servers",
     "FairSharePolicy", "MarginalGainPolicy", "ServePolicy",
+    "FleetRequest", "FleetRouter", "summarize_fleet",
     "ServeResult", "Session", "SessionState", "TERMINAL_STATES",
     "SLO",
+    "input_digest", "request_key", "spec_key", "value_digest",
     "percentile", "run_open_loop", "summarize",
 ]

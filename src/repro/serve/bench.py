@@ -15,6 +15,8 @@ profile's normalized axis).
 from __future__ import annotations
 
 import math
+import os
+import time as _time
 from typing import Any, Callable
 
 from ..apps.registry import get_app
@@ -24,7 +26,8 @@ from .server import AnytimeServer
 from .slo import SLO
 from .workload import run_open_loop, summarize
 
-__all__ = ["calibrate_app", "run_serve_bench"]
+__all__ = ["calibrate_app", "run_serve_bench", "run_fleet_bench",
+           "compare_serve_baseline"]
 
 
 def calibrate_app(app: str = "2dconv", size: int = 32, seed: int = 7,
@@ -143,6 +146,7 @@ def run_serve_bench(app: str = "2dconv",
         "bench": "serve",
         "app": app,
         "size": size,
+        "cpu_count": os.cpu_count(),
         "slots": slots,
         "queue_limit": queue_limit,
         "n_requests": n_requests,
@@ -156,3 +160,161 @@ def run_serve_bench(app: str = "2dconv",
                                      else final_snr),
         "sweep": sweep,
     }
+
+
+def _run_fleet_leg(workers: int, worker_config: dict[str, Any],
+                   specs: list[tuple[str, int, int]],
+                   slo: dict[str, Any],
+                   drain_timeout_s: float) -> dict[str, Any]:
+    """One fleet workload: burst-submit ``specs``, drain, summarize."""
+    from .router import FleetRouter, summarize_fleet
+
+    with FleetRouter(workers=workers,
+                     worker_config=worker_config) as fleet:
+        started = _time.monotonic()
+        requests = [fleet.submit(app, size=size, seed=seed, slo=slo)
+                    for app, size, seed in specs]
+        if not fleet.drain(timeout_s=drain_timeout_s):
+            raise RuntimeError(f"fleet({workers}) did not drain within "
+                               f"{drain_timeout_s}s")
+        wall_s = _time.monotonic() - started
+        summary = summarize_fleet(requests, wall_s=wall_s)
+        summary["router"] = dict(fleet.counters)
+    return summary
+
+
+def run_fleet_bench(app: str = "2dconv",
+                    size: int = 24,
+                    n_requests: int = 24,
+                    workers: tuple[int, ...] | list[int] = (1, 2),
+                    slots: int = 2,
+                    distinct: int = 6,
+                    deadline_factor: float = 40.0,
+                    executor: str = "threaded",
+                    seed: int = 0,
+                    progress: Callable[[str], None] | None = None,
+                    ) -> dict[str, Any]:
+    """Two fleet experiments; returns the ``BENCH_fleet.json`` payload.
+
+    **Scaling leg** — ``n_requests`` *distinct* specs (no coalescing
+    opportunity) burst-submitted at saturation against each fleet size
+    in ``workers``; goodput should scale with workers since each worker
+    is its own process.
+
+    **Coalescing leg** — the same request count spread over only
+    ``distinct`` unique specs (duplicate-heavy), run twice on a 2-worker
+    fleet with coalescing on and off; with it on, duplicates share runs
+    (``coalesced + memo_hits > 0``) and mean latency drops.
+    """
+    say = progress or (lambda _msg: None)
+    say(f"calibrating {app} (size={size}) ...")
+    calib = calibrate_app(app=app, size=size, seed=seed + 7)
+    baseline = calib["baseline_wall_s"]
+    slo = {"deadline_s": deadline_factor * baseline}
+    drain_timeout_s = max(120.0, 6 * n_requests * baseline)
+    base_config = {"slots": slots, "queue_limit": max(64, n_requests),
+                   "executor": executor}
+
+    scaling: list[dict[str, Any]] = []
+    for n in workers:
+        specs = [(app, size, seed * 1000 + i) for i in range(n_requests)]
+        leg = _run_fleet_leg(n, {**base_config, "coalesce": False},
+                             specs, slo, drain_timeout_s)
+        leg["workers"] = n
+        scaling.append(leg)
+        say(f"scaling: {n} worker(s): "
+            f"goodput={leg['goodput_rps']:.2f} rps "
+            f"p50={leg['latency_p50_s']:.3f}s "
+            f"completed={leg['completed']}/{leg['requests']}")
+    scaling_ratio = (scaling[-1]["goodput_rps"] / scaling[0]["goodput_rps"]
+                     if len(scaling) > 1 and scaling[0]["goodput_rps"] > 0
+                     else None)
+
+    dup_specs = [(app, size, seed * 1000 + i % distinct)
+                 for i in range(n_requests)]
+    coalesce_legs = {}
+    for enabled in (True, False):
+        leg = _run_fleet_leg(
+            2, {**base_config, "coalesce": enabled, "memo_ttl_s": 5.0},
+            dup_specs, slo, drain_timeout_s)
+        coalesce_legs["on" if enabled else "off"] = leg
+        say(f"coalesce={'on' if enabled else 'off'}: "
+            f"shared={leg['coalesced']} memo={leg['memo_hits']} "
+            f"mean={leg['latency_mean_s']:.3f}s "
+            f"goodput={leg['goodput_rps']:.2f} rps")
+
+    return {
+        "bench": "fleet",
+        "app": app,
+        "size": size,
+        "cpu_count": os.cpu_count(),
+        "n_requests": n_requests,
+        "slots": slots,
+        "distinct": distinct,
+        "executor": executor,
+        "deadline_s": slo["deadline_s"],
+        "baseline_wall_s": baseline,
+        "scaling": scaling,
+        "scaling_ratio": scaling_ratio,
+        "coalescing": coalesce_legs,
+    }
+
+
+def compare_serve_baseline(fresh: dict[str, Any],
+                           baseline: dict[str, Any],
+                           tolerance: float = 0.25,
+                           wall_tolerance: float = 0.60,
+                           ) -> list[str]:
+    """Perf-gate comparison for ``BENCH_serve.json``; returns regression
+    descriptions (empty = pass).
+
+    The sweep's offered loads are derived from the measured per-request
+    service time, so the *protocol* outcomes at each sweep point —
+    completions, SLO attainment — are machine-independent and always
+    checked (``tolerance`` band).  Raw latency and goodput are only
+    meaningful on the same machine class, so those checks
+    (``wall_tolerance`` band) apply only when ``cpu_count`` matches the
+    baseline.
+    """
+    problems: list[str] = []
+    same_machine = fresh.get("cpu_count") == baseline.get("cpu_count")
+    base_sweep = baseline.get("sweep", [])
+    fresh_sweep = fresh.get("sweep", [])
+    if len(fresh_sweep) < len(base_sweep):
+        problems.append(f"sweep shrank: {len(fresh_sweep)} points vs "
+                        f"baseline {len(base_sweep)}")
+    for i, (base, cur) in enumerate(zip(base_sweep, fresh_sweep)):
+        point = f"sweep[{i}]"
+        b_done, f_done = base.get("completed", 0), cur.get("completed", 0)
+        if f_done < b_done * (1.0 - tolerance):
+            problems.append(
+                f"{point}: completions regressed {f_done} vs baseline "
+                f"{b_done} (tolerance {tolerance:.0%})")
+        b_slo, f_slo = base.get("slo_attainment"), cur.get("slo_attainment")
+        if isinstance(b_slo, (int, float)) and math.isfinite(b_slo) \
+                and isinstance(f_slo, (int, float)) \
+                and math.isfinite(f_slo) \
+                and f_slo < b_slo * (1.0 - tolerance):
+            problems.append(
+                f"{point}: SLO attainment fell to {f_slo:.2f} vs "
+                f"baseline {b_slo:.2f} (tolerance {tolerance:.0%})")
+        if same_machine:
+            b_p50, f_p50 = base.get("latency_p50_s"), \
+                cur.get("latency_p50_s")
+            if isinstance(b_p50, (int, float)) and math.isfinite(b_p50) \
+                    and b_p50 > 0 and isinstance(f_p50, (int, float)) \
+                    and f_p50 > b_p50 * (1.0 + wall_tolerance):
+                problems.append(
+                    f"{point}: p50 latency regressed {f_p50:.3f}s vs "
+                    f"baseline {b_p50:.3f}s "
+                    f"(tolerance {wall_tolerance:.0%})")
+            b_tp = base.get("throughput_rps")
+            f_tp = cur.get("throughput_rps")
+            if isinstance(b_tp, (int, float)) and b_tp > 0 \
+                    and isinstance(f_tp, (int, float)) \
+                    and f_tp < b_tp * (1.0 - wall_tolerance):
+                problems.append(
+                    f"{point}: goodput regressed {f_tp:.2f} rps vs "
+                    f"baseline {b_tp:.2f} rps "
+                    f"(tolerance {wall_tolerance:.0%})")
+    return problems

@@ -1,0 +1,66 @@
+"""Canonical request identity for coalescing and fleet placement.
+
+Two requests are *the same work* exactly when they would build the same
+automaton over the same input: same application, same input bytes, same
+size/seed parameters.  Everything else about a request — its name, its
+submission id, its SLO, the identity of its builder closure — is
+serving metadata, not work identity, and must not keep identical
+requests apart.  :func:`input_digest` reduces work identity to a stable
+hex string; servers coalesce on it and the fleet router consistently
+places on it, so duplicates land on the same worker and attach to the
+same run.
+
+The digest is deliberately content-addressed (dtype + shape + raw
+bytes), not parameter-addressed: two callers that generated the same
+array through different code paths still coalesce, and a caller that
+mutated its input cannot poison another subscriber's answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+__all__ = ["input_digest", "request_key"]
+
+
+def _feed_params(h: "hashlib._Hash", params: dict[str, Any]) -> None:
+    for name in sorted(params):
+        value = params[name]
+        if value is None:
+            continue
+        h.update(f"|{name}={value!r}".encode())
+
+
+def input_digest(app: str, data: Any = None, **params: Any) -> str:
+    """Stable hash of (app name, input bytes, size params) -> hex str.
+
+    ``data`` may be an ndarray (hashed by dtype, shape and raw bytes,
+    C-contiguous), raw ``bytes``, or None (parameter-only requests, e.g.
+    a declarative fleet spec hashed before the input is materialized).
+    Keyword ``params`` are canonicalized by sorted name; None values are
+    skipped so an unset default and an absent parameter agree.
+    """
+    h = hashlib.sha256()
+    h.update(f"app={app}".encode())
+    if data is not None:
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            h.update(b"|raw")
+            h.update(bytes(data))
+        else:
+            arr = np.ascontiguousarray(np.asarray(data))
+            h.update(f"|dtype={arr.dtype.str}|shape={arr.shape}".encode())
+            h.update(arr.tobytes())
+    _feed_params(h, params)
+    return h.hexdigest()
+
+
+def request_key(app: str, digest: str) -> str:
+    """The coalescing/placement key: ``app`` qualified by its digest.
+
+    Keeping the app name visible (rather than folding it into the hash
+    alone) makes traces and fleet affinity tables human-readable.
+    """
+    return f"{app}:{digest[:16]}"

@@ -1,0 +1,291 @@
+"""Fleet data plane: the wire protocol and the worker process.
+
+A serving fleet is a front-end :class:`~repro.serve.router.FleetRouter`
+plus N workers.  Each worker is a separate forked process running one
+:class:`~repro.serve.server.AnytimeServer` behind a stdlib socket,
+speaking a length-prefixed JSON protocol (4-byte big-endian length +
+UTF-8 JSON object).  Requests are *declarative* — ``(app, size, seed,
+SLO)`` — never closures, so the router can re-dispatch one verbatim to
+a different worker when its home worker dies: building the automaton
+from the spec is idempotent and the anytime model makes any re-run's
+sealed versions equally valid answers.
+
+Worker-bound ops: ``submit`` ``stats`` ``shutdown``.
+Router-bound ops: ``ack`` (admission outcome + queue depth, the
+backpressure signal), ``done`` (terminal result, sent by the worker's
+completion pump), ``stats`` (reply), ``bye``.
+
+Results cross the wire as metrics plus a :func:`value_digest` of the
+sealed output — not the output array itself — so conformance tests can
+assert bit-identity between coalesced and solo answers without shipping
+megabytes of JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import socket
+import struct
+import threading
+import time as _time
+from typing import Any
+
+import numpy as np
+
+from .digest import input_digest, request_key
+
+__all__ = ["send_msg", "recv_msg", "spec_key", "value_digest",
+           "worker_main", "WORKER_DEFAULTS"]
+
+_LEN = struct.Struct(">I")
+
+WORKER_DEFAULTS: dict[str, Any] = {
+    "slots": 2,
+    "queue_limit": 8,
+    "executor": "threaded",
+    "quantum_s": 0.02,
+    "tick_s": 0.005,
+    "coalesce": True,
+    "memo_ttl_s": 5.0,
+}
+
+
+# -- wire protocol -------------------------------------------------------
+
+def send_msg(sock: socket.socket, obj: dict[str, Any],
+             lock: threading.Lock | None = None) -> None:
+    """Send one length-prefixed JSON message (atomic under ``lock``)."""
+    payload = json.dumps(obj, separators=(",", ":")).encode()
+    frame = _LEN.pack(len(payload)) + payload
+    if lock is not None:
+        with lock:
+            sock.sendall(frame)
+    else:
+        sock.sendall(frame)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            return None
+        buf += chunk
+    return buf
+
+
+def recv_msg(sock: socket.socket) -> dict[str, Any] | None:
+    """Receive one message; None on a clean or torn-down connection."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        return None
+    return json.loads(payload.decode())
+
+
+# -- request/result identity --------------------------------------------
+
+_spec_keys: dict[tuple[str, int, int], str] = {}
+_spec_lock = threading.Lock()
+
+
+def spec_key(app: str, size: int, seed: int = 0) -> str:
+    """Canonical coalescing/placement key of a declarative request.
+
+    Materializes the input once per (app, size, seed) to digest its
+    actual bytes — content-addressed, so the router and every worker
+    agree on identity without exchanging arrays.
+    """
+    spec = (app, int(size), int(seed))
+    with _spec_lock:
+        key = _spec_keys.get(spec)
+    if key is None:
+        from ..apps.registry import get_app
+
+        image = get_app(app).make_input(spec[1], spec[2])
+        key = request_key(app, input_digest(app, image, size=spec[1],
+                                            seed=spec[2]))
+        with _spec_lock:
+            _spec_keys[spec] = key
+    return key
+
+
+def value_digest(value: Any) -> str:
+    """Stable hash of an output value (arrays, dicts of arrays, scalars)
+    so bit-identity can be asserted across the wire."""
+    h = hashlib.sha256()
+
+    def feed(v: Any) -> None:
+        if isinstance(v, dict):
+            for k in sorted(v, key=str):
+                h.update(f"|k={k}".encode())
+                feed(v[k])
+        elif isinstance(v, (list, tuple)):
+            for item in v:
+                h.update(b"|i")
+                feed(item)
+        else:
+            try:
+                arr = np.ascontiguousarray(np.asarray(v))
+                h.update(f"|{arr.dtype.str}{arr.shape}".encode())
+                h.update(arr.tobytes())
+            except Exception:
+                h.update(repr(v).encode())
+
+    feed(value)
+    return h.hexdigest()
+
+
+# -- the worker process --------------------------------------------------
+
+def _done_message(rid: int, result: Any) -> dict[str, Any]:
+    snr = result.snr_db
+    return {
+        "op": "done", "rid": rid,
+        "state": result.state.value,
+        "latency_s": result.latency_s,
+        "queue_s": result.queue_s,
+        "snr_db": (snr if snr is not None and math.isfinite(snr)
+                   else None),
+        "precise_snr": bool(snr is not None and math.isinf(snr)
+                            and snr > 0),
+        "slo_met": bool(result.slo_met),
+        "interrupted": bool(result.interrupted),
+        "coalesced": bool(result.coalesced),
+        "memo_hit": bool(result.memo_hit),
+        "version": result.snapshot.version,
+        "final": bool(result.snapshot.final),
+        "preemptions": result.preemptions,
+        "value_digest": (value_digest(result.snapshot.value)
+                         if result.snapshot.value is not None else None),
+        "errors": list(result.errors),
+    }
+
+
+def worker_main(sock: socket.socket,
+                config: dict[str, Any] | None = None) -> None:
+    """Run one fleet worker until its socket closes.
+
+    The reader loop (this thread) admits requests; a completion pump
+    thread streams ``done`` messages back as sessions reach terminal
+    states, so a slow run never blocks admission of the next request.
+    """
+    from ..apps.registry import get_app
+    from .server import AnytimeServer
+    from .slo import SLO
+
+    cfg = {**WORKER_DEFAULTS, **(config or {})}
+    server = AnytimeServer(
+        slots=int(cfg["slots"]), queue_limit=int(cfg["queue_limit"]),
+        executor=cfg["executor"], quantum_s=float(cfg["quantum_s"]),
+        tick_s=float(cfg["tick_s"]), coalesce=bool(cfg["coalesce"]),
+        memo_ttl_s=float(cfg["memo_ttl_s"])).start()
+    send_lock = threading.Lock()
+    pending: dict[int, Any] = {}
+    pending_lock = threading.Lock()
+    stop = threading.Event()
+    calibrations: dict[tuple[str, int, int], tuple] = {}
+
+    def calibration(app: str, size: int, seed: int) -> tuple:
+        spec = (app, size, seed)
+        if spec not in calibrations:
+            record = get_app(app)
+            image = record.make_input(size, seed)
+            reference = (image if record.reference_kind == "input"
+                         else record.reference(image))
+
+            def builder(record=record, image=image):
+                return record.build(image)
+
+            def metric(value, record=record, reference=reference):
+                return record.metric(value, reference)
+
+            calibrations[spec] = (builder, metric,
+                                  spec_key(app, size, seed))
+        return calibrations[spec]
+
+    def pump() -> None:
+        while not stop.is_set():
+            ripe = []
+            with pending_lock:
+                for rid, session in list(pending.items()):
+                    if session.done:
+                        ripe.append((rid, session))
+                        del pending[rid]
+            for rid, session in ripe:
+                try:
+                    send_msg(sock, _done_message(
+                        rid, session.result(timeout_s=0.0)), send_lock)
+                except OSError:
+                    stop.set()
+                    return
+            stop.wait(0.004)
+
+    pump_thread = threading.Thread(target=pump, daemon=True,
+                                   name="fleet-pump")
+    pump_thread.start()
+    try:
+        while True:
+            msg = recv_msg(sock)
+            if msg is None:          # router went away
+                return
+            op = msg.get("op")
+            if op == "submit":
+                rid = int(msg["rid"])
+                try:
+                    builder, metric, key = calibration(
+                        msg["app"], int(msg.get("size", 32)),
+                        int(msg.get("seed", 0)))
+                    slo_spec = msg.get("slo") or {}
+                    slo = SLO(
+                        deadline_s=slo_spec.get("deadline_s"),
+                        target_db=slo_spec.get("target_db"),
+                        priority=float(slo_spec.get("priority", 1.0)))
+                    session = server.submit(
+                        builder, slo, metric=metric, name=f"r{rid}",
+                        wait_s=float(msg.get("wait_s", 0.0)),
+                        key=key if cfg["coalesce"] else None)
+                except Exception as exc:
+                    send_msg(sock, {
+                        "op": "done", "rid": rid, "state": "failed",
+                        "latency_s": 0.0, "queue_s": 0.0,
+                        "errors": [f"{type(exc).__name__}: {exc}"],
+                    }, send_lock)
+                    continue
+                with pending_lock:
+                    pending[rid] = session
+                stats = server.stats()
+                send_msg(sock, {
+                    "op": "ack", "rid": rid,
+                    "state": session.state.value,
+                    "queue_depth": stats["queued"],
+                    "running": stats["running"],
+                    "subscribers": stats["subscribers"],
+                }, send_lock)
+            elif op == "stats":
+                send_msg(sock, {"op": "stats",
+                                "rid": msg.get("rid"),
+                                "stats": server.stats()}, send_lock)
+            elif op == "shutdown":
+                try:
+                    send_msg(sock, {"op": "bye"}, send_lock)
+                except OSError:
+                    pass
+                return
+            # unknown ops are ignored: a newer router may speak a
+            # superset of this protocol
+    except OSError:
+        return
+    finally:
+        stop.set()
+        pump_thread.join(timeout=2.0)
+        server.shutdown()
+        try:
+            sock.close()
+        except OSError:
+            pass

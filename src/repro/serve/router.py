@@ -1,0 +1,467 @@
+"""Fleet front end: shard anytime requests across worker processes.
+
+:class:`FleetRouter` owns N forked :mod:`~repro.serve.fleet` workers
+and places each declarative request ``(app, size, seed, SLO)`` by its
+canonical work identity (:func:`~repro.serve.fleet.spec_key`):
+
+* **Sticky consistent-hash placement.**  A key hashes onto a virtual-
+  node ring; identical work therefore lands on the same worker, where
+  the server coalesces it onto one shared run (or answers from its
+  sealed-results memo).  A short-TTL affinity table pins a key to the
+  worker that actually took it, so fallback decisions stay sticky too.
+* **Least-loaded fallback for cold keys.**  A key the fleet has never
+  seen may be diverted from its ring home to the least-loaded worker
+  when the home is clearly busier — cold keys have no run to join, so
+  placement freedom is free capacity.
+* **Backpressure surfaced to the router.**  Every admission is acked
+  with the worker's queue depth; a shed request is retried once on the
+  least-loaded other worker before the shed is accepted as final.
+* **Worker-death failover.**  A dead worker (socket EOF / reset) has
+  its in-flight requests re-dispatched verbatim to surviving workers —
+  requests are specs, not closures, so a re-run is safe and its sealed
+  versions are equally valid answers.
+
+Fleet-wide metrics (:func:`summarize_fleet`, :meth:`aggregate_stats`)
+sum the per-worker serving counters and reduce per-request outcomes to
+p50/p99 latency, goodput, shed rate and SLO attainment.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import multiprocessing
+import socket
+import threading
+import time as _time
+from typing import Any
+
+from .fleet import WORKER_DEFAULTS, recv_msg, send_msg, spec_key, worker_main
+from .workload import percentile
+
+__all__ = ["FleetRouter", "FleetRequest", "summarize_fleet"]
+
+_VNODES = 64
+
+
+def _ring_hash(text: str) -> int:
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8],
+                          "big")
+
+
+class FleetRequest:
+    """The client's view of one fleet request (a declarative spec)."""
+
+    def __init__(self, rid: int, app: str, size: int, seed: int,
+                 slo: dict[str, Any], key: str) -> None:
+        self.rid = rid
+        self.app = app
+        self.size = size
+        self.seed = seed
+        self.slo = slo
+        self.key = key
+        self.submitted_at = _time.monotonic()
+        self.worker: int | None = None
+        self.redispatches = 0
+        self._result: dict[str, Any] | None = None
+        self._done = threading.Event()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout_s: float | None = None) -> dict[str, Any]:
+        """Block for the terminal outcome dict; TimeoutError on timeout.
+
+        The dict is the worker's ``done`` message plus router fields:
+        ``worker`` (index that served it), ``fleet_latency_s``
+        (submission-to-terminal as the router's client experienced it)
+        and ``redispatches``.
+        """
+        if not self._done.wait(timeout=timeout_s):
+            raise TimeoutError(f"fleet request {self.rid} not terminal "
+                               f"after {timeout_s}s")
+        assert self._result is not None
+        return self._result
+
+    def _finish(self, payload: dict[str, Any]) -> None:
+        payload.setdefault("state", "failed")
+        payload["worker"] = self.worker
+        payload["fleet_latency_s"] = _time.monotonic() - self.submitted_at
+        payload["redispatches"] = self.redispatches
+        self._result = payload
+        self._done.set()
+
+
+class _WorkerLink:
+    """Router-side state of one worker: socket, reader, in-flight set."""
+
+    def __init__(self, index: int, process: Any,
+                 sock: socket.socket) -> None:
+        self.index = index
+        self.process = process
+        self.sock = sock
+        self.send_lock = threading.Lock()
+        self.alive = True
+        self.inflight: dict[int, FleetRequest] = {}
+        self.queue_depth = 0
+        self.reader: threading.Thread | None = None
+
+    @property
+    def load(self) -> int:
+        return len(self.inflight)
+
+
+class FleetRouter:
+    """Route requests across ``workers`` forked AnytimeServer workers.
+
+    Worker behaviour (slots, queue bound, executor, coalescing, memo
+    TTL) comes from ``worker_config`` merged over
+    :data:`~repro.serve.fleet.WORKER_DEFAULTS`.  Use as a context
+    manager; :meth:`submit` returns a :class:`FleetRequest` future.
+    """
+
+    def __init__(self, workers: int = 2,
+                 worker_config: dict[str, Any] | None = None,
+                 affinity_ttl_s: float = 30.0,
+                 fallback_margin: int = 2) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive: {workers}")
+        self.n_workers = workers
+        self.worker_config = {**WORKER_DEFAULTS, **(worker_config or {})}
+        self.affinity_ttl_s = affinity_ttl_s
+        self.fallback_margin = fallback_margin
+        self._links: list[_WorkerLink] = []
+        self._lock = threading.RLock()
+        self._rids = itertools.count(1)
+        self._stats_rids = itertools.count(1)
+        self._stats_waiters: dict[int, list[Any]] = {}
+        self._affinity: dict[str, tuple[int, float]] = {}
+        self._ring: list[tuple[int, int]] = sorted(
+            (_ring_hash(f"worker-{w}/vnode-{v}"), w)
+            for w in range(workers) for v in range(_VNODES))
+        self._started = False
+        self.counters = {
+            "dispatched": 0, "redispatched": 0, "shed_retries": 0,
+            "worker_deaths": 0, "fallbacks": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "FleetRouter":
+        if self._started:
+            raise RuntimeError("router already started")
+        self._started = True
+        ctx = multiprocessing.get_context("fork")
+        for index in range(self.n_workers):
+            parent_sock, child_sock = socket.socketpair()
+            process = ctx.Process(
+                target=_worker_entry,
+                args=(child_sock, dict(self.worker_config)),
+                name=f"fleet-worker-{index}", daemon=True)
+            process.start()
+            child_sock.close()
+            link = _WorkerLink(index, process, parent_sock)
+            link.reader = threading.Thread(
+                target=self._read_loop, args=(link,),
+                name=f"fleet-reader-{index}", daemon=True)
+            self._links.append(link)
+        for link in self._links:
+            link.reader.start()
+        return self
+
+    def __enter__(self) -> "FleetRouter":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    def shutdown(self, timeout_s: float = 10.0) -> None:
+        """Stop every worker; fail any request still in flight."""
+        with self._lock:
+            links = list(self._links)
+        for link in links:
+            if link.alive:
+                try:
+                    send_msg(link.sock, {"op": "shutdown"},
+                             link.send_lock)
+                except OSError:
+                    pass
+        deadline = _time.monotonic() + timeout_s
+        for link in links:
+            link.process.join(timeout=max(0.1,
+                                          deadline - _time.monotonic()))
+            if link.process.is_alive():
+                link.process.terminate()
+                link.process.join(timeout=2.0)
+            link.alive = False
+            try:
+                link.sock.close()
+            except OSError:
+                pass
+        with self._lock:
+            for link in links:
+                for request in list(link.inflight.values()):
+                    request._finish({"state": "cancelled",
+                                     "errors": ["fleet shutdown"]})
+                link.inflight.clear()
+
+    def drain(self, timeout_s: float | None = None) -> bool:
+        """Wait for every in-flight request to finish; True if it did."""
+        deadline = (None if timeout_s is None
+                    else _time.monotonic() + timeout_s)
+        while True:
+            with self._lock:
+                if not any(link.inflight for link in self._links):
+                    return True
+            if deadline is not None and _time.monotonic() >= deadline:
+                return False
+            _time.sleep(0.01)
+
+    # -- client API ------------------------------------------------------
+
+    def submit(self, app: str, size: int = 32, seed: int = 0,
+               slo: dict[str, Any] | None = None,
+               wait_s: float = 0.0) -> FleetRequest:
+        """Place and dispatch one declarative request."""
+        key = spec_key(app, size, seed)
+        request = FleetRequest(next(self._rids), app, size, seed,
+                               slo or {}, key)
+        with self._lock:
+            link = self._place(key)
+            if link is None:
+                request._finish({"state": "failed",
+                                 "errors": ["no live workers"]})
+                return request
+            self._dispatch(request, link, wait_s=wait_s)
+        return request
+
+    def alive_workers(self) -> int:
+        with self._lock:
+            return sum(1 for link in self._links if link.alive)
+
+    def aggregate_stats(self, timeout_s: float = 5.0) -> dict[str, Any]:
+        """Fleet-wide serving counters: per-worker stats plus sums."""
+        per_worker: list[dict[str, Any] | None] = []
+        for link in list(self._links):
+            per_worker.append(self._worker_stats(link, timeout_s)
+                              if link.alive else None)
+        totals: dict[str, Any] = {}
+        for stats in per_worker:
+            if not stats:
+                continue
+            for name, value in stats.items():
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    totals[name] = totals.get(name, 0) + value
+        return {"workers": len(self._links),
+                "alive": self.alive_workers(),
+                "router": dict(self.counters),
+                "per_worker": per_worker,
+                "totals": totals}
+
+    # -- placement -------------------------------------------------------
+
+    def _place(self, key: str) -> _WorkerLink | None:
+        alive = [link for link in self._links if link.alive]
+        if not alive:
+            return None
+        now = _time.monotonic()
+        pinned = self._affinity.get(key)
+        if pinned is not None:
+            index, expires_at = pinned
+            link = self._links[index]
+            if link.alive and now < expires_at:
+                self._affinity[key] = (index, now + self.affinity_ttl_s)
+                return link
+            del self._affinity[key]
+        home = self._ring_lookup(key)
+        link = home
+        least = min(alive, key=lambda cand: cand.load)
+        if home.load > least.load + self.fallback_margin:
+            # cold key, clearly uneven fleet: spill to the least-loaded
+            # worker (duplicates will follow via the affinity pin)
+            link = least
+            self.counters["fallbacks"] += 1
+        self._affinity[key] = (link.index, now + self.affinity_ttl_s)
+        return link
+
+    def _ring_lookup(self, key: str) -> _WorkerLink:
+        point = _ring_hash(key)
+        start = bisect.bisect(self._ring, (point, -1))
+        for offset in range(len(self._ring)):
+            _, index = self._ring[(start + offset) % len(self._ring)]
+            if self._links[index].alive:
+                return self._links[index]
+        raise RuntimeError("no live workers on the ring")
+
+    def _dispatch(self, request: FleetRequest, link: _WorkerLink,
+                  wait_s: float = 0.0) -> None:
+        request.worker = link.index
+        link.inflight[request.rid] = request
+        self.counters["dispatched"] += 1
+        try:
+            send_msg(link.sock, {
+                "op": "submit", "rid": request.rid, "app": request.app,
+                "size": request.size, "seed": request.seed,
+                "slo": request.slo, "wait_s": wait_s,
+            }, link.send_lock)
+        except OSError:
+            link.inflight.pop(request.rid, None)
+            self._on_worker_death(link)
+            survivor = self._place(request.key)
+            if survivor is None or survivor is link:
+                request._finish({"state": "failed",
+                                 "errors": ["no live workers"]})
+                return
+            request.redispatches += 1
+            self.counters["redispatched"] += 1
+            self._dispatch(request, survivor, wait_s=wait_s)
+
+    # -- worker I/O ------------------------------------------------------
+
+    def _read_loop(self, link: _WorkerLink) -> None:
+        while True:
+            try:
+                msg = recv_msg(link.sock)
+            except OSError:
+                msg = None
+            if msg is None:
+                with self._lock:
+                    if link.alive:
+                        self._on_worker_death(link)
+                return
+            op = msg.get("op")
+            if op == "done":
+                with self._lock:
+                    request = link.inflight.pop(msg.get("rid"), None)
+                if request is not None:
+                    request._finish(msg)
+            elif op == "ack":
+                self._on_ack(link, msg)
+            elif op == "stats":
+                with self._lock:
+                    waiter = self._stats_waiters.pop(msg.get("rid"),
+                                                     None)
+                if waiter is not None:
+                    waiter[1] = msg.get("stats")
+                    waiter[0].set()
+            elif op == "bye":
+                with self._lock:
+                    link.alive = False
+                return
+
+    def _on_ack(self, link: _WorkerLink, msg: dict[str, Any]) -> None:
+        with self._lock:
+            link.queue_depth = int(msg.get("queue_depth", 0))
+            if msg.get("state") != "shed":
+                return
+            request = link.inflight.pop(msg.get("rid"), None)
+            if request is None:
+                return
+            # admission backpressure surfaced: retry once elsewhere
+            alive = [cand for cand in self._links
+                     if cand.alive and cand is not link]
+            if request.redispatches == 0 and alive:
+                target = min(alive, key=lambda cand: cand.load)
+                request.redispatches += 1
+                self.counters["shed_retries"] += 1
+                self._affinity[request.key] = (
+                    target.index,
+                    _time.monotonic() + self.affinity_ttl_s)
+                self._dispatch(request, target)
+            else:
+                link.inflight[request.rid] = request
+                # the worker's own `done` (state=shed) finalizes it
+
+    def _on_worker_death(self, link: _WorkerLink) -> None:
+        """Mark a worker dead and re-dispatch its in-flight requests."""
+        link.alive = False
+        self.counters["worker_deaths"] += 1
+        for key, (index, _) in list(self._affinity.items()):
+            if index == link.index:
+                del self._affinity[key]
+        orphans = list(link.inflight.values())
+        link.inflight.clear()
+        for request in orphans:
+            survivor = self._place(request.key)
+            if survivor is None:
+                request._finish({
+                    "state": "failed",
+                    "errors": [f"worker {link.index} died"]})
+                continue
+            request.redispatches += 1
+            self.counters["redispatched"] += 1
+            self._dispatch(request, survivor)
+
+    def _worker_stats(self, link: _WorkerLink,
+                      timeout_s: float) -> dict[str, Any] | None:
+        rid = next(self._stats_rids)
+        waiter: list[Any] = [threading.Event(), None]
+        with self._lock:
+            self._stats_waiters[rid] = waiter
+            try:
+                send_msg(link.sock, {"op": "stats", "rid": rid},
+                         link.send_lock)
+            except OSError:
+                self._stats_waiters.pop(rid, None)
+                return None
+        if not waiter[0].wait(timeout=timeout_s):
+            with self._lock:
+                self._stats_waiters.pop(rid, None)
+            return None
+        return waiter[1]
+
+
+def _worker_entry(sock: socket.socket, config: dict[str, Any]) -> None:
+    worker_main(sock, config)
+
+
+def summarize_fleet(requests: list[FleetRequest],
+                    wall_s: float | None = None) -> dict[str, Any]:
+    """Reduce terminal fleet requests to fleet-wide serving metrics."""
+    import math
+
+    if not requests:
+        raise ValueError("no requests to summarize")
+    results = []
+    for request in requests:
+        if not request.done:
+            raise RuntimeError(f"fleet request {request.rid} is not "
+                               f"terminal; drain the router first")
+        results.append(request.result(timeout_s=0.0))
+    by_state: dict[str, int] = {}
+    for r in results:
+        by_state[r["state"]] = by_state.get(r["state"], 0) + 1
+    served = [r for r in results if r["state"] == "completed"]
+    latencies = [r["fleet_latency_s"] for r in served]
+    if wall_s is None:
+        first = min(request.submitted_at for request in requests)
+        last = max(request.submitted_at + r["fleet_latency_s"]
+                   for request, r in zip(requests, results))
+        wall_s = max(last - first, 1e-9)
+
+    def mean(values: list[float]) -> float:
+        return sum(values) / len(values) if values else math.nan
+
+    return {
+        "requests": len(results),
+        "states": by_state,
+        "completed": len(served),
+        "shed": by_state.get("shed", 0),
+        "failed": by_state.get("failed", 0),
+        "wall_s": wall_s,
+        "goodput_rps": len(served) / wall_s,
+        "latency_p50_s": percentile(latencies, 50),
+        "latency_p99_s": percentile(latencies, 99),
+        "latency_mean_s": mean(latencies),
+        "coalesced": sum(1 for r in served if r.get("coalesced")),
+        "memo_hits": sum(1 for r in served if r.get("memo_hit")),
+        "redispatched": sum(1 for r in results
+                            if r.get("redispatches", 0) > 0),
+        "slo_attainment": (sum(1 for r in served if r.get("slo_met"))
+                           / len(served)) if served else math.nan,
+        "workers_used": sorted({r.get("worker") for r in served
+                                if r.get("worker") is not None}),
+    }

@@ -104,6 +104,16 @@ class AnytimeServer:
         per-run events the executors emit.
     grace_s:
         How long a harvest waits for a stopped run to wind down.
+    coalesce:
+        Whether requests submitted with the same ``key`` share one run
+        (see :meth:`submit`).  Subscribers detach individually at their
+        own deadline/target with a pinned sealed snapshot; the run keeps
+        its slot until its most-demanding live subscriber is satisfied.
+    memo_ttl_s:
+        How long a recently-sealed *final* result answers repeat
+        requests for the same ``key`` without running at all (0 =
+        memoization off).  Only precise (``final``) snapshots are
+        memoized, so a memo hit is never a silent quality downgrade.
     """
 
     def __init__(self, slots: int = 4, queue_limit: int = 16,
@@ -116,7 +126,9 @@ class AnytimeServer:
                  | None = None,
                  injector: FaultInjector | None = None,
                  trace: TraceSink | None = None,
-                 grace_s: float = 5.0) -> None:
+                 grace_s: float = 5.0,
+                 coalesce: bool = True,
+                 memo_ttl_s: float = 0.0) -> None:
         if slots <= 0:
             raise ValueError(f"slots must be positive: {slots}")
         if queue_limit < 0:
@@ -139,6 +151,11 @@ class AnytimeServer:
         self._injector = injector
         self._sink = trace
         self._grace_s = grace_s
+        if memo_ttl_s < 0:
+            raise ValueError(f"memo_ttl_s cannot be negative: {memo_ttl_s}")
+        self.coalesce = bool(coalesce)
+        self.memo_ttl_s = float(memo_ttl_s)
+        self._memo: dict[str, tuple[float, Snapshot]] = {}
 
         self._lock = threading.RLock()
         self._space = threading.Condition(self._lock)
@@ -153,6 +170,8 @@ class AnytimeServer:
         self.counters = {
             "submitted": 0, "admitted": 0, "shed": 0, "completed": 0,
             "cancelled": 0, "failed": 0, "preemptions": 0, "resumes": 0,
+            "coalesced": 0, "memo_hits": 0, "detaches": 0,
+            "promotions": 0,
         }
 
     # -- lifecycle -------------------------------------------------------
@@ -209,6 +228,9 @@ class AnytimeServer:
             now = _time.monotonic()
             while self._queue:
                 session = self._queue.popleft()
+                for follower in list(session._followers):
+                    self._detach(session, follower,
+                                 SessionState.CANCELLED, now)
                 session._terminalize(SessionState.CANCELLED,
                                      session.snapshot(), now,
                                      interrupted=True)
@@ -227,7 +249,8 @@ class AnytimeServer:
                *, metric: Callable[[Any], float] | None = None,
                name: str | None = None,
                faults: FaultPolicy | dict[str, FaultPolicy] | None = None,
-               wait_s: float = 0.0) -> Session:
+               wait_s: float = 0.0,
+               key: str | None = None) -> Session:
         """Submit one request; returns its :class:`Session` immediately.
 
         ``builder`` is a zero-argument callable producing a *fresh*
@@ -238,6 +261,15 @@ class AnytimeServer:
         ``wait_s`` is the backpressure budget: how long to block while
         the admission queue is full before giving up; on a still-full
         queue the request is returned in the terminal ``SHED`` state.
+
+        ``key`` is the request's work identity (canonically
+        :func:`repro.serve.digest.input_digest`).  When coalescing is
+        on, a keyed request whose key matches a queued or running
+        request attaches to that run as a *subscriber* instead of
+        consuming queue space and a slot of its own; it detaches at its
+        own deadline/target with a pinned sealed snapshot.  A keyed
+        request matching a fresh memoized final result completes
+        immediately without running.
         """
         slo = slo or SLO()
         now = _time.monotonic()
@@ -246,12 +278,19 @@ class AnytimeServer:
             sid = next(self._ids)
             session = Session(
                 sid=sid, name=name or f"req-{sid}", builder=builder,
-                slo=slo, metric=metric, submitted_at=now,
+                slo=slo, metric=metric, submitted_at=now, key=key,
                 faults=faults if faults is not None
                 else self._default_faults)
             if not self._accepting:
                 self._shed(session, now, reason="not-accepting")
                 return session
+            if self.coalesce and key is not None:
+                if self._memo_answer(session, now):
+                    return session
+                host = self._find_host(key)
+                if host is not None:
+                    self._attach(session, host, now)
+                    return session
             if len(self._queue) >= self.queue_limit and wait_s > 0.0:
                 deadline = now + wait_s
                 while (len(self._queue) >= self.queue_limit
@@ -264,6 +303,12 @@ class AnytimeServer:
                 self._shed(session, _time.monotonic(),
                            reason="not-accepting")
                 return session
+            if self.coalesce and key is not None:
+                # a matching run may have appeared while we waited
+                host = self._find_host(key)
+                if host is not None:
+                    self._attach(session, host, _time.monotonic())
+                    return session
             if len(self._queue) >= self.queue_limit:
                 self._shed(session, _time.monotonic(), reason="queue-full")
                 return session
@@ -273,10 +318,99 @@ class AnytimeServer:
                         queue_depth=len(self._queue))
             return session
 
+    # -- coalescing ------------------------------------------------------
+
+    def _memo_answer(self, session: Session, now: float) -> bool:
+        """Serve a keyed request from the sealed-results memo; True if
+        answered.  Expired entries are evicted on the way."""
+        if self.memo_ttl_s <= 0 or session.key is None:
+            return False
+        entry = self._memo.get(session.key)
+        if entry is None:
+            return False
+        expires_at, snapshot = entry
+        if now >= expires_at:
+            del self._memo[session.key]
+            return False
+        snr = self._snr_of(session, snapshot)
+        session._memo_hit = True
+        session._terminalize(SessionState.COMPLETED, snapshot, now,
+                             snr_db=snr)
+        self.counters["completed"] += 1
+        self.counters["memo_hits"] += 1
+        self._trace("server.memo_hit", session, now,
+                    version=snapshot.version)
+        self._finished.append(session)
+        return True
+
+    def _find_host(self, key: str) -> Session | None:
+        """A live same-key session whose run this request can join."""
+        for session in self._scheduled:
+            if session.key == key and not session._cancel_requested:
+                return session
+        for session in self._queue:
+            if session.key == key and not session._cancel_requested:
+                return session
+        return None
+
+    def _attach(self, session: Session, host: Session,
+                now: float) -> None:
+        """Attach ``session`` as a subscriber of ``host``'s run."""
+        session._primary = host
+        session._coalesced = True
+        if host.state in (SessionState.RUNNING, SessionState.PREEMPTED):
+            session._state = host.state
+            session._first_run_at = now
+        host._followers.append(session)
+        self.counters["coalesced"] += 1
+        self._trace("server.coalesce", session, now, primary=host.name,
+                    subscribers=1 + len(host._followers))
+
+    def _detach(self, primary: Session, follower: Session,
+                state: SessionState, now: float,
+                interrupted: bool = True) -> None:
+        """Terminalize one subscriber with a pinned sealed snapshot;
+        the shared run is untouched."""
+        primary._followers.remove(follower)
+        snapshot = primary.snapshot()
+        resolved = state
+        if state is SessionState.COMPLETED and snapshot.version == 0:
+            resolved = SessionState.FAILED
+        snr = self._snr_of(follower, snapshot)
+        follower._terminalize(resolved, snapshot, now, snr_db=snr,
+                              interrupted=interrupted)
+        key = {SessionState.COMPLETED: "completed",
+               SessionState.CANCELLED: "cancelled",
+               SessionState.FAILED: "failed"}.get(resolved)
+        if key:
+            self.counters[key] += 1
+        self.counters["detaches"] += 1
+        self._trace("server.detach", follower, now, state=resolved.value,
+                    primary=primary.name, version=snapshot.version)
+        self._finished.append(follower)
+
+    def _snr_of(self, session: Session,
+                snapshot: Snapshot) -> float | None:
+        if session.metric is None or snapshot.value is None:
+            return None
+        try:
+            return float(session.metric(snapshot.value))
+        except Exception:
+            return None
+
+    def _memoize(self, key: str | None, snapshot: Snapshot,
+                 now: float) -> None:
+        if key is None or self.memo_ttl_s <= 0 or not snapshot.final:
+            return
+        self._memo[key] = (now + self.memo_ttl_s, snapshot)
+
     def sessions(self) -> list[Session]:
         with self._lock:
-            return list(self._queue) + list(self._scheduled) \
-                + list(self._finished)
+            out: list[Session] = []
+            for session in list(self._queue) + list(self._scheduled):
+                out.append(session)
+                out.extend(session._followers)
+            return out + list(self._finished)
 
     def stats(self) -> dict[str, Any]:
         with self._lock:
@@ -288,6 +422,10 @@ class AnytimeServer:
                 "running": running,
                 "preempted": len(self._scheduled) - running,
                 "finished": len(self._finished),
+                "subscribers": sum(
+                    len(s._followers)
+                    for s in list(self._queue) + self._scheduled),
+                "memo_size": len(self._memo),
                 "slots": self.slots,
                 "queue_limit": self.queue_limit,
                 "policy": self.policy.name,
@@ -310,24 +448,50 @@ class AnytimeServer:
             _time.sleep(self.tick_s)
 
     def _tick(self, now: float) -> None:
+        if self._memo:
+            for key in [k for k, (expires_at, _) in self._memo.items()
+                        if now >= expires_at]:
+                del self._memo[key]
         self._harvest(now)
         self._fill_slots(now)
         self._preempt(now)
 
     def _harvest(self, now: float) -> None:
-        """Retire runs that ended, expired, got cancelled or met target."""
-        for session in [s for s in self._queue if s._cancel_requested]:
+        """Retire runs that ended, expired, got cancelled or met
+        target, and detach coalesced subscribers whose own SLO
+        resolved."""
+        for session in list(self._queue):
+            for follower in [f for f in session._followers
+                             if f._cancel_requested]:
+                self._detach(session, follower, SessionState.CANCELLED,
+                             now)
+            if not session._cancel_requested:
+                continue
             self._queue.remove(session)
             self._space.notify_all()
+            live = [f for f in session._followers
+                    if not f._cancel_requested]
+            if live:
+                # the queued run still has subscribers: the first
+                # becomes the queued primary, the request survives
+                self._promote(session, live, now, into_queue=True)
+            session._followers = []
             session._terminalize(SessionState.CANCELLED,
                                  session.snapshot(), now, interrupted=True)
             self.counters["cancelled"] += 1
             self._trace("server.cancel", session, now)
             self._finished.append(session)
         for session in list(self._scheduled):
+            for follower in list(session._followers):
+                if follower._cancel_requested:
+                    self._detach(session, follower,
+                                 SessionState.CANCELLED, now)
+                elif follower.deadline_passed(now):
+                    self._detach(session, follower,
+                                 SessionState.COMPLETED, now)
             if session._cancel_requested:
                 self._finish(session, SessionState.CANCELLED, now,
-                             interrupted=True)
+                             interrupted=True, whole_run=False)
                 continue
             assert session._handle is not None
             if session._handle.finished:
@@ -335,22 +499,31 @@ class AnytimeServer:
                 continue
             if session.deadline_passed(now):
                 self._finish(session, SessionState.COMPLETED, now,
-                             interrupted=True)
+                             interrupted=True, whole_run=False)
                 continue
-            if (session.state is SessionState.RUNNING
-                    and session.metric is not None
-                    and session.slo.target_db is not None):
+            if session.state is not SessionState.RUNNING:
+                continue
+            subscribers = [session] + session._followers
+            if any(s.metric is not None and s.slo.target_db is not None
+                   for s in subscribers):
                 snap = session._handle.snapshot()
-                if snap.version > session._last_version \
-                        and snap.value is not None:
-                    session._last_version = snap.version
-                    try:
-                        session._last_snr = float(session.metric(snap.value))
-                    except Exception:
-                        session._last_snr = None
-                if session.target_met():
-                    self._finish(session, SessionState.COMPLETED, now,
-                                 interrupted=True)
+                for s in subscribers:
+                    if s.metric is None or s.slo.target_db is None:
+                        continue
+                    if snap.version > s._last_version \
+                            and snap.value is not None:
+                        s._last_version = snap.version
+                        try:
+                            s._last_snr = float(s.metric(snap.value))
+                        except Exception:
+                            s._last_snr = None
+            for follower in list(session._followers):
+                if follower.target_met():
+                    self._detach(session, follower,
+                                 SessionState.COMPLETED, now)
+            if session.target_met():
+                self._finish(session, SessionState.COMPLETED, now,
+                             interrupted=True, whole_run=False)
 
     def _ready(self) -> list[Session]:
         return list(self._queue) + [
@@ -394,6 +567,8 @@ class AnytimeServer:
         victim._dispatched_at = None
         victim._ready_since = now
         victim._state = SessionState.PREEMPTED
+        for follower in victim._followers:
+            follower._state = SessionState.PREEMPTED
         victim._preemptions += 1
         self.counters["preemptions"] += 1
         self._trace("server.preempt", victim, now,
@@ -406,6 +581,8 @@ class AnytimeServer:
             assert session._handle is not None
             session._handle.resume()
             session._state = SessionState.RUNNING
+            for follower in session._followers:
+                follower._state = SessionState.RUNNING
             session._dispatched_at = now
             self.counters["resumes"] += 1
             self._trace("server.resume", session, now)
@@ -414,8 +591,15 @@ class AnytimeServer:
         self._space.notify_all()
         try:
             automaton = session.builder()
-            stop = session.slo.stop_condition(
-                now - session.submitted_at, session.metric)
+            if self.coalesce and session.key is not None:
+                # A shared run must outlive the primary whenever a
+                # later subscriber still needs it, so keyed runs carry
+                # no compiled stop condition; each subscriber's
+                # deadline/target is enforced at harvest instead.
+                stop = None
+            else:
+                stop = session.slo.stop_condition(
+                    now - session.submitted_at, session.metric)
             if self.executor == "process":
                 handle = automaton.launch_processes(
                     stop=stop, faults=session.faults,
@@ -426,6 +610,17 @@ class AnytimeServer:
                     stop=stop, faults=session.faults,
                     injector=self._injector, trace=self._sink)
         except Exception as exc:
+            # a broken builder fails only this request; subscribers get
+            # requeued under their own builders
+            live = [f for f in session._followers
+                    if not f._cancel_requested]
+            for follower in list(session._followers):
+                if follower._cancel_requested:
+                    self._detach(session, follower,
+                                 SessionState.CANCELLED, now)
+            if live:
+                self._promote(session, live, now, into_queue=True)
+            session._followers = []
             session._terminalize(
                 SessionState.FAILED, session.snapshot(), now,
                 errors=(f"{type(exc).__name__}: {exc}",))
@@ -437,16 +632,95 @@ class AnytimeServer:
         session._state = SessionState.RUNNING
         session._first_run_at = now
         session._dispatched_at = now
+        for follower in session._followers:
+            follower._state = SessionState.RUNNING
+            if follower._first_run_at is None:
+                follower._first_run_at = now
         self.counters["admitted"] += 1
         self._scheduled.append(session)
         self._trace("server.admit", session, now,
                     queued_s=round(now - session.submitted_at, 6))
 
+    def _promote(self, session: Session, live: list[Session],
+                 now: float, into_queue: bool = False) -> Session:
+        """Hand the session's run (or queue position) to its first live
+        subscriber.  ``session._followers`` must already equal ``live``
+        (cancelled stragglers detached); the caller terminalizes
+        ``session`` itself afterwards."""
+        heir = live[0]
+        heir._primary = None
+        heir._followers = list(live[1:])
+        for follower in heir._followers:
+            follower._primary = heir
+        session._followers = []
+        if into_queue:
+            heir._state = SessionState.QUEUED
+            heir._ready_since = now
+            self._queue.append(heir)
+        else:
+            heir._handle = session._handle
+            heir._state = session._state
+            heir._dispatched_at = session._dispatched_at
+            heir._run_s = session._run_s
+            heir._ready_since = session._ready_since
+            if heir._first_run_at is None:
+                heir._first_run_at = now
+            self._scheduled[self._scheduled.index(session)] = heir
+        self.counters["promotions"] += 1
+        self._trace("server.promote", heir, now, primary=session.name,
+                    queued=into_queue)
+        return heir
+
     def _finish(self, session: Session, state: SessionState, now: float,
-                interrupted: bool = False) -> None:
-        """Stop, harvest and terminalize a scheduled session."""
+                interrupted: bool = False,
+                whole_run: bool = True) -> None:
+        """Stop, harvest and terminalize a scheduled session.
+
+        ``whole_run=False`` means only *this* subscriber's SLO resolved
+        (deadline, target, cancel): if other live subscribers share the
+        run, the session detaches with a pinned snapshot and the run is
+        promoted to the next subscriber instead of being stopped — the
+        run continues until its most-demanding live subscriber is
+        satisfied.
+        """
         handle = session._handle
         assert handle is not None
+        if not whole_run:
+            live = [f for f in session._followers
+                    if not f._cancel_requested]
+            for follower in list(session._followers):
+                if follower._cancel_requested:
+                    self._detach(session, follower,
+                                 SessionState.CANCELLED, now)
+            if live:
+                self._promote(session, live, now)
+                snapshot = handle.snapshot()
+                resolved = state
+                if state is SessionState.COMPLETED \
+                        and snapshot.version == 0:
+                    resolved = SessionState.FAILED
+                if session._dispatched_at is not None:
+                    session._dispatched_at = None
+                session._handle = None
+                session._terminalize(
+                    resolved, snapshot, now,
+                    snr_db=self._snr_of(session, snapshot),
+                    interrupted=True)
+                key = {SessionState.COMPLETED: "completed",
+                       SessionState.CANCELLED: "cancelled",
+                       SessionState.FAILED: "failed"}.get(resolved)
+                if key:
+                    self.counters[key] += 1
+                self.counters["detaches"] += 1
+                kind = ("server.cancel"
+                        if resolved is SessionState.CANCELLED
+                        else "server.detach")
+                self._trace(kind, session, now, state=resolved.value,
+                            version=snapshot.version,
+                            latency_s=round(now - session.submitted_at,
+                                            6))
+                self._finished.append(session)
+                return
         if not handle.finished:
             # Deadline, met target, or cancellation of a live run: stop
             # it now so the harvest below is bounded by wind-down time,
@@ -480,6 +754,31 @@ class AnytimeServer:
             # an approximation.
             state = SessionState.FAILED
         self._scheduled.remove(session)
+        # the whole run is over: every remaining subscriber settles on
+        # the same sealed snapshot (identical work, one answer)
+        for follower in list(session._followers):
+            f_state = (SessionState.CANCELLED
+                       if follower._cancel_requested else state)
+            f_snr = (snr if follower.metric is session.metric
+                     else self._snr_of(follower, snapshot))
+            follower._terminalize(
+                f_state, snapshot, now, snr_db=f_snr,
+                interrupted=(interrupted
+                             or f_state is SessionState.CANCELLED),
+                degraded=degraded)
+            f_key = {SessionState.COMPLETED: "completed",
+                     SessionState.CANCELLED: "cancelled",
+                     SessionState.FAILED: "failed"}.get(f_state)
+            if f_key:
+                self.counters[f_key] += 1
+            self.counters["detaches"] += 1
+            self._trace("server.detach", follower, now,
+                        state=f_state.value, primary=session.name,
+                        version=snapshot.version)
+            self._finished.append(follower)
+        session._followers = []
+        if state is SessionState.COMPLETED and not interrupted:
+            self._memoize(session.key, snapshot, now)
         session._terminalize(state, snapshot, now, snr_db=snr,
                              interrupted=interrupted, degraded=degraded,
                              errors=errors, run_result=run_result)

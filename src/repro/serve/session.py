@@ -76,6 +76,10 @@ class ServeResult:
     preemptions: int = 0
     errors: tuple[str, ...] = ()
     run_result: ThreadedResult | None = None
+    #: served by attaching to another request's run (same key)
+    coalesced: bool = False
+    #: served straight from the recently-sealed-results memo
+    memo_hit: bool = False
 
 
 @dataclass
@@ -94,6 +98,8 @@ class Session:
     metric: Callable[[Any], float] | None
     submitted_at: float
     faults: Any = None
+    #: coalescing key (see :mod:`repro.serve.digest`); None = never share
+    key: str | None = None
 
     # -- scheduler-owned state ------------------------------------------
     _state: SessionState = SessionState.QUEUED
@@ -109,6 +115,11 @@ class Session:
     _preemptions: int = 0
     _last_snr: float | None = None
     _last_version: int = 0
+    # -- coalescing links (scheduler-owned) -----------------------------
+    _primary: "Session | None" = None     # set on attached followers
+    _followers: "list[Session]" = field(default_factory=list)
+    _coalesced: bool = False              # ever served as a follower
+    _memo_hit: bool = False
 
     def __post_init__(self) -> None:
         self._deadline_at = self.slo.deadline_at(self.submitted_at)
@@ -136,6 +147,12 @@ class Session:
         handle = self._handle
         if handle is not None:
             return handle.snapshot()
+        primary = self._primary
+        if primary is not None:
+            # attached follower: the shared run's output is this
+            # request's output (identical work, Property 3 makes any
+            # sealed version a valid answer for every subscriber)
+            return primary.snapshot()
         return Snapshot(self.name, None, 0, False)
 
     def stream(self, poll_s: float = 0.005,
@@ -207,5 +224,7 @@ class Session:
             queue_s=queue_s, snr_db=snr_db, slo_met=slo_met,
             interrupted=interrupted, degraded=degraded,
             preemptions=self._preemptions, errors=errors,
-            run_result=run_result)
+            run_result=run_result, coalesced=self._coalesced,
+            memo_hit=self._memo_hit)
+        self._primary = None
         self._done.set()

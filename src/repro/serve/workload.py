@@ -47,15 +47,19 @@ def run_open_loop(server: AnytimeServer,
                   | None = None,
                   wait_s: float = 0.0,
                   seed: int = 0,
+                  key: str | Callable[[int], str | None] | None = None,
                   name_prefix: str = "req") -> list[Session]:
     """Submit ``n_requests`` on a Poisson process at ``rate_hz``.
 
     ``make_builder(i)`` returns the automaton builder for request ``i``
     (each submission needs its own fresh-automaton thunk).  ``slo`` may
     be one SLO for all requests or a per-request factory; ``metric``
-    is a per-request factory (or None for no metrics).  Inter-arrival
-    gaps are exponentially distributed with mean ``1/rate_hz``, drawn
-    from a seeded generator so a workload is reproducible.
+    is a per-request factory (or None for no metrics).  ``key`` is an
+    optional coalescing key — one for all requests or a per-request
+    factory (see :func:`~repro.serve.digest.input_digest`).
+    Inter-arrival gaps are exponentially distributed with mean
+    ``1/rate_hz``, drawn from a seeded generator so a workload is
+    reproducible.
 
     Returns the submitted sessions in order; they may still be in
     flight — pair with ``server.drain()`` and :func:`summarize`.
@@ -69,9 +73,11 @@ def run_open_loop(server: AnytimeServer,
     for i in range(n_requests):
         request_slo = slo(i) if callable(slo) else slo
         request_metric = metric(i) if metric is not None else None
+        request_key = key(i) if callable(key) else key
         sessions.append(server.submit(
             make_builder(i), slo=request_slo, metric=request_metric,
-            name=f"{name_prefix}-{i}", wait_s=wait_s))
+            name=f"{name_prefix}-{i}", wait_s=wait_s,
+            key=request_key))
         if i + 1 < n_requests:
             _time.sleep(rng.expovariate(rate_hz))
     return sessions
@@ -136,4 +142,6 @@ def summarize(sessions: list[Session],
         "slo_attainment": (sum(1 for r in served if r.slo_met)
                            / len(served)) if served else math.nan,
         "preemptions_mean": mean([float(r.preemptions) for r in served]),
+        "coalesced": sum(1 for r in served if r.coalesced),
+        "memo_hits": sum(1 for r in served if r.memo_hit),
     }

@@ -63,18 +63,20 @@ class TestLeaseEquivalence:
 
     @pytest.mark.slow
     @pytest.mark.timeout(300)
+    @pytest.mark.parametrize("app", ["2dconv", "dwt53"])
     @pytest.mark.parametrize("executor",
                              ["simulated", "threaded", "process"])
     def test_version_ladder_bit_identical_across_lease_sizes(
-            self, executor):
+            self, executor, app):
         """Every published version — not just the final — must be bit
         for bit the same whether the executor grants leases of 1 or 8
-        levels."""
+        levels.  Covers both batching families: diffusive chunk fusion
+        (2dconv) and iterative level fusion (dwt53)."""
         import numpy as np
 
         from repro.apps.registry import get_app
 
-        spec = get_app("2dconv")
+        spec = get_app(app)
         image = spec.make_input(16, 0)
         ladders = {}
         for lease_k in (1, 8):
