@@ -28,6 +28,10 @@ uphold those guarantees on the same automaton:
     executors (and under :class:`~repro.serve.AnytimeServer`
     preempt/resume) and cross-checking final outputs bit-exactly,
     version counts, and trace shapes into a machine-readable report.
+    Its restore mode (:func:`run_restore_differential`) interrupts a
+    run on executor A, checkpoints it (:mod:`repro.ckpt`), restores on
+    executor B, and requires the continuation to be indistinguishable
+    from a never-interrupted run.
 :mod:`repro.check.fuzz`
     Property-based fuzzing of random automata (iterative / diffusive /
     synchronous mixes, every sampling permutation, fault-injection
@@ -42,7 +46,8 @@ CLI: ``python -m repro check`` (see ``repro check --help``).
 
 from .differential import (ACCURACY_TOLERANCE_DB, DEFAULT_APPS,
                            DEFAULT_EXECUTORS, DifferentialReport,
-                           RunObservation, run_differential)
+                           RestoreReport, RunObservation,
+                           run_differential, run_restore_differential)
 from .invariants import (CheckFailure, Checker, CheckReport, Violation,
                          check_events)
 from .selftest import (SELF_TEST_CASES, SelfTestCase, SelfTestOutcome,
@@ -52,6 +57,7 @@ __all__ = [
     "Checker", "CheckReport", "CheckFailure", "Violation",
     "check_events",
     "run_differential", "DifferentialReport", "RunObservation",
+    "run_restore_differential", "RestoreReport",
     "ACCURACY_TOLERANCE_DB", "DEFAULT_APPS", "DEFAULT_EXECUTORS",
     "run_self_test", "SELF_TEST_CASES", "SelfTestCase",
     "SelfTestOutcome", "SelfTestReport",

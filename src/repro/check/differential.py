@@ -39,6 +39,7 @@ from ..core.tracing import InMemorySink
 from .invariants import Checker, CheckReport
 
 __all__ = ["RunObservation", "DifferentialReport", "run_differential",
+           "RestoreReport", "run_restore_differential",
            "DEFAULT_EXECUTORS", "DEFAULT_APPS", "ACCURACY_TOLERANCE_DB"]
 
 DEFAULT_EXECUTORS = ("simulated", "threaded", "process")
@@ -377,3 +378,251 @@ def run_differential(app: str = "2dconv", size: int = 24, seed: int = 0,
     return DifferentialReport(app=app, size=size, seed=seed, ok=ok,
                               observations=observations,
                               mismatches=mismatches, serve=serve_leg)
+
+
+# ---------------------------------------------------------------------------
+# Restore differential (repro.ckpt): interrupt on A, continue on B
+
+
+@dataclass
+class RestoreReport:
+    """Cross-executor checkpoint/restore conformance for one app.
+
+    Each leg interrupts a fresh run on executor A mid-flight, writes a
+    checkpoint, restores it onto executor B, runs the continuation to
+    completion under an invariant checker, and requires the logical run
+    (prefix + continuation) to be indistinguishable from one that was
+    never interrupted: bit-exact final output, exactly one final
+    version, a gap-free version ladder, source-buffer version counts
+    equal to the uninterrupted run's, and zero invariant violations.
+    """
+
+    app: str
+    size: int
+    seed: int
+    ok: bool
+    legs: list[dict[str, Any]]
+    mismatches: list[dict[str, Any]]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "report": "restore-differential",
+            "app": self.app, "size": self.size, "seed": self.seed,
+            "ok": self.ok, "legs": list(self.legs),
+            "mismatches": list(self.mismatches),
+        }
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        pairs = ", ".join(f"{l['src']}>{l['dst']}" for l in self.legs)
+        return (f"{self.app}: {verdict} across [{pairs}]; "
+                f"{len(self.mismatches)} mismatch(es)")
+
+
+def _interrupt_on(spec: Any, image: np.ndarray, executor: str,
+                  path: str, timeout_s: float,
+                  min_versions: int = 2) -> None:
+    """Run a fresh build on ``executor``, checkpoint it mid-run.
+
+    The simulated leg interrupts deterministically via a stop
+    condition's ``checkpoint_at_stop``; the wall-clock legs launch,
+    poll the terminal buffer for signs of progress, and checkpoint the
+    live handle.  A fast run may complete before the checkpoint lands —
+    that is a legal capture too (the restore then merely replays a
+    finished run), so no retry is needed.
+    """
+    from ..core.controller import VersionCountStop
+
+    automaton = spec.build(image)
+    if executor == "simulated":
+        automaton.run_simulated(schedule=spec.schedule,
+                                stop=VersionCountStop(min_versions),
+                                checkpoint_at_stop=path)
+        return
+    if executor == "threaded":
+        handle = automaton.launch_threaded()
+    elif executor == "process":
+        handle = automaton.launch_processes()
+    else:
+        raise ValueError(f"unknown executor {executor!r}; expected one "
+                         f"of {DEFAULT_EXECUTORS}")
+    buffer = automaton.graph.buffers[automaton.terminal_buffer_name]
+    deadline = _time.monotonic() + timeout_s
+    while buffer.version < min_versions \
+            and _time.monotonic() < deadline:
+        _time.sleep(0.002)
+    handle.checkpoint(path)
+    handle.request_stop()
+    handle.result()
+
+
+def _observe_restore(spec: Any, image: np.ndarray, src: str, dst: str,
+                     precise: Any, reference: Any,
+                     ref_source_counts: dict[str, int], path: str,
+                     timeout_s: float, tolerance_db: float | None,
+                     lease_k: int = 8) -> dict[str, Any]:
+    """One leg: checkpoint on ``src``, continue on ``dst``, verify."""
+    from ..ckpt import read_header
+    from ..core.automaton import AnytimeAutomaton
+
+    problems: list[str] = []
+    t0 = _time.perf_counter()
+    _interrupt_on(spec, image, src, path, timeout_s)
+    header = read_header(path)
+    if header.get("executor") != src:
+        problems.append(
+            f"checkpoint header names executor "
+            f"{header.get('executor')!r}, expected {src!r}")
+    restored = AnytimeAutomaton.restore(
+        path, builder=lambda: spec.build(image))
+    terminal = restored.terminal_buffer_name
+    checker = Checker.for_graph(
+        restored.graph, hash_values=(dst != "process"),
+        strict_order=(dst == "simulated"),
+        tolerances={terminal: tolerance_db})
+    checker.seed_resumed(restored.graph)
+    kwargs: dict[str, Any] = dict(
+        trace=checker, trace_metric=spec.metric,
+        trace_reference=reference, lease_k=lease_k)
+    if dst == "simulated":
+        result = restored.run_simulated(schedule=spec.schedule,
+                                        **kwargs)
+    elif dst == "threaded":
+        result = restored.run_threaded(timeout_s=timeout_s, **kwargs)
+    elif dst == "process":
+        result = restored.run_processes(timeout_s=timeout_s, **kwargs)
+    else:
+        raise ValueError(f"unknown executor {dst!r}; expected one "
+                         f"of {DEFAULT_EXECUTORS}")
+    checker.close()
+    wall = _time.perf_counter() - t0
+
+    if not result.completed:
+        problems.append(
+            f"continuation did not complete "
+            f"(errors: {[f'{n}: {e!r}' for n, e in result.errors]})")
+    final_rec = result.timeline.final_record(terminal)
+    if final_rec is None:
+        problems.append("continuation produced no final version")
+    elif final_rec.value is not None \
+            and not _values_equal(final_rec.value, precise):
+        problems.append("final output is not bit-exact against the "
+                        "precise evaluation")
+    if not _values_equal(result.final_values.get(terminal), precise):
+        problems.append("final buffer value is not bit-exact against "
+                        "the precise evaluation")
+    counts: dict[str, int] = {}
+    finals: dict[str, int] = {}
+    for r in result.timeline.records:
+        counts[r.buffer] = counts.get(r.buffer, 0) + 1
+        if r.final:
+            finals[r.buffer] = finals.get(r.buffer, 0) + 1
+    if finals.get(terminal, 0) != 1:
+        problems.append(
+            f"terminal buffer carries {finals.get(terminal, 0)} final "
+            f"version(s) across prefix + continuation (expected 1)")
+    # source ladders are structural — the logical (prefix +
+    # continuation) ladder must match the uninterrupted run exactly
+    for buffer, expected in ref_source_counts.items():
+        got = counts.get(buffer, 0)
+        if got != expected:
+            problems.append(
+                f"source buffer {buffer!r} published {got} versions "
+                f"across prefix + continuation; uninterrupted run "
+                f"published {expected}")
+    versions = [r.version for r in result.timeline.for_buffer(terminal)]
+    if versions != sorted(versions):
+        problems.append(
+            f"terminal ladder is not monotone across the checkpoint "
+            f"seam: {versions}")
+    if not checker.ok:
+        problems.append(
+            f"{len(checker.violations)} invariant violation(s): "
+            + "; ".join(v.describe() for v in checker.violations[:5]))
+    return {
+        "src": src, "dst": dst, "ok": not problems,
+        "wall_s": wall, "live_at_capture":
+            sorted(header.get("summary", {}).get("live_stages", [])),
+        "problems": problems,
+    }
+
+
+def run_restore_differential(app: str = "2dconv", size: int = 48,
+                             seed: int = 0,
+                             pairs: list[tuple[str, str]] | None = None,
+                             workdir: str | None = None,
+                             timeout_s: float = 120.0,
+                             tolerance_db: float | None = "default",
+                             progress: Callable[[str], None]
+                             | None = None,
+                             lease_k: int = 8) -> RestoreReport:
+    """Checkpoint/restore conformance across executor pairs.
+
+    ``pairs`` defaults to every ordered (src, dst) combination of the
+    three executors — the six cross-executor migrations plus the three
+    same-executor resumes.  Checkpoints are written under ``workdir``
+    (a temp directory when None) and left in place on failure so CI can
+    attach them as artifacts.
+    """
+    import os
+    import tempfile
+
+    spec = get_app(app)
+    image = spec.make_input(size, seed)
+    reference = (spec.reference(image)
+                 if spec.reference_kind != "input" else image)
+    precise = spec.build(image).precise_output()
+    if tolerance_db == "default":
+        tolerance_db = ACCURACY_TOLERANCE_DB.get(app)
+    if pairs is None:
+        pairs = [(a, b) for a in DEFAULT_EXECUTORS
+                 for b in DEFAULT_EXECUTORS]
+    # uninterrupted structural reference: source-buffer version counts
+    # (identical on every executor, so one deterministic run suffices)
+    baseline = spec.build(image)
+    base_result = baseline.run_simulated(schedule=spec.schedule)
+    source_buffers = {s.output.name
+                      for s in baseline.graph.source_stages()}
+    ref_source_counts: dict[str, int] = {b: 0 for b in source_buffers}
+    for r in base_result.timeline.records:
+        if r.buffer in source_buffers:
+            ref_source_counts[r.buffer] += 1
+
+    own_workdir = workdir is None
+    if own_workdir:
+        workdir = tempfile.mkdtemp(prefix=f"repro-ckpt-{app}-")
+    else:
+        os.makedirs(workdir, exist_ok=True)
+    legs: list[dict[str, Any]] = []
+    mismatches: list[dict[str, Any]] = []
+    for src, dst in pairs:
+        if progress:
+            progress(f"  {app}: checkpoint on {src}, restore on "
+                     f"{dst} ...")
+        path = os.path.join(workdir, f"{app}-{src}-to-{dst}.rck")
+        leg = _observe_restore(spec, image, src, dst, precise,
+                               reference, ref_source_counts, path,
+                               timeout_s, tolerance_db,
+                               lease_k=lease_k)
+        legs.append(leg)
+        if leg["ok"]:
+            if own_workdir:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        else:
+            leg["checkpoint"] = path
+            mismatches.append({
+                "kind": "restore", "src": src, "dst": dst,
+                "detail": "; ".join(leg["problems"]),
+                "checkpoint": path,
+            })
+    if own_workdir and not mismatches:
+        try:
+            os.rmdir(workdir)
+        except OSError:
+            pass
+    return RestoreReport(app=app, size=size, seed=seed,
+                         ok=not mismatches, legs=legs,
+                         mismatches=mismatches)

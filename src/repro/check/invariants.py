@@ -240,6 +240,36 @@ class Checker:
                         if hash_values else None)
         return cls(owners=owners, hash_buffers=hash_buffers, **kwargs)
 
+    def seed_resumed(self, graph: Any) -> None:
+        """Prime the checker with a restored run's starting state.
+
+        A run resumed from a checkpoint (:mod:`repro.ckpt`) starts its
+        trace mid-stream: buffers already hold versions and channels may
+        carry a queued backlog whose emits happened before the
+        interruption.  Without seeding, the first continuation write
+        would evade the +1 version-order check (first-observation is
+        accepted at any version) and draining the restored backlog
+        would trip ``channel-causality`` at close.  Call this after
+        :meth:`~repro.core.automaton.AnytimeAutomaton.restore` and
+        before launching the continuation.
+        """
+        for name, buffer in graph.buffers.items():
+            snap = buffer.snapshot()
+            if snap.version == 0:
+                continue
+            buf = self._buffers.setdefault(name, _BufState())
+            buf.last_version = snap.version
+            if snap.final and buf.final_version is None:
+                buf.final_version = snap.version
+            if snap.sealed and buf.seal_version is None:
+                buf.seal_version = snap.version
+                buf.seal_events = 1
+        for name, channel in graph.channels.items():
+            chan = self._channels.setdefault(name, _ChanState())
+            chan.emitted = channel.emitted
+            chan.received = channel.received
+            chan.closed = channel.closed
+
     # -- TraceSink protocol ----------------------------------------------
 
     def emit(self, event: TraceEvent) -> None:

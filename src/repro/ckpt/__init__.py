@@ -1,0 +1,34 @@
+"""repro.ckpt — checkpoint, restore, and cross-executor migration.
+
+A live anytime run can be quiesced at an inter-command boundary,
+serialized to a self-describing on-disk checkpoint, and restored on
+*any* executor — simulated, threaded, or process — with bit-exact
+continuation of its output ladder.  This is the anytime model's
+interruptibility guarantee made durable: the output buffer always holds
+a valid approximation, so a run can also always be *moved*.
+
+Entry points:
+
+* ``RunHandle.checkpoint(path)`` on a launched threaded or process run
+  (see :mod:`repro.core.executor` / :mod:`repro.core.procexec`);
+* ``checkpoint_at_stop=path`` on the simulated executor;
+* ``AnytimeAutomaton.restore(path)`` to rebuild an automaton from a
+  checkpoint and ``launch_*``/``run_*`` it on any backend;
+* ``repro ckpt inspect`` / ``repro check --restore`` on the CLI.
+"""
+
+from .format import (CheckpointError, FORMAT_VERSION, MAGIC,
+                     load_checkpoint, read_header, write_checkpoint)
+from .state import (ResumeInfo, STATUS_COMPLETED, STATUS_DEGRADED,
+                    STATUS_FAILED, STATUS_LIVE, apply_to_graph,
+                    assemble_payload, capture_stop, restore_stop,
+                    save_checkpoint)
+
+__all__ = [
+    "CheckpointError", "FORMAT_VERSION", "MAGIC",
+    "load_checkpoint", "read_header", "write_checkpoint",
+    "ResumeInfo", "assemble_payload", "apply_to_graph",
+    "capture_stop", "restore_stop", "save_checkpoint",
+    "STATUS_LIVE", "STATUS_COMPLETED", "STATUS_DEGRADED",
+    "STATUS_FAILED",
+]

@@ -1,0 +1,297 @@
+"""Capture and re-application of run state (repro.ckpt).
+
+The executors own quiescing — stopping the world at an inter-command
+boundary — and then hand this module the *authoritative* state: buffer
+snapshots, channel queues, per-stage cursors (``Stage.capture_state``),
+stage reports, cumulative energy and stop-condition progress.  This
+module assembles those pieces into the checkpoint payload and, on the
+restore side, re-applies them to a freshly rebuilt graph of the same
+shape.
+
+What a checkpoint deliberately does **not** carry:
+
+* Executor identity — a checkpoint captured on the process executor
+  restores onto the simulated, threaded, or process backend (the
+  command protocol is the portability boundary).
+* Fault-injector counters — an injector is a test harness bound to one
+  run; the resumed run takes a fresh one (or none).
+* In-flight ``Compute`` work — a stage interrupted mid-command re-runs
+  that command, so up to one compute per stage may be double-charged
+  for energy.  Values and versions are unaffected (commands are pure
+  and writes idempotent under the cursor protocol).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from ..core.controller import (AccuracyTarget, AnyOf, FailureBudget,
+                               StopCondition, VersionCountStop)
+from ..core.faults import StageReport
+from ..core.graph import AutomatonGraph
+from ..core.recording import Timeline, WriteRecord
+from .format import CheckpointError, write_checkpoint
+
+__all__ = ["ResumeInfo", "assemble_payload", "apply_to_graph",
+           "capture_stop", "restore_stop", "save_checkpoint",
+           "STATUS_LIVE", "STATUS_COMPLETED", "STATUS_DEGRADED",
+           "STATUS_FAILED"]
+
+#: stage status values in a checkpoint: a *live* stage carries a cursor
+#: and resumes; the terminal ones are recorded so the resumed run skips
+#: relaunching the stage and reports it faithfully.
+STATUS_LIVE = "live"
+STATUS_COMPLETED = "completed"
+STATUS_DEGRADED = "degraded"
+STATUS_FAILED = "failed"
+
+_TERMINAL = (STATUS_COMPLETED, STATUS_DEGRADED, STATUS_FAILED)
+
+
+# ---------------------------------------------------------------------------
+# Stop-condition progress
+
+
+def capture_stop(stop: StopCondition | None) -> dict[str, Any] | None:
+    """Progress counters of a stop condition, type-dispatched.
+
+    Stateless conditions (deadline, energy budget, manual) need nothing:
+    energy carries over via the checkpoint's energy field and deadlines
+    are per-segment wall budgets.  Stateful ones record their counters
+    so e.g. a ``VersionCountStop(12)`` interrupted after 7 versions
+    fires after 5 more on the resumed run, not 12.
+    """
+    if stop is None:
+        return None
+    if isinstance(stop, AnyOf):
+        return {"kind": "any_of",
+                "parts": [capture_stop(c) for c in stop.conditions]}
+    if isinstance(stop, VersionCountStop):
+        return {"kind": "version_count", "seen": stop._seen}
+    if isinstance(stop, AccuracyTarget):
+        return {"kind": "accuracy", "last_score": stop.last_score}
+    if isinstance(stop, FailureBudget):
+        return {"kind": "failure_budget", "seen": stop.failures}
+    return {"kind": "stateless"}
+
+
+def restore_stop(stop: StopCondition | None,
+                 data: dict[str, Any] | None) -> None:
+    """Re-apply captured progress onto a freshly built stop condition.
+
+    Tolerant of shape mismatch — the resuming caller may supply a
+    different (or no) stop condition; only matching kinds are seeded.
+    """
+    if stop is None or data is None:
+        return
+    kind = data.get("kind")
+    if isinstance(stop, AnyOf) and kind == "any_of":
+        for cond, part in zip(stop.conditions, data.get("parts") or ()):
+            restore_stop(cond, part)
+    elif isinstance(stop, VersionCountStop) and kind == "version_count":
+        stop._seen = int(data.get("seen", 0))
+    elif isinstance(stop, AccuracyTarget) and kind == "accuracy":
+        stop.last_score = data.get("last_score")
+    elif isinstance(stop, FailureBudget) and kind == "failure_budget":
+        with stop._lock:
+            stop._seen = int(data.get("seen", 0))
+
+
+# ---------------------------------------------------------------------------
+# Payload assembly (executor -> checkpoint)
+
+
+def assemble_payload(graph: AutomatonGraph, *, name: str, executor: str,
+                     stages: dict[str, dict[str, Any]],
+                     reports: dict[str, StageReport],
+                     energy: float,
+                     timeline: Timeline,
+                     duration: float,
+                     stop: StopCondition | None = None,
+                     buffer_values: dict[str, Any] | None = None,
+                     channel_requeue: dict[str, list[Any]] | None = None,
+                     ) -> dict[str, Any]:
+    """Build the checkpoint payload from executor-authoritative state.
+
+    ``stages`` maps stage name to ``{"status": ..., "cursor": ...}``
+    (cursor None for terminal stages).  ``buffer_values`` overrides the
+    captured value per buffer — the process executor passes decoded
+    payloads here because its parent-side buffers hold shared-memory
+    descriptors, not arrays.  ``channel_requeue`` prepends updates that
+    were dequeued from a channel but never delivered to the consumer
+    (a threaded-gate park can strand one in the executor's send slot):
+    they are put back at the head of the *checkpointed* queue, with the
+    received cursor rolled back to match, so no element of a
+    synchronous stream is lost.
+    """
+    buffers: dict[str, Any] = {}
+    for bname, buffer in graph.buffers.items():
+        snap = buffer.snapshot()
+        if snap.version == 0:
+            continue
+        value = snap.value
+        if buffer_values and bname in buffer_values:
+            value = buffer_values[bname]
+        buffers[bname] = (value, snap.version, snap.final, snap.sealed)
+    channels: dict[str, Any] = {}
+    for cname, channel in graph.channels.items():
+        with channel._cond:
+            queue = list(channel._queue)
+            emitted = channel.emitted
+            received = channel.received
+            closed = channel._closed
+            aborted = channel._aborted
+        for update in reversed((channel_requeue or {}).get(cname, ())):
+            queue.insert(0, update)
+            received -= 1
+        channels[cname] = (queue, emitted, received, closed, aborted)
+    known = {s.name for s in graph.stages}
+    missing = known - set(stages)
+    if missing:
+        raise CheckpointError(
+            f"capture is missing stage cursors for {sorted(missing)}")
+    prefix = [(r.time, r.buffer, r.version, r.final, r.energy)
+              for r in timeline.records]
+    return {
+        "name": name,
+        "executor": executor,
+        "buffers": buffers,
+        "channels": channels,
+        "stages": {n: dict(st) for n, st in stages.items()},
+        "reports": {n: asdict(r) for n, r in reports.items()},
+        "energy": float(energy),
+        "duration": float(duration),
+        "stop": capture_stop(stop),
+        "prefix": prefix,
+    }
+
+
+def save_checkpoint(path: str, payload: dict[str, Any],
+                    app_spec: dict[str, Any] | None = None) -> str:
+    """Write a payload with a summary header; returns the digest."""
+    live = [n for n, st in payload["stages"].items()
+            if st.get("status") == STATUS_LIVE]
+    header = {
+        "name": payload.get("name"),
+        "executor": payload.get("executor"),
+        "app_spec": app_spec,
+        "wall_time": time.time(),
+        "summary": {
+            "energy": payload.get("energy"),
+            "duration": payload.get("duration"),
+            "live_stages": sorted(live),
+            "buffer_versions": {
+                n: v for n, (_, v, _f, _s)
+                in payload["buffers"].items()},
+        },
+    }
+    return write_checkpoint(path, payload, header)
+
+
+# ---------------------------------------------------------------------------
+# Restore (checkpoint -> fresh graph)
+
+
+@dataclass
+class ResumeInfo:
+    """What an executor needs beyond the graph state to continue a run.
+
+    ``finished`` maps stage name to its terminal status — those stages
+    are not relaunched (their buffers are already final or sealed).
+    ``prefix`` is the interrupted run's timeline; executors prepend it
+    so the resumed result's ladder spans the whole logical run.
+    """
+
+    finished: dict[str, str] = field(default_factory=dict)
+    energy: float = 0.0
+    duration: float = 0.0
+    reports: dict[str, StageReport] = field(default_factory=dict)
+    stop: dict[str, Any] | None = None
+    prefix: Timeline = field(default_factory=Timeline)
+    executor: str = ""
+
+    def seed_reports(self, names: list[str]) -> dict[str, StageReport]:
+        """Reports for a resumed run: checkpointed counters where
+        available, fresh ones elsewhere."""
+        out = {}
+        for n in names:
+            prior = self.reports.get(n)
+            out[n] = (StageReport(**{**asdict(prior)})
+                      if prior is not None else StageReport(stage=n))
+        return out
+
+
+def apply_to_graph(graph: AutomatonGraph,
+                   payload: dict[str, Any]) -> ResumeInfo:
+    """Re-apply a checkpoint payload onto a freshly built graph.
+
+    The graph must have the same shape (stage, buffer, channel names)
+    as the captured one; mismatches raise :class:`CheckpointError`.
+    Buffers get their version ladders' tips, channels their queued
+    updates and cursors, live stages their resume cursors.
+    """
+    buffers = payload.get("buffers") or {}
+    channels = payload.get("channels") or {}
+    stages = payload.get("stages") or {}
+    by_name = {s.name: s for s in graph.stages}
+    unknown = set(stages) - set(by_name)
+    if unknown:
+        raise CheckpointError(
+            f"checkpoint names stages absent from the graph: "
+            f"{sorted(unknown)}")
+    missing = set(by_name) - set(stages)
+    if missing:
+        raise CheckpointError(
+            f"checkpoint lacks state for stages {sorted(missing)}")
+    for bname, state in buffers.items():
+        buffer = graph.buffers.get(bname)
+        if buffer is None:
+            raise CheckpointError(
+                f"checkpoint names buffer {bname!r} absent from the "
+                f"graph")
+        value, version, final, sealed = state
+        buffer.restore(value, version, final, sealed)
+    for cname, state in channels.items():
+        channel = graph.channels.get(cname)
+        if channel is None:
+            raise CheckpointError(
+                f"checkpoint names channel {cname!r} absent from the "
+                f"graph")
+        queue, emitted, received, closed, aborted = state
+        try:
+            channel.restore(list(queue), emitted, received, closed,
+                            aborted)
+        except ValueError as exc:
+            raise CheckpointError(str(exc)) from exc
+    info = ResumeInfo(
+        energy=float(payload.get("energy", 0.0)),
+        duration=float(payload.get("duration", 0.0)),
+        stop=payload.get("stop"),
+        executor=str(payload.get("executor", "")))
+    for sname, st in stages.items():
+        status = st.get("status")
+        if status in _TERMINAL:
+            info.finished[sname] = status
+        elif status == STATUS_LIVE:
+            cursor = st.get("cursor")
+            if cursor is not None:
+                by_name[sname].restore_state(cursor)
+        else:
+            raise CheckpointError(
+                f"stage {sname!r} has unknown checkpoint status "
+                f"{status!r}")
+    for sname, rep in (payload.get("reports") or {}).items():
+        try:
+            info.reports[sname] = StageReport(**rep)
+        except TypeError as exc:
+            raise CheckpointError(
+                f"stage report for {sname!r} does not match this "
+                f"build: {exc}") from exc
+    for rec in payload.get("prefix") or ():
+        t, bname, version, final, energy = rec
+        info.prefix.add(WriteRecord(time=t, buffer=bname,
+                                    version=version, final=final,
+                                    energy=energy))
+    return info

@@ -25,8 +25,14 @@ Commands
 ``check``
     Conformance checking (:mod:`repro.check`): run the differential
     harness across all executors (and under server preemption), the
-    checker self-test (``--self-test``), the property-based automaton
-    fuzzer (``--fuzz``), or replay a saved fuzz failure (``--replay``).
+    restore-differential harness (``--restore``: checkpoint on one
+    executor, restore on another, require a bit-exact continuation),
+    the checker self-test (``--self-test``), the property-based
+    automaton fuzzer (``--fuzz``), or replay a saved fuzz failure
+    (``--replay``).
+``ckpt inspect <path>``
+    Print a checkpoint's self-describing header (:mod:`repro.ckpt`)
+    without unpickling its payload.
 """
 
 from __future__ import annotations
@@ -287,6 +293,35 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--replay", type=str, default=None,
                        metavar="PATH",
                        help="replay a saved fuzz failure seed file")
+    check.add_argument("--restore", action="store_true",
+                       help="restore-differential mode: interrupt a "
+                            "run, checkpoint it, restore it on every "
+                            "other executor, and require the "
+                            "continuation to be bit-exact")
+    check.add_argument("--pairs", type=str, default=None,
+                       metavar="SRC:DST,...",
+                       help="restore mode: comma-separated "
+                            "source:destination executor pairs "
+                            "(default: all ordered pairs)")
+    check.add_argument("--workdir", type=str, default=None,
+                       metavar="DIR",
+                       help="restore mode: directory for checkpoint "
+                            "files; failing legs leave their .rck "
+                            "files here for post-mortem (default: a "
+                            "temporary directory)")
+    check.add_argument("--lease-k", type=int, default=8,
+                       help="restore mode: command lease size for the "
+                            "process-executor legs (default 8)")
+
+    ckpt = sub.add_parser(
+        "ckpt", help="checkpoint utilities (inspect saved runs)")
+    ckpt_sub = ckpt.add_subparsers(dest="ckpt_command", required=True)
+    inspect = ckpt_sub.add_parser(
+        "inspect", help="print a checkpoint's header without "
+                        "unpickling its payload")
+    inspect.add_argument("path", help="checkpoint file (.rck)")
+    inspect.add_argument("--json", action="store_true",
+                         help="emit the raw header as JSON")
     return parser
 
 
@@ -854,8 +889,100 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ckpt(args: argparse.Namespace) -> int:
+    import json
+
+    from .ckpt import CheckpointError, read_header
+
+    try:
+        header = read_header(args.path)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(header, indent=2, sort_keys=True))
+        return 0
+    summary = header.get("summary") or {}
+    app_spec = header.get("app_spec") or {}
+    print(f"checkpoint {args.path}")
+    print(f"  run        {header.get('name', '?')}")
+    print(f"  executor   {header.get('executor', '?')}")
+    if app_spec:
+        spec_bits = ", ".join(f"{k}={v}" for k, v in
+                              sorted(app_spec.items()))
+        print(f"  app        {spec_bits}")
+    if header.get("wall_time"):
+        print(f"  captured   {header['wall_time']}")
+    if summary:
+        print(f"  duration   {summary.get('duration', 0.0):.6g}")
+        print(f"  energy     {summary.get('energy', 0.0):.6g}")
+        live = summary.get("live_stages") or []
+        print(f"  live       {', '.join(live) if live else '(none)'}")
+        versions = summary.get("buffer_versions") or {}
+        for buffer, version in sorted(versions.items()):
+            print(f"  buffer     {buffer} @ v{version}")
+    print(f"  payload    {header.get('payload_len', '?')} bytes, "
+          f"sha256 {header.get('payload_sha256', '?')[:16]}...")
+    return 0
+
+
+def _cmd_check_restore(args: argparse.Namespace) -> int:
+    import json
+
+    from .check import run_restore_differential
+
+    pairs = None
+    if args.pairs:
+        pairs = []
+        for token in args.pairs.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            sep = ":" if ":" in token else ">"
+            src, _, dst = token.partition(sep)
+            known = ("simulated", "threaded", "process")
+            if src not in known or dst not in known:
+                print(f"error: bad pair {token!r}; want SRC:DST with "
+                      f"executors from {known}", file=sys.stderr)
+                return 2
+            pairs.append((src, dst))
+
+    apps = args.apps or ["2dconv", "kmeans", "dwt53"]
+    unknown = [a for a in apps if a not in APP_REGISTRY]
+    if unknown:
+        print(f"error: unknown app(s) {unknown}; known: "
+              f"{sorted(APP_REGISTRY)}", file=sys.stderr)
+        return 2
+    reports = []
+    for app in apps:
+        print(f"{app}: restore-differential (checkpoint on one "
+              f"executor, continue on another)")
+        report = run_restore_differential(
+            app=app, size=args.size, seed=args.seed, pairs=pairs,
+            workdir=args.workdir, timeout_s=args.timeout_s,
+            lease_k=args.lease_k, progress=print)
+        reports.append(report)
+        print(report.summary())
+        for mismatch in report.mismatches:
+            print(f"    {mismatch['kind']}: {mismatch['detail']}")
+    ok = all(r.ok for r in reports)
+    print(f"\nrestore conformance: {'PASS' if ok else 'FAIL'} "
+          f"({sum(r.ok for r in reports)}/{len(reports)} apps clean)")
+    if args.json:
+        payload = {"report": "restore-conformance", "ok": ok,
+                   "apps": [r.to_dict() for r in reports]}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"report written to {args.json}")
+    return 0 if ok else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     import json
+
+    if args.restore:
+        return _cmd_check_restore(args)
 
     if args.replay is not None:
         from .check.fuzz import replay
@@ -943,6 +1070,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "ckpt":
+        return _cmd_ckpt(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -75,6 +75,63 @@ class AnytimeAutomaton:
                     f"value")
         self._precise_cache: dict[str, Any] | None = None
         self._ran = False
+        #: optional ``{"app": ..., "size": ..., "seed": ...}`` record
+        #: stamped into checkpoint headers so :meth:`restore` can
+        #: rebuild the graph via the app registry without a builder
+        self.app_spec: dict[str, Any] | None = None
+        self._resume_info: Any = None
+
+    # -- checkpoint / restore (repro.ckpt) -------------------------------
+
+    @classmethod
+    def restore(cls, path: str,
+                builder: Callable[[], "AnytimeAutomaton"] | None = None,
+                ) -> "AnytimeAutomaton":
+        """Rebuild an automaton from a checkpoint file.
+
+        The graph itself is not serialized (stages hold closures); it is
+        rebuilt — by ``builder`` when given, else via the app registry
+        from the ``app_spec`` stamped into the checkpoint header — and
+        the checkpointed state is applied on top: buffer ladders,
+        channel queues, per-stage resume cursors, energy, reports and
+        stop-condition progress.  The returned automaton is ready to
+        ``run_*``/``launch_*`` on **any** backend, regardless of which
+        executor took the checkpoint; the continuation's published
+        versions are bit-exact with the uninterrupted run.
+        """
+        from ..ckpt.format import CheckpointError, load_checkpoint
+        from ..ckpt.state import apply_to_graph
+
+        header, payload = load_checkpoint(path)
+        if builder is not None:
+            automaton = builder()
+        else:
+            spec_info = header.get("app_spec")
+            if not spec_info:
+                raise CheckpointError(
+                    f"checkpoint {path!r} carries no app spec; pass "
+                    f"builder= to rebuild its graph")
+            from ..apps.registry import get_app
+
+            app = get_app(str(spec_info["app"]))
+            data = app.make_input(int(spec_info.get("size", 64)),
+                                  int(spec_info.get("seed", 0)))
+            automaton = app.build(data)
+            automaton.app_spec = dict(spec_info)
+        automaton.name = str(payload.get("name", automaton.name))
+        automaton._resume_info = apply_to_graph(automaton.graph,
+                                                payload)
+        return automaton
+
+    @property
+    def resumed(self) -> bool:
+        """True when this automaton was built by :meth:`restore`."""
+        return self._resume_info is not None
+
+    def _bind_executor(self, executor: Any) -> None:
+        """Stamp checkpoint identity onto an executor before launch."""
+        executor.run_name = self.name
+        executor.app_spec = self.app_spec
 
     # -- references ------------------------------------------------------
 
@@ -122,7 +179,8 @@ class AnytimeAutomaton:
                       trace_metric: Callable[[Any, Any], float]
                       | None = None,
                       trace_reference: Any = None,
-                      lease_k: int = 8) -> SimResult:
+                      lease_k: int = 8,
+                      checkpoint_at_stop: str | None = None) -> SimResult:
         """Deterministic virtual-time execution (the evaluation path).
 
         ``dynamic_shares=True`` turns the policy's shares into weights
@@ -144,7 +202,10 @@ class AnytimeAutomaton:
                                      strict=strict, trace=trace,
                                      trace_metric=trace_metric,
                                      trace_reference=trace_reference,
-                                     lease_k=lease_k)
+                                     lease_k=lease_k,
+                                     resume=self._resume_info,
+                                     checkpoint_at_stop=checkpoint_at_stop)
+        self._bind_executor(executor)
         return executor.run()
 
     def run_threaded(self, stop: StopCondition | None = None,
@@ -172,7 +233,9 @@ class AnytimeAutomaton:
                                     strict=strict, trace=trace,
                                     trace_metric=trace_metric,
                                     trace_reference=trace_reference,
-                                    lease_k=lease_k)
+                                    lease_k=lease_k,
+                                    resume=self._resume_info)
+        self._bind_executor(executor)
         return executor.run(timeout_s=timeout_s)
 
     def run_processes(self, stop: StopCondition | None = None,
@@ -206,7 +269,9 @@ class AnytimeAutomaton:
                                    strict=strict, trace=trace,
                                    trace_metric=trace_metric,
                                    trace_reference=trace_reference,
-                                   grace_s=grace_s, lease_k=lease_k)
+                                   grace_s=grace_s, lease_k=lease_k,
+                                   resume=self._resume_info)
+        self._bind_executor(executor)
         return executor.run(timeout_s=timeout_s)
 
     def launch_threaded(self, stop: StopCondition | None = None,
@@ -234,7 +299,9 @@ class AnytimeAutomaton:
                                     strict=strict, trace=trace,
                                     trace_metric=trace_metric,
                                     trace_reference=trace_reference,
-                                    lease_k=lease_k)
+                                    lease_k=lease_k,
+                                    resume=self._resume_info)
+        self._bind_executor(executor)
         return executor.launch()
 
     def launch_processes(self, stop: StopCondition | None = None,
@@ -260,7 +327,9 @@ class AnytimeAutomaton:
                                    strict=strict, trace=trace,
                                    trace_metric=trace_metric,
                                    trace_reference=trace_reference,
-                                   grace_s=grace_s, lease_k=lease_k)
+                                   grace_s=grace_s, lease_k=lease_k,
+                                   resume=self._resume_info)
+        self._bind_executor(executor)
         return executor.launch()
 
     def _claim_run(self) -> None:

@@ -128,6 +128,25 @@ class RunHandle:
         paused run so its stages can observe the halt and wind down."""
         self.executor.request_stop()
 
+    # -- checkpoint ------------------------------------------------------
+
+    def checkpoint(self, path: str) -> str:
+        """Quiesce the run and serialize it to ``path`` (repro.ckpt).
+
+        Pauses the run at its inter-command boundary, waits until every
+        live stage has parked, captures the authoritative state —
+        buffer ladders, channel queues, per-stage cursors, reports,
+        energy, stop progress — and writes a digest-stamped checkpoint
+        file.  The run then continues (its pause state is restored), so
+        a checkpoint is an observation, not an interruption: take one
+        and keep running, or take one and :meth:`request_stop`.
+
+        Returns the payload digest.  Must precede any stop request (a
+        stopping run seals its buffers, which is unrecoverable);
+        raises :class:`repro.ckpt.CheckpointError` otherwise.
+        """
+        return self.executor._checkpoint(path)
+
     # -- observation -----------------------------------------------------
 
     @property
@@ -206,7 +225,8 @@ class ThreadedExecutor:
                  trace: TraceSink | None = None,
                  trace_metric: Any = None,
                  trace_reference: Any = None,
-                 lease_k: int = 8) -> None:
+                 lease_k: int = 8,
+                 resume: Any = None) -> None:
         if lease_k < 1:
             raise ValueError(f"lease_k must be >= 1, got {lease_k}")
         self.graph = graph
@@ -234,6 +254,7 @@ class ThreadedExecutor:
         self._gate = threading.Event()
         self._gate.set()
         self._threads: list[threading.Thread] | None = None
+        self._stage_threads: dict[str, threading.Thread] = {}
         self._ended_at: float | None = None
         self._final_lock = threading.Lock()
         self._final_result: ThreadedResult | None = None
@@ -242,6 +263,23 @@ class ThreadedExecutor:
         self._errors: list[tuple[str, BaseException]] = []
         self._reports = {s.name: StageReport(stage=s.name)
                          for s in graph.stages}
+        # Checkpoint support (repro.ckpt): where each stage thread is
+        # parked or blocked (the quiesce detector), the automaton name
+        # and app spec stamped into checkpoint headers, and — when this
+        # run *resumes* a checkpoint — the ResumeInfo seeding energy,
+        # reports, timeline offset and the set of stages not relaunched.
+        self._park_status: dict[str, tuple] = {}
+        self.run_name = "automaton"
+        self.app_spec: dict[str, Any] | None = None
+        self._resume = resume
+        self._t_offset = 0.0
+        if resume is not None:
+            self._energy = float(resume.energy)
+            self._t_offset = float(resume.duration)
+            self._reports = resume.seed_reports(
+                [s.name for s in graph.stages])
+            from ..ckpt.state import restore_stop
+            restore_stop(self.stop, resume.stop)
         # One wake-up event per stage, subscribed to every input buffer:
         # a write to *any* input wakes the stage promptly (no rotation,
         # no busy-polling a single input).
@@ -302,7 +340,9 @@ class ThreadedExecutor:
     # -- tracing ---------------------------------------------------------
 
     def _now(self) -> float:
-        return _time.perf_counter() - self._t0
+        # resumed runs continue the interrupted run's clock, so the
+        # combined timeline stays monotone across the checkpoint
+        return _time.perf_counter() - self._t0 + self._t_offset
 
     def _trace(self, kind: str, stage: str | None = None,
                target: str | None = None, ts: float | None = None,
@@ -433,18 +473,29 @@ class ThreadedExecutor:
         ("halted"), or its inputs are exhausted (``_EXHAUSTED``).
         Stage exceptions propagate to :meth:`_run_stage`."""
         send_value: Any = None
+        # What the pending send_value answers ("wait" | "poll" | "lease"
+        # | "recv" | None): a checkpoint taken while parked here must
+        # know whether dropping it loses information.  Only a dequeued
+        # channel update does — the checkpointer puts it back at the
+        # head of the checkpointed queue; every other reply is
+        # recomputed deterministically on resume.
+        pending_kind: str | None = None
         report = self._reports[stage.name]
         while not self._halt.is_set():
             if not self._gate.is_set():
                 # paused: park between commands (the preemption point);
                 # the short timeout keeps the halt flag live
+                self._park_status[stage.name] = (
+                    "gate", pending_kind, send_value)
                 self._gate.wait(timeout=_POLL_S)
                 continue
+            self._park_status.pop(stage.name, None)
             try:
                 cmd = gen.send(send_value)
             except StopIteration:
                 return "done"
             send_value = None
+            pending_kind = None
             report.commands += 1
             if isinstance(cmd, Compute):
                 # the work already ran inside the stage; charge its
@@ -462,7 +513,7 @@ class ThreadedExecutor:
                                              writer=stage.name,
                                              transfer=cmd.transfer)
                 watched = stage.output.name in self.watch
-                now = _time.perf_counter() - self._t0
+                now = self._now()
                 self._record(WriteRecord(
                     now, stage.output.name, version, final,
                     self._energy_total(),
@@ -476,6 +527,7 @@ class ThreadedExecutor:
                                 version=version)
             elif isinstance(cmd, WaitInputs):
                 send_value = self._wait_inputs(stage, cmd.seen)
+                pending_kind = "wait"
                 if send_value is None:          # halted while waiting
                     return "halted"
                 if send_value is _EXHAUSTED:
@@ -483,6 +535,7 @@ class ThreadedExecutor:
                     return _EXHAUSTED
             elif isinstance(cmd, PollInputs):
                 send_value = self._poll_inputs(stage, cmd.seen)
+                pending_kind = "poll"
             elif isinstance(cmd, Emit):
                 if not self._emit_update(stage, cmd.update):
                     # Halted before the update could be enqueued: stop
@@ -491,10 +544,12 @@ class ThreadedExecutor:
                     return "halted"
             elif isinstance(cmd, Lease):
                 send_value = max(1, min(cmd.want, self.lease_k))
+                pending_kind = "lease"
             elif isinstance(cmd, CloseChannel):
                 stage.emit_to.close()
             elif isinstance(cmd, Recv):
                 send_value = self._recv(stage)
+                pending_kind = "recv"
                 if send_value is None and self._halt.is_set():
                     return "halted"
             else:
@@ -520,9 +575,11 @@ class ThreadedExecutor:
                 except TimeoutError:
                     if started is None:
                         started = self._now()
+                    self._park_status[stage.name] = ("wait", "emit")
                     continue
             return False
         finally:
+            self._park_status.pop(stage.name, None)
             if started is not None:
                 self._trace_wait(stage.name, started, "emit")
 
@@ -607,11 +664,15 @@ class ThreadedExecutor:
                     return _EXHAUSTED
                 if started is None:
                     started = self._now()
+                # A blocked wait is a quiesce point too: under pause the
+                # producers are parked, so nothing can satisfy it.
+                self._park_status[stage.name] = ("wait", "inputs")
                 # The event is set by a write/seal to any input; the
                 # short timeout keeps the halt flag live.
                 event.wait(timeout=_POLL_S)
             return None
         finally:
+            self._park_status.pop(stage.name, None)
             if started is not None:
                 self._trace_wait(stage.name, started, "inputs")
 
@@ -624,13 +685,128 @@ class ThreadedExecutor:
                 except TimeoutError:
                     if started is None:
                         started = self._now()
+                    self._park_status[stage.name] = ("wait", "recv")
                     continue
                 except ChannelClosed:
                     return CHANNEL_END
             return None
         finally:
+            self._park_status.pop(stage.name, None)
             if started is not None:
                 self._trace_wait(stage.name, started, "recv")
+
+    # -- checkpoint (repro.ckpt) -----------------------------------------
+
+    def _effects(self) -> tuple:
+        """A counter of externally visible progress; stable across two
+        polls (with every live stage parked) means the run is quiesced."""
+        versions = sum(b.version for b in self.graph.buffers.values())
+        chans = sum(c.emitted + c.received
+                    for c in self.graph.channels.values())
+        with self._lock:
+            return (versions, chans, len(self._timeline.records),
+                    self._energy)
+
+    def _settle(self, timeout_s: float = 30.0) -> None:
+        """Wait (with the gate down) until every live stage thread is
+        parked at the gate or blocked in a wait, and nothing moved
+        between two consecutive polls."""
+        from ..ckpt.format import CheckpointError
+
+        deadline = _time.monotonic() + timeout_s
+        prev: tuple | None = None
+        while _time.monotonic() < deadline:
+            live = {n for n, t in self._stage_threads.items()
+                    if t.is_alive()}
+            state = (dict(self._park_status), self._effects())
+            if live <= set(state[0]) and state == prev:
+                return
+            prev = state
+            _time.sleep(_POLL_S)
+        stuck = sorted(
+            n for n, t in self._stage_threads.items()
+            if t.is_alive() and n not in self._park_status)
+        raise CheckpointError(
+            f"run failed to quiesce within {timeout_s}s "
+            f"(unparked stages: {stuck})")
+
+    def _capture_stages(self) -> tuple[dict[str, dict], dict[str, list]]:
+        """Per-stage checkpoint entries + channel requeue map.
+
+        Must run quiesced.  A stage parked with an undelivered channel
+        update in its send slot (dequeued by ``_recv``, never handed to
+        the generator) gets that update put back at the head of the
+        *checkpointed* queue — the live channel is untouched.
+        """
+        from ..ckpt.state import (STATUS_COMPLETED, STATUS_DEGRADED,
+                                  STATUS_FAILED, STATUS_LIVE)
+
+        stages: dict[str, dict] = {}
+        requeue: dict[str, list] = {}
+        for s in self.graph.stages:
+            report = self._reports[s.name]
+            cursor = None
+            thread = self._stage_threads.get(s.name)
+            if thread is not None and thread.is_alive():
+                # still running — stays LIVE even when the degraded
+                # flag is already set (final-after-abort); the flag
+                # rides along in the restored report
+                status = STATUS_LIVE
+                park = self._park_status.get(s.name)
+                if park is not None and park[0] == "gate" \
+                        and park[1] == "recv" \
+                        and isinstance(s, SynchronousStage):
+                    update = park[2]
+                    if update is not None \
+                            and update is not CHANNEL_END:
+                        requeue.setdefault(
+                            s.channel.name, []).append(update)
+                written = s.output.version
+                emitted = (s.emit_to.emitted
+                           if s.emit_to is not None else 0)
+                cursor = s.capture_state(written, emitted)
+            elif report.failed:
+                status = STATUS_FAILED
+            elif report.degraded:
+                status = STATUS_DEGRADED
+            else:
+                status = STATUS_COMPLETED
+            stages[s.name] = {"status": status, "cursor": cursor}
+        return stages, requeue
+
+    def _checkpoint(self, path: str) -> str:
+        """Quiesce, capture, serialize; restores the pause state."""
+        from ..ckpt.format import CheckpointError
+        from ..ckpt.state import assemble_payload, save_checkpoint
+
+        if self._threads is None:
+            raise CheckpointError(
+                "cannot checkpoint: the run was never launched")
+        if self._stop_requested.is_set():
+            raise CheckpointError(
+                "cannot checkpoint a stopping run: shutdown seals "
+                "every buffer (checkpoint before request_stop)")
+        was_paused = self._is_paused()
+        self._set_paused(True)
+        try:
+            self._settle()
+            stages, requeue = self._capture_stages()
+            with self._lock:
+                records = list(self._timeline.records)
+                energy = self._energy
+            if self._resume is not None \
+                    and self._resume.prefix.records:
+                records = self._resume.prefix.records + records
+            payload = assemble_payload(
+                self.graph, name=self.run_name, executor="threaded",
+                stages=stages, reports=self._reports, energy=energy,
+                timeline=Timeline(records), duration=self._now(),
+                stop=self.stop, channel_requeue=requeue)
+            return save_checkpoint(path, payload,
+                                   app_spec=self.app_spec)
+        finally:
+            if not was_paused:
+                self._set_paused(False)
 
     # -- whole-run driver ------------------------------------------------
 
@@ -645,10 +821,17 @@ class ThreadedExecutor:
             raise RuntimeError("executor already launched")
         self._t0 = _time.perf_counter()
         self._install_hooks()
-        self._threads = [
-            threading.Thread(target=self._run_stage, args=(s,),
-                             name=f"stage-{s.name}", daemon=True)
-            for s in self.graph.stages]
+        finished = (self._resume.finished if self._resume is not None
+                    else {})
+        # Stages that were already terminal at checkpoint time are not
+        # relaunched: their buffers are final or sealed (a relaunch
+        # would be rejected by the frozen-buffer rule) and their reports
+        # carry the checkpointed outcome.
+        self._stage_threads = {
+            s.name: threading.Thread(target=self._run_stage, args=(s,),
+                                     name=f"stage-{s.name}", daemon=True)
+            for s in self.graph.stages if s.name not in finished}
+        self._threads = list(self._stage_threads.values())
         for t in self._threads:
             t.start()
         return RunHandle(self)
@@ -659,7 +842,7 @@ class ThreadedExecutor:
             if self._final_result is None:
                 ended = (self._ended_at if self._ended_at is not None
                          else _time.perf_counter())
-                duration = ended - self._t0
+                duration = ended - self._t0 + self._t_offset
                 if self._stop_requested.is_set():
                     self._shutdown_io()
                 completed = (all(r.completed
@@ -667,8 +850,15 @@ class ThreadedExecutor:
                              and not self._stop_requested.is_set())
                 final_values = {b.name: b.snapshot().value
                                 for b in self.graph.buffers.values()}
+                timeline = self._timeline
+                if self._resume is not None \
+                        and self._resume.prefix.records:
+                    # the resumed result's ladder spans the whole
+                    # logical run, checkpoint prefix included
+                    timeline = Timeline(self._resume.prefix.records
+                                        + self._timeline.records)
                 self._final_result = ThreadedResult(
-                    timeline=self._timeline, duration=duration,
+                    timeline=timeline, duration=duration,
                     completed=completed,
                     stopped_early=self._stop_requested.is_set(),
                     final_values=final_values,

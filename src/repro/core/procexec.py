@@ -109,7 +109,10 @@ class _Worker:
         self.writer = SlabWriter(
             stage.output.name, slots, lock,
             on_segment=lambda names: conn.send(("segments", names)))
-        self._version = 0
+        # Resumed runs (repro.ckpt) fork with the output buffer already
+        # holding its checkpointed ladder; version numbering continues
+        # from there (zero on a fresh run).
+        self._version = stage.output.version
         #: write credits from the parent's last wait / sync-write reply:
         #: how many upcoming non-final writes may skip their replies
         self._credits = 0
@@ -129,6 +132,15 @@ class _Worker:
             reply = self.conn.recv()
             if reply[0] == "revoke":
                 # lease revoked mid-request; credits already zero
+                continue
+            if reply[0] == "capture":
+                # checkpoint quiesce (repro.ckpt): the parent asks for
+                # this stage's resume cursor while our request stays
+                # unanswered; reply[1]/reply[2] are the authoritative
+                # write/emit counts it has applied so far
+                self.conn.send(("state",
+                                self.stage.capture_state(reply[1],
+                                                         reply[2])))
                 continue
             # any reply proves the parent consumed every message sent
             # before this request (pipe FIFO) — streamed leased writes
@@ -341,7 +353,8 @@ class ProcessExecutor:
                  trace_metric: Any = None,
                  trace_reference: Any = None,
                  grace_s: float = 5.0,
-                 lease_k: int = 8) -> None:
+                 lease_k: int = 8,
+                 resume: Any = None) -> None:
         if "fork" not in mp.get_all_start_methods():
             raise RuntimeError(
                 "ProcessExecutor requires the 'fork' start method "
@@ -401,6 +414,31 @@ class ProcessExecutor:
         #: control message ("recv" = worker->parent, "send" = reply);
         #: the zero-copy test uses it to prove descriptor-only traffic
         self._message_tap: Callable[[str, str, tuple], None] | None = None
+        # Checkpoint support (repro.ckpt).  A checkpoint request is a
+        # small reactor-side state machine: phase 1 quiesces (worker
+        # requests are diverted unanswered into _qparked), phase 2
+        # round-trips ("capture", ...) to every parked worker for its
+        # cursor, phase 3 writes the file and replays the diverted
+        # requests as if nothing happened.
+        self.run_name = "automaton"
+        self.app_spec: dict[str, Any] | None = None
+        self._resume = resume
+        self._t_offset = 0.0
+        self._ckpt_request: str | None = None
+        self._ckpt_phase = 0
+        self._ckpt_expect: set[str] = set()
+        self._captured: dict[str, dict] = {}
+        self._qparked: list[tuple[_WorkerHandle, tuple]] = []
+        self._ckpt_event: threading.Event | None = None
+        self._ckpt_result: tuple | None = None
+        self._ckpt_revoked = False
+        if resume is not None:
+            self._energy = float(resume.energy)
+            self._t_offset = float(resume.duration)
+            self._reports = resume.seed_reports(
+                [s.name for s in graph.stages])
+            from ..ckpt.state import restore_stop
+            restore_stop(self.stop, resume.stop)
 
     def request_stop(self) -> None:
         """Interrupt the automaton (effective at the next reactor turn)."""
@@ -409,7 +447,8 @@ class ProcessExecutor:
     # -- tracing (mirrors ThreadedExecutor) ------------------------------
 
     def _now(self) -> float:
-        return _time.perf_counter() - self._t0
+        # resumed runs continue the interrupted run's clock (repro.ckpt)
+        return _time.perf_counter() - self._t0 + self._t_offset
 
     def _trace(self, kind: str, stage: str | None = None,
                target: str | None = None, ts: float | None = None,
@@ -527,6 +566,8 @@ class ProcessExecutor:
                 pass
             w.conn = None
         self._parked = [p for p in self._parked if p.worker is not w]
+        self._qparked = [(ww, m) for ww, m in self._qparked
+                         if ww is not w]
 
     def _reply(self, w: _WorkerHandle, msg: tuple) -> None:
         if self._message_tap is not None:
@@ -693,6 +734,25 @@ class ProcessExecutor:
         if self._message_tap is not None:
             self._message_tap("recv", w.stage.name, msg)
         kind = msg[0]
+        if self._ckpt_phase > 0 and not self._halted:
+            # Quiescing for a checkpoint: divert every request that
+            # needs a reply (blocking commands and synchronous writes)
+            # unanswered — the worker stays parked at its command
+            # boundary.  Leased writes stream on through: they are
+            # effects already committed worker-side and must land
+            # before capture (pipe FIFO guarantees they did, relative
+            # to the blocking request that follows them).
+            if kind in ("wait", "poll", "emit", "recv",
+                        "close_channel"):
+                self._qparked.append((w, msg))
+                return
+            if kind == "write" and not (len(msg) > 3 and msg[3]):
+                self._qparked.append((w, msg))
+                return
+        if kind == "state":
+            # a quiesced worker's resume cursor (checkpoint phase 2)
+            self._captured[w.stage.name] = msg[1]
+            return
         report = self._reports[w.stage.name]
         if kind == "energy":
             report.commands += 1
@@ -912,6 +972,24 @@ class ProcessExecutor:
         for parked in self._parked:
             self._reply(parked.worker, ("halt",))
         self._parked.clear()
+        # abort any in-flight checkpoint: its diverted workers get the
+        # same halt, and the requester an error instead of a file
+        for w, _msg in self._qparked:
+            self._reply(w, ("halt",))
+        self._qparked.clear()
+        if self._ckpt_request is not None and self._stop_requested:
+            # a stop raced the quiesce: shutdown seals every buffer, so
+            # the capture is lost — the requester gets an error.  (A
+            # *natural* wind-down is fine: the requester captures the
+            # completed state directly once the reactor exits.)
+            from ..ckpt.format import CheckpointError
+            self._ckpt_result = ("error", CheckpointError(
+                "run halted while a checkpoint was being taken"))
+            self._ckpt_request = None
+            self._ckpt_phase = 0
+            self._ckpt_revoked = False
+            if self._ckpt_event is not None:
+                self._ckpt_event.set()
         for w in self._workers.values():
             w.restart_at = None   # no re-forks once halting
 
@@ -948,6 +1026,170 @@ class ProcessExecutor:
             writer.close()
         self._ext_writers.clear()
         self._registry.unlink_all()
+
+    # -- checkpoint (repro.ckpt) -----------------------------------------
+
+    def _quiesced(self) -> bool:
+        """Every live, non-terminal worker is blocked on an unanswered
+        request (pre-quiesce parked or quiesce-diverted) or is waiting
+        out a re-fork backoff.  Leased writes have then all drained:
+        they were sent before the blocking request, and the pipe is
+        FIFO."""
+        blocked = {p.worker.stage.name for p in self._parked}
+        blocked.update(w.stage.name for w, _m in self._qparked)
+        for w in self._workers.values():
+            if w.terminal or w.restart_at is not None:
+                continue
+            if w.conn is None:
+                continue   # death being resolved; EOF path will run
+            if w.stage.name not in blocked:
+                return False
+        return True
+
+    def _ckpt_step(self) -> None:
+        """One reactor turn of the checkpoint state machine."""
+        if self._ckpt_phase == 1:
+            if not self._ckpt_revoked:
+                # not needed for convergence (credits are only granted
+                # by replies, which are diverted) but collapses the
+                # quiesce latency for deeply-leased streaming workers
+                self._ckpt_revoked = True
+                self._revoke_leases()
+            if not self._quiesced():
+                return
+            # ask every blocked worker for its resume cursor, passing
+            # the authoritative applied-write / applied-emit counts
+            self._ckpt_expect = set()
+            for w in self._workers.values():
+                if w.terminal or w.conn is None \
+                        or w.restart_at is not None:
+                    continue
+                written = w.stage.output.version
+                emitted = (w.stage.emit_to.emitted
+                           if w.stage.emit_to is not None else 0)
+                try:
+                    w.conn.send(("capture", written, emitted))
+                    self._ckpt_expect.add(w.stage.name)
+                except (BrokenPipeError, OSError):
+                    pass   # dying worker: resumes fresh (cursor None)
+            self._ckpt_phase = 2
+            return
+        if self._ckpt_phase == 2:
+            # drop expectations for workers that died mid-capture
+            self._ckpt_expect = {
+                n for n in self._ckpt_expect
+                if self._workers[n].conn is not None}
+            if not self._ckpt_expect <= set(self._captured):
+                return
+            try:
+                result = ("ok", self._ckpt_write(self._ckpt_request))
+            except BaseException as exc:   # noqa: BLE001 - reported
+                result = ("error", exc)
+            self._ckpt_result = result
+            self._ckpt_request = None
+            self._ckpt_phase = 0
+            self._ckpt_revoked = False
+            self._captured = {}
+            # replay the diverted requests: the run continues as if the
+            # checkpoint never happened
+            qparked, self._qparked = self._qparked, []
+            for w, msg in qparked:
+                if w.conn is not None:
+                    self._handle(w, msg)
+            self._service_parked()
+            if self._ckpt_event is not None:
+                self._ckpt_event.set()
+
+    def _ckpt_write(self, path: str) -> str:
+        """Assemble and write the checkpoint file (run is quiesced)."""
+        from ..ckpt.state import (STATUS_COMPLETED, STATUS_DEGRADED,
+                                  STATUS_FAILED, STATUS_LIVE,
+                                  assemble_payload, save_checkpoint)
+
+        stages: dict[str, dict] = {}
+        for name, w in self._workers.items():
+            report = self._reports[name]
+            cursor = None
+            if not w.terminal:
+                # still running — stays LIVE even if the degraded flag
+                # is already set (final-after-abort); the flag rides
+                # along in the restored report.  A worker in re-fork
+                # backoff has no cursor: it resumes from a fresh
+                # generator, re-consuming current snapshots (same as a
+                # process-death restart would).
+                status = STATUS_LIVE
+                cursor = self._captured.get(name)
+            elif report.failed:
+                status = STATUS_FAILED
+            elif report.degraded:
+                status = STATUS_DEGRADED
+            else:
+                status = STATUS_COMPLETED
+            stages[name] = {"status": status, "cursor": cursor}
+        # parent-side buffers hold slab descriptors, not arrays —
+        # decode each into a real value for the checkpoint
+        buffer_values = {name: self._decode(name)
+                         for name in self._payloads}
+        records = list(self._timeline.records)
+        if self._resume is not None and self._resume.prefix.records:
+            records = self._resume.prefix.records + records
+        payload = assemble_payload(
+            self.graph, name=self.run_name, executor="process",
+            stages=stages, reports=self._reports, energy=self._energy,
+            timeline=Timeline(records), duration=self._now(),
+            stop=self.stop, buffer_values=buffer_values)
+        return save_checkpoint(path, payload, app_spec=self.app_spec)
+
+    def _checkpoint(self, path: str) -> str:
+        """Request a checkpoint from the reactor and wait for it."""
+        from ..ckpt.format import CheckpointError
+
+        if self._reactor is None:
+            raise CheckpointError(
+                "cannot checkpoint: the run was never launched")
+        if self._stop_requested:
+            raise CheckpointError(
+                "cannot checkpoint a stopping run: shutdown seals "
+                "every buffer (checkpoint before request_stop)")
+        if self._halted or not self._reactor.is_alive():
+            # the run already wound down naturally: every stage is
+            # terminal, so the capture is a plain read of parent-side
+            # state once the reactor finishes its cleanup
+            self._reactor.join(timeout=self.grace_s + 10.0)
+            if self._stop_requested:
+                raise CheckpointError(
+                    "cannot checkpoint a stopping run: shutdown seals "
+                    "every buffer (checkpoint before request_stop)")
+            if self._final_result is not None:
+                raise CheckpointError(
+                    "cannot checkpoint a collected run: its shared-"
+                    "memory plane has been released")
+            return self._ckpt_write(path)
+        event = threading.Event()
+        self._ckpt_event = event
+        self._ckpt_result = None
+        self._captured = {}
+        self._ckpt_revoked = False
+        self._ckpt_phase = 1
+        self._ckpt_request = path    # the reactor picks this up
+        while not event.wait(timeout=_WAIT_S):
+            if not self._reactor.is_alive():
+                break
+        if self._ckpt_result is None:
+            # reactor exited mid-request (run completed): capture the
+            # final state directly — no concurrency left to manage
+            if self._final_result is not None:
+                raise CheckpointError(
+                    "cannot checkpoint a collected run: its shared-"
+                    "memory plane has been released")
+            self._ckpt_request = None
+            self._ckpt_phase = 0
+            return self._ckpt_write(path)
+        status, value = self._ckpt_result
+        self._ckpt_result = None
+        if status == "error":
+            raise value
+        return value
 
     # -- RunHandle protocol ----------------------------------------------
 
@@ -1013,8 +1255,15 @@ class ProcessExecutor:
         except Exception:   # pragma: no cover - tracker is best-effort
             pass
         self._encode_externals()
+        finished = (self._resume.finished
+                    if self._resume is not None else {})
         try:
             for w in self._workers.values():
+                if w.stage.name in finished:
+                    # restored as already terminal: its output ladder
+                    # was re-encoded by _encode_externals above
+                    w.terminal = True
+                    continue
                 self._launch(w)
         except BaseException:
             self._initiate_halt()
@@ -1047,11 +1296,18 @@ class ProcessExecutor:
                 if self._halted and self._now() > self._grace_deadline:
                     self._terminate_stragglers()
                 self._spawn_due_restarts()
-                if self._paused and not self._halted:
+                quiescing = (self._ckpt_request is not None
+                             and not self._halted)
+                if quiescing:
+                    self._ckpt_step()
+                    quiescing = self._ckpt_request is not None
+                if self._paused and not self._halted and not quiescing:
                     # preempted: leave workers parked on their pipes;
                     # halt/stop checks above stay live.  Revoke leases
                     # once per pause episode so streaming workers stop
-                    # spending credits and sync up promptly.
+                    # spending credits and sync up promptly.  (A
+                    # checkpoint of a paused run overrides this branch:
+                    # the quiesce needs the pipes drained.)
                     if not self._pause_revoked:
                         self._pause_revoked = True
                         self._revoke_leases()
@@ -1064,7 +1320,10 @@ class ProcessExecutor:
                         self._drain(conn)
                 else:
                     _time.sleep(_WAIT_S)
-                self._service_parked()
+                if not quiescing:
+                    # while quiescing, parked requests stay parked (a
+                    # blocked worker is exactly what the capture wants)
+                    self._service_parked()
         finally:
             self._initiate_halt()
             self._terminate_stragglers()
@@ -1077,7 +1336,12 @@ class ProcessExecutor:
             if self._final_result is None:
                 ended = (self._ended_at if self._ended_at is not None
                          else _time.perf_counter())
-                duration = ended - self._t0
+                duration = ended - self._t0 + self._t_offset
+                if self._resume is not None \
+                        and self._resume.prefix.records:
+                    self._timeline = Timeline(
+                        self._resume.prefix.records
+                        + self._timeline.records)
                 if self._stop_requested:
                     # same hygiene as ThreadedExecutor._shutdown_io:
                     # nothing outside the executor may hang on a buffer

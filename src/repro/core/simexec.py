@@ -172,6 +172,17 @@ class SimulatedExecutor:
         accuracy levels a stage may batch into one vectorized kernel
         pass.  ``1`` disables batching; the published versions are
         bit-identical at any setting.
+    resume:
+        A :class:`~repro.ckpt.state.ResumeInfo` from a restored
+        checkpoint: finished stages are not re-run, the virtual clock,
+        energy meter, stage reports and stop-condition progress
+        continue from the interrupted run, and the result's timeline
+        is prefixed with the interrupted run's records.
+    checkpoint_at_stop:
+        Optional path: when the run ends (stop condition or natural
+        completion), capture a checkpoint there.  Virtual time has no
+        live threads to quiesce — the event loop's rest state *is* the
+        quiesced state — so the capture is synchronous and exact.
     """
 
     def __init__(self, graph: AutomatonGraph,
@@ -188,7 +199,9 @@ class SimulatedExecutor:
                  trace: TraceSink | None = None,
                  trace_metric: Any = None,
                  trace_reference: Any = None,
-                 lease_k: int = 8) -> None:
+                 lease_k: int = 8,
+                 resume: Any = None,
+                 checkpoint_at_stop: str | None = None) -> None:
         if lease_k < 1:
             raise ValueError(f"lease_k must be >= 1, got {lease_k}")
         self.lease_k = int(lease_k)
@@ -223,13 +236,30 @@ class SimulatedExecutor:
         self.trace_metric = trace_metric
         self.trace_reference = trace_reference
         self.meter = EnergyMeter(table=energy_table or EnergyTable())
+        # -- checkpoint/restore (repro.ckpt) -----------------------------
+        self.run_name = "automaton"
+        self.app_spec: dict[str, Any] | None = None
+        self._resume = resume
+        self.checkpoint_at_stop = checkpoint_at_stop
+        if resume is not None:
+            self.meter.charge(resume.energy)
+            from ..ckpt.state import restore_stop
+            restore_stop(self.stop, resume.stop)
 
     # -- kernel ----------------------------------------------------------
 
     def run(self) -> SimResult:
         procs = {s.name: _Process(s) for s in self.graph.stages}
-        reports = {name: StageReport(stage=name, attempts=1)
-                   for name in procs}
+        if self._resume is not None:
+            reports = self._resume.seed_reports(sorted(procs))
+            for fname in self._resume.finished:
+                # restored terminal stage: its buffer ladder (and seal /
+                # final flags) came back with the graph state; it never
+                # enters the event loop
+                procs[fname].done = True
+        else:
+            reports = {name: StageReport(stage=name, attempts=1)
+                       for name in procs}
         errors: list[tuple[str, BaseException]] = []
         if self.injector is not None:
             for name, p in procs.items():
@@ -246,10 +276,14 @@ class SimulatedExecutor:
         timeline = Timeline()
         heap: list[tuple[float, int, str, Any]] = []
         seq = 0
+        # a resumed run continues the interrupted run's virtual clock
+        t0 = (self._resume.duration if self._resume is not None else 0.0)
         for name in sorted(procs):
-            heapq.heappush(heap, (0.0, seq, name, None))
+            if procs[name].done:
+                continue
+            heapq.heappush(heap, (t0, seq, name, None))
             seq += 1
-        now = 0.0
+        now = t0
         stopped = False
         failed = False
         pool = None
@@ -448,7 +482,8 @@ class SimulatedExecutor:
             return "degraded"
 
         for pname in sorted(procs):
-            trace_start(procs[pname], 1)
+            if not procs[pname].done:
+                trace_start(procs[pname], max(1, reports[pname].attempts))
 
         while not stopped and not failed:
             # Pick the next event: the heap's head or, under dynamic
@@ -647,6 +682,12 @@ class SimulatedExecutor:
         # always carries matched B/E pairs.
         for proc in procs.values():
             trace_finish(proc, "stopped" if stopped else "halted")
+        if self._resume is not None and self._resume.prefix.records:
+            timeline = Timeline(self._resume.prefix.records
+                                + timeline.records)
+        if self.checkpoint_at_stop is not None:
+            self._write_checkpoint(self.checkpoint_at_stop, procs,
+                                   reports, timeline, now, heap)
         completed = (not stopped
                      and all(r.completed for r in reports.values()))
         if self.strict:
@@ -666,3 +707,60 @@ class SimulatedExecutor:
                          stopped_early=stopped, shares=dict(self.shares),
                          final_values=final_values, errors=errors,
                          stage_reports=reports)
+
+    # -- checkpoint (repro.ckpt) -----------------------------------------
+
+    def _write_checkpoint(self, path: str, procs: dict[str, _Process],
+                          reports: dict[str, StageReport],
+                          timeline: Timeline, now: float,
+                          heap: list) -> str:
+        """Capture the run at the event loop's rest point.
+
+        Virtual time needs no quiesce: between events nothing is
+        mid-flight except (a) generators parked at their last yielded
+        command — covered by the stage cursor protocol — and (b) heap
+        events carrying a channel update that was dequeued but never
+        delivered to its synchronous consumer; those are requeued into
+        the checkpointed channel state so no stream element is lost.
+        """
+        from ..ckpt.state import (STATUS_COMPLETED, STATUS_DEGRADED,
+                                  STATUS_FAILED, STATUS_LIVE,
+                                  assemble_payload, save_checkpoint)
+
+        requeue: dict[str, list[Any]] = {}
+        for _at, _sq, pname, payload in sorted(heap):
+            p = procs[pname]
+            if p.done or not isinstance(p.stage, SynchronousStage):
+                continue
+            if payload is None or payload is _WAKE \
+                    or payload is CHANNEL_END \
+                    or isinstance(payload, dict) and all(
+                        isinstance(v, Snapshot) for v in payload.values()):
+                continue
+            requeue.setdefault(p.stage.channel.name, []).append(payload)
+        stages: dict[str, dict[str, Any]] = {}
+        for pname, p in procs.items():
+            report = reports[pname]
+            cursor = None
+            if not p.done:
+                # note: a still-running stage may already carry the
+                # degraded flag (final-after-abort); it stays LIVE here
+                # — the flag rides along in its restored report
+                status = STATUS_LIVE
+                emitted = (p.stage.emit_to.emitted
+                           if p.stage.emit_to is not None else 0)
+                cursor = p.stage.capture_state(p.stage.output.version,
+                                               emitted)
+            elif report.failed:
+                status = STATUS_FAILED
+            elif report.degraded:
+                status = STATUS_DEGRADED
+            else:
+                status = STATUS_COMPLETED
+            stages[pname] = {"status": status, "cursor": cursor}
+        payload = assemble_payload(
+            self.graph, name=self.run_name, executor="simulated",
+            stages=stages, reports=reports, energy=self.meter.total,
+            timeline=timeline, duration=now, stop=self.stop,
+            channel_requeue=requeue)
+        return save_checkpoint(path, payload, app_spec=self.app_spec)

@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import os
 import socket
 import struct
 import threading
@@ -37,7 +38,7 @@ import numpy as np
 from .digest import input_digest, request_key
 
 __all__ = ["send_msg", "recv_msg", "spec_key", "value_digest",
-           "worker_main", "WORKER_DEFAULTS"]
+           "ckpt_filename", "worker_main", "WORKER_DEFAULTS"]
 
 _LEN = struct.Struct(">I")
 
@@ -49,6 +50,9 @@ WORKER_DEFAULTS: dict[str, Any] = {
     "tick_s": 0.005,
     "coalesce": True,
     "memo_ttl_s": 5.0,
+    # checkpoint directory for suspend-and-resume serving; the router
+    # gives each worker its own subdirectory when migration is enabled
+    "resume_dir": None,
 }
 
 
@@ -115,6 +119,13 @@ def spec_key(app: str, size: int, seed: int = 0) -> str:
     return key
 
 
+def ckpt_filename(key: str) -> str:
+    """File name a worker's server gives a keyed run's suspend
+    checkpoint (mirrors ``AnytimeServer._ckpt_file``), so the router
+    can locate a dead worker's checkpoints by request key alone."""
+    return key.replace(":", "_").replace("/", "_") + ".rck"
+
+
 def value_digest(value: Any) -> str:
     """Stable hash of an output value (arrays, dicts of arrays, scalars)
     so bit-identity can be asserted across the wire."""
@@ -142,6 +153,25 @@ def value_digest(value: Any) -> str:
 
 
 # -- the worker process --------------------------------------------------
+
+def _resuming_builder(path: str, builder: Any) -> Any:
+    """A builder that continues a migrated run from its checkpoint,
+    falling back to a fresh build when the file is gone or unreadable
+    (a fresh run's sealed versions are equally valid answers)."""
+    def build() -> Any:
+        from ..ckpt import CheckpointError
+        from ..core.automaton import AnytimeAutomaton
+        try:
+            automaton = AnytimeAutomaton.restore(path, builder=builder)
+        except (CheckpointError, OSError):
+            return builder()
+        try:
+            os.unlink(path)   # consumed: never resume the past twice
+        except OSError:
+            pass
+        return automaton
+    return build
+
 
 def _done_message(rid: int, result: Any) -> dict[str, Any]:
     snr = result.snr_db
@@ -184,7 +214,8 @@ def worker_main(sock: socket.socket,
         slots=int(cfg["slots"]), queue_limit=int(cfg["queue_limit"]),
         executor=cfg["executor"], quantum_s=float(cfg["quantum_s"]),
         tick_s=float(cfg["tick_s"]), coalesce=bool(cfg["coalesce"]),
-        memo_ttl_s=float(cfg["memo_ttl_s"])).start()
+        memo_ttl_s=float(cfg["memo_ttl_s"]),
+        resume_dir=cfg.get("resume_dir")).start()
     send_lock = threading.Lock()
     pending: dict[int, Any] = {}
     pending_lock = threading.Lock()
@@ -241,6 +272,9 @@ def worker_main(sock: socket.socket,
                     builder, metric, key = calibration(
                         msg["app"], int(msg.get("size", 32)),
                         int(msg.get("seed", 0)))
+                    resume_from = msg.get("resume_from")
+                    if resume_from:
+                        builder = _resuming_builder(resume_from, builder)
                     slo_spec = msg.get("slo") or {}
                     slo = SLO(
                         deadline_s=slo_spec.get("deadline_s"),

@@ -16,9 +16,18 @@ canonical work identity (:func:`~repro.serve.fleet.spec_key`):
 * **Backpressure surfaced to the router.**  Every admission is acked
   with the worker's queue depth; a shed request is retried once on the
   least-loaded other worker before the shed is accepted as final.
-* **Worker-death failover.**  A dead worker (socket EOF / reset) has
-  its in-flight requests re-dispatched verbatim to surviving workers —
-  requests are specs, not closures, so a re-run is safe and its sealed
+* **Worker-death failover, re-spawn, and checkpoint migration.**  A
+  dead worker (socket EOF / reset) is replaced: a fresh worker is
+  forked at the same index and rejoins the consistent-hash ring (the
+  ring maps onto indices, so the replacement inherits the dead
+  worker's key range with zero ring churn).  The dead worker's
+  in-flight requests are re-dispatched — and when the fleet runs with
+  a ``resume_dir``, a request whose run had been suspended to a
+  checkpoint (:mod:`repro.ckpt`) *migrates*: the router points the
+  new home at the dead worker's last checkpoint file and the run
+  continues from where it stopped instead of starting over.  Requests
+  without a checkpoint fall back to verbatim re-dispatch — requests
+  are specs, not closures, so a re-run is safe and its sealed
   versions are equally valid answers.
 
 Fleet-wide metrics (:func:`summarize_fleet`, :meth:`aggregate_stats`)
@@ -32,12 +41,14 @@ import bisect
 import hashlib
 import itertools
 import multiprocessing
+import os
 import socket
 import threading
 import time as _time
 from typing import Any
 
-from .fleet import WORKER_DEFAULTS, recv_msg, send_msg, spec_key, worker_main
+from .fleet import (WORKER_DEFAULTS, ckpt_filename, recv_msg, send_msg,
+                    spec_key, worker_main)
 from .workload import percentile
 
 __all__ = ["FleetRouter", "FleetRequest", "summarize_fleet"]
@@ -125,13 +136,23 @@ class FleetRouter:
     def __init__(self, workers: int = 2,
                  worker_config: dict[str, Any] | None = None,
                  affinity_ttl_s: float = 30.0,
-                 fallback_margin: int = 2) -> None:
+                 fallback_margin: int = 2,
+                 respawn: bool = True,
+                 resume_dir: str | None = None) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive: {workers}")
         self.n_workers = workers
         self.worker_config = {**WORKER_DEFAULTS, **(worker_config or {})}
         self.affinity_ttl_s = affinity_ttl_s
         self.fallback_margin = fallback_margin
+        #: fork a replacement worker (same ring index) when one dies
+        self.respawn = bool(respawn)
+        #: shared checkpoint root: worker ``i`` suspends runs under
+        #: ``resume_dir/w<i>/``, and the router migrates a dead
+        #: worker's checkpointed runs from there
+        self.resume_dir = resume_dir
+        if resume_dir is not None:
+            os.makedirs(resume_dir, exist_ok=True)
         self._links: list[_WorkerLink] = []
         self._lock = threading.RLock()
         self._rids = itertools.count(1)
@@ -142,9 +163,11 @@ class FleetRouter:
             (_ring_hash(f"worker-{w}/vnode-{v}"), w)
             for w in range(workers) for v in range(_VNODES))
         self._started = False
+        self._closing = False
         self.counters = {
             "dispatched": 0, "redispatched": 0, "shed_retries": 0,
             "worker_deaths": 0, "fallbacks": 0,
+            "respawns": 0, "migrated": 0,
         }
 
     # -- lifecycle -------------------------------------------------------
@@ -153,23 +176,31 @@ class FleetRouter:
         if self._started:
             raise RuntimeError("router already started")
         self._started = True
-        ctx = multiprocessing.get_context("fork")
         for index in range(self.n_workers):
-            parent_sock, child_sock = socket.socketpair()
-            process = ctx.Process(
-                target=_worker_entry,
-                args=(child_sock, dict(self.worker_config)),
-                name=f"fleet-worker-{index}", daemon=True)
-            process.start()
-            child_sock.close()
-            link = _WorkerLink(index, process, parent_sock)
-            link.reader = threading.Thread(
-                target=self._read_loop, args=(link,),
-                name=f"fleet-reader-{index}", daemon=True)
-            self._links.append(link)
+            self._links.append(self._spawn_link(index))
         for link in self._links:
             link.reader.start()
         return self
+
+    def _spawn_link(self, index: int) -> _WorkerLink:
+        """Fork one worker process for ring index ``index`` (reader
+        thread created but not started)."""
+        ctx = multiprocessing.get_context("fork")
+        parent_sock, child_sock = socket.socketpair()
+        config = dict(self.worker_config)
+        if self.resume_dir is not None:
+            config["resume_dir"] = os.path.join(self.resume_dir,
+                                                f"w{index}")
+        process = ctx.Process(
+            target=_worker_entry, args=(child_sock, config),
+            name=f"fleet-worker-{index}", daemon=True)
+        process.start()
+        child_sock.close()
+        link = _WorkerLink(index, process, parent_sock)
+        link.reader = threading.Thread(
+            target=self._read_loop, args=(link,),
+            name=f"fleet-reader-{index}", daemon=True)
+        return link
 
     def __enter__(self) -> "FleetRouter":
         return self.start()
@@ -180,6 +211,7 @@ class FleetRouter:
     def shutdown(self, timeout_s: float = 10.0) -> None:
         """Stop every worker; fail any request still in flight."""
         with self._lock:
+            self._closing = True   # EOFs from here on are not deaths
             links = list(self._links)
         for link in links:
             if link.alive:
@@ -297,16 +329,20 @@ class FleetRouter:
         raise RuntimeError("no live workers on the ring")
 
     def _dispatch(self, request: FleetRequest, link: _WorkerLink,
-                  wait_s: float = 0.0) -> None:
+                  wait_s: float = 0.0,
+                  resume_from: str | None = None) -> None:
         request.worker = link.index
         link.inflight[request.rid] = request
         self.counters["dispatched"] += 1
+        message = {
+            "op": "submit", "rid": request.rid, "app": request.app,
+            "size": request.size, "seed": request.seed,
+            "slo": request.slo, "wait_s": wait_s,
+        }
+        if resume_from is not None:
+            message["resume_from"] = resume_from
         try:
-            send_msg(link.sock, {
-                "op": "submit", "rid": request.rid, "app": request.app,
-                "size": request.size, "seed": request.seed,
-                "slo": request.slo, "wait_s": wait_s,
-            }, link.send_lock)
+            send_msg(link.sock, message, link.send_lock)
         except OSError:
             link.inflight.pop(request.rid, None)
             self._on_worker_death(link)
@@ -317,7 +353,8 @@ class FleetRouter:
                 return
             request.redispatches += 1
             self.counters["redispatched"] += 1
-            self._dispatch(request, survivor, wait_s=wait_s)
+            self._dispatch(request, survivor, wait_s=wait_s,
+                           resume_from=resume_from)
 
     # -- worker I/O ------------------------------------------------------
 
@@ -376,7 +413,14 @@ class FleetRouter:
                 # the worker's own `done` (state=shed) finalizes it
 
     def _on_worker_death(self, link: _WorkerLink) -> None:
-        """Mark a worker dead and re-dispatch its in-flight requests."""
+        """Replace a dead worker and migrate its in-flight requests.
+
+        The replacement is forked at the same ring index, so it takes
+        over the dead worker's key range without remapping anyone
+        else's.  Each orphaned request is then re-placed; one whose run
+        had been suspended to a checkpoint resumes from it on its new
+        home instead of starting over.
+        """
         link.alive = False
         self.counters["worker_deaths"] += 1
         for key, (index, _) in list(self._affinity.items()):
@@ -384,6 +428,15 @@ class FleetRouter:
                 del self._affinity[key]
         orphans = list(link.inflight.values())
         link.inflight.clear()
+        if self.respawn and not self._closing:
+            try:
+                fresh = self._spawn_link(link.index)
+            except Exception:
+                fresh = None
+            if fresh is not None:
+                self._links[link.index] = fresh
+                fresh.reader.start()
+                self.counters["respawns"] += 1
         for request in orphans:
             survivor = self._place(request.key)
             if survivor is None:
@@ -393,7 +446,19 @@ class FleetRouter:
                 continue
             request.redispatches += 1
             self.counters["redispatched"] += 1
-            self._dispatch(request, survivor)
+            resume_from = self._migration_source(link.index, request.key)
+            if resume_from is not None:
+                self.counters["migrated"] += 1
+            self._dispatch(request, survivor, resume_from=resume_from)
+
+    def _migration_source(self, dead_index: int,
+                          key: str) -> str | None:
+        """The dead worker's last checkpoint of this key, if any."""
+        if self.resume_dir is None:
+            return None
+        path = os.path.join(self.resume_dir, f"w{dead_index}",
+                            ckpt_filename(key))
+        return path if os.path.exists(path) else None
 
     def _worker_stats(self, link: _WorkerLink,
                       timeout_s: float) -> dict[str, Any] | None:

@@ -22,6 +22,7 @@ that already met its target has marginal gain zero by definition.
 from __future__ import annotations
 
 import math
+import os
 from typing import TYPE_CHECKING, Sequence
 
 from ..metrics.profiles import RuntimeAccuracyProfile
@@ -77,22 +78,33 @@ class MarginalGainPolicy(ServePolicy):
         accumulated slot time onto the profile's x axis.
     horizon_s:
         Lookahead window for the finite-difference slope.
+    profile_path:
+        Optional JSON file the profile persists to, so calibration
+        survives server restarts: :class:`~repro.serve.server.
+        AnytimeServer` calls :meth:`load_profile` at ``start()`` (a
+        previously saved curve replaces the constructor's) and
+        :meth:`save_profile` at ``shutdown()``.
     """
 
     name = "gain"
 
     def __init__(self, profile: RuntimeAccuracyProfile,
                  baseline_wall_s: float,
-                 horizon_s: float = 0.05) -> None:
+                 horizon_s: float = 0.05,
+                 profile_path: str | None = None) -> None:
         if baseline_wall_s <= 0:
             raise ValueError("baseline_wall_s must be positive")
         if horizon_s <= 0:
             raise ValueError("horizon_s must be positive")
         if not profile.points:
             raise ValueError("profile has no points")
-        self.profile = profile
         self.baseline_wall_s = baseline_wall_s
         self.horizon_s = horizon_s
+        self.profile_path = profile_path
+        self._set_profile(profile)
+
+    def _set_profile(self, profile: RuntimeAccuracyProfile) -> None:
+        self.profile = profile
         finite = [p.snr_db for p in profile.points
                   if math.isfinite(p.snr_db)]
         # Cap exact-match infinities so slopes stay comparable: reaching
@@ -102,6 +114,27 @@ class MarginalGainPolicy(ServePolicy):
         self._floor = min(finite) if finite else 0.0
         self._points = [(p.runtime, min(p.snr_db, self._cap))
                         for p in profile.points]
+
+    def load_profile(self) -> bool:
+        """Replace the active curve with the one saved at
+        ``profile_path``; True if a non-empty saved profile was
+        adopted.  Called by the server at start."""
+        if self.profile_path is None \
+                or not os.path.exists(self.profile_path):
+            return False
+        profile = RuntimeAccuracyProfile.load(self.profile_path)
+        if not profile.points:
+            return False
+        self._set_profile(profile)
+        return True
+
+    def save_profile(self) -> bool:
+        """Persist the active curve to ``profile_path``; True if
+        written.  Called by the server at shutdown."""
+        if self.profile_path is None:
+            return False
+        self.profile.save(self.profile_path)
+        return True
 
     def _snr_at(self, t_norm: float) -> float:
         best = self._floor

@@ -36,6 +36,7 @@ sheds what it cannot hold.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time as _time
 import weakref
@@ -114,6 +115,16 @@ class AnytimeServer:
         requests for the same ``key`` without running at all (0 =
         memoization off).  Only precise (``final``) snapshots are
         memoized, so a memo hit is never a silent quality downgrade.
+    resume_dir:
+        Directory for run checkpoints (:mod:`repro.ckpt`); enables
+        suspend-and-resume serving.  With it set, (a) preemption
+        *suspends*: the victim's run is checkpointed to disk and its
+        executor torn down entirely (threads/processes reclaimed, not
+        just paused), and a later slot grant restores the run from the
+        checkpoint with no lost progress; (b) a queue-full submission
+        parks as ``RESUMABLE`` and re-queues when space frees instead
+        of dying ``SHED``.  None (the default) keeps the original
+        pause-in-memory preemption and terminal sheds.
     """
 
     def __init__(self, slots: int = 4, queue_limit: int = 16,
@@ -128,7 +139,8 @@ class AnytimeServer:
                  trace: TraceSink | None = None,
                  grace_s: float = 5.0,
                  coalesce: bool = True,
-                 memo_ttl_s: float = 0.0) -> None:
+                 memo_ttl_s: float = 0.0,
+                 resume_dir: str | None = None) -> None:
         if slots <= 0:
             raise ValueError(f"slots must be positive: {slots}")
         if queue_limit < 0:
@@ -156,11 +168,15 @@ class AnytimeServer:
         self.coalesce = bool(coalesce)
         self.memo_ttl_s = float(memo_ttl_s)
         self._memo: dict[str, tuple[float, Snapshot]] = {}
+        self.resume_dir = resume_dir
+        if resume_dir is not None:
+            os.makedirs(resume_dir, exist_ok=True)
 
         self._lock = threading.RLock()
         self._space = threading.Condition(self._lock)
         self._queue: deque[Session] = deque()
-        self._scheduled: list[Session] = []   # RUNNING + PREEMPTED
+        self._scheduled: list[Session] = []   # RUNNING+PREEMPTED+RESUMABLE
+        self._parked: deque[Session] = deque()  # would-be-shed, waiting
         self._finished: list[Session] = []
         self._ids = itertools.count(1)
         self._accepting = False
@@ -172,12 +188,19 @@ class AnytimeServer:
             "cancelled": 0, "failed": 0, "preemptions": 0, "resumes": 0,
             "coalesced": 0, "memo_hits": 0, "detaches": 0,
             "promotions": 0,
+            "parked": 0, "requeued": 0, "suspends": 0, "restores": 0,
         }
 
     # -- lifecycle -------------------------------------------------------
 
     def start(self) -> "AnytimeServer":
         """Start the scheduler thread and begin accepting requests."""
+        loader = getattr(self.policy, "load_profile", None)
+        if callable(loader):
+            try:
+                loader()
+            except Exception:
+                pass   # a stale/corrupt profile never blocks serving
         with self._lock:
             if self._thread is not None:
                 raise RuntimeError("server already started")
@@ -204,7 +227,8 @@ class AnytimeServer:
                     else _time.monotonic() + timeout_s)
         while True:
             with self._lock:
-                if not self._queue and not self._scheduled:
+                if not self._queue and not self._scheduled \
+                        and not self._parked:
                     return True
             if deadline is not None and _time.monotonic() >= deadline:
                 return False
@@ -226,8 +250,9 @@ class AnytimeServer:
             thread.join(timeout=timeout_s)
         with self._lock:
             now = _time.monotonic()
-            while self._queue:
-                session = self._queue.popleft()
+            while self._queue or self._parked:
+                session = (self._queue.popleft() if self._queue
+                           else self._parked.popleft())
                 for follower in list(session._followers):
                     self._detach(session, follower,
                                  SessionState.CANCELLED, now)
@@ -238,10 +263,20 @@ class AnytimeServer:
                 self._trace("server.cancel", session, now)
                 self._finished.append(session)
             for session in list(self._scheduled):
-                self._finish(session, SessionState.CANCELLED, now,
-                             interrupted=True)
+                if session._handle is None:
+                    self._finish_parked(session, SessionState.CANCELLED,
+                                        now)
+                else:
+                    self._finish(session, SessionState.CANCELLED, now,
+                                 interrupted=True)
             self._thread = None
         _LIVE_SERVERS.discard(self)
+        saver = getattr(self.policy, "save_profile", None)
+        if callable(saver):
+            try:
+                saver()
+            except Exception:
+                pass
 
     # -- client API ------------------------------------------------------
 
@@ -310,7 +345,11 @@ class AnytimeServer:
                     self._attach(session, host, _time.monotonic())
                     return session
             if len(self._queue) >= self.queue_limit:
-                self._shed(session, _time.monotonic(), reason="queue-full")
+                if self.resume_dir is not None:
+                    self._park(session, _time.monotonic())
+                else:
+                    self._shed(session, _time.monotonic(),
+                               reason="queue-full")
                 return session
             session._ready_since = _time.monotonic()
             self._queue.append(session)
@@ -407,7 +446,8 @@ class AnytimeServer:
     def sessions(self) -> list[Session]:
         with self._lock:
             out: list[Session] = []
-            for session in list(self._queue) + list(self._scheduled):
+            for session in (list(self._queue) + list(self._scheduled)
+                            + list(self._parked)):
                 out.append(session)
                 out.extend(session._followers)
             return out + list(self._finished)
@@ -416,11 +456,14 @@ class AnytimeServer:
         with self._lock:
             running = sum(1 for s in self._scheduled
                           if s.state is SessionState.RUNNING)
+            resumable = sum(1 for s in self._scheduled
+                            if s.state is SessionState.RESUMABLE)
             return {
                 **self.counters,
                 "queued": len(self._queue),
                 "running": running,
-                "preempted": len(self._scheduled) - running,
+                "preempted": len(self._scheduled) - running - resumable,
+                "resumable": resumable + len(self._parked),
                 "finished": len(self._finished),
                 "subscribers": sum(
                     len(s._followers)
@@ -453,6 +496,7 @@ class AnytimeServer:
                         if now >= expires_at]:
                 del self._memo[key]
         self._harvest(now)
+        self._unpark(now)
         self._fill_slots(now)
         self._preempt(now)
 
@@ -489,6 +533,16 @@ class AnytimeServer:
                 elif follower.deadline_passed(now):
                     self._detach(session, follower,
                                  SessionState.COMPLETED, now)
+            if session._handle is None:
+                # suspended to disk: no run to harvest; resolve the
+                # session-level outcomes the pinned snapshot can answer
+                if session._cancel_requested:
+                    self._finish_parked(session, SessionState.CANCELLED,
+                                        now)
+                elif session.deadline_passed(now) or session.target_met():
+                    self._finish_parked(session, SessionState.COMPLETED,
+                                        now)
+                continue
             if session._cancel_requested:
                 self._finish(session, SessionState.CANCELLED, now,
                              interrupted=True, whole_run=False)
@@ -528,7 +582,8 @@ class AnytimeServer:
     def _ready(self) -> list[Session]:
         return list(self._queue) + [
             s for s in self._scheduled
-            if s.state is SessionState.PREEMPTED]
+            if s.state in (SessionState.PREEMPTED,
+                           SessionState.RESUMABLE)]
 
     def _running(self) -> list[Session]:
         return [s for s in self._scheduled
@@ -562,6 +617,9 @@ class AnytimeServer:
         if victim is None:
             return
         assert victim._handle is not None
+        if self.resume_dir is not None and self._suspend(victim, now):
+            self._fill_slots(now)
+            return
         victim._handle.pause()
         victim._run_s += now - (victim._dispatched_at or now)
         victim._dispatched_at = None
@@ -575,8 +633,143 @@ class AnytimeServer:
                     run_s=round(victim._run_s, 6))
         self._fill_slots(now)
 
+    # -- suspend-and-resume (resume_dir mode) ----------------------------
+
+    def _ckpt_file(self, session: Session) -> str:
+        """Checkpoint path of a session: keyed requests get a stable
+        key-derived name (so a fleet router can find a dead worker's
+        checkpoints), anonymous ones their name+sid."""
+        assert self.resume_dir is not None
+        base = (session.key.replace(":", "_").replace("/", "_")
+                if session.key is not None
+                else f"{session.name}-{session.sid}")
+        return os.path.join(self.resume_dir, f"{base}.rck")
+
+    def _discard_ckpt(self, session: Session) -> None:
+        if session._ckpt_path is not None:
+            try:
+                os.unlink(session._ckpt_path)
+            except OSError:
+                pass
+        session._ckpt_path = None
+        session._parked_snapshot = None
+
+    def _park(self, session: Session, now: float) -> None:
+        """Hold a would-be-shed submission as RESUMABLE; it re-queues
+        at the next tick with admission space."""
+        session._state = SessionState.RESUMABLE
+        session._ready_since = now
+        self._parked.append(session)
+        self.counters["parked"] += 1
+        self._trace("server.park", session, now,
+                    parked_depth=len(self._parked))
+
+    def _unpark(self, now: float) -> None:
+        while self._parked and len(self._queue) < self.queue_limit:
+            session = self._parked.popleft()
+            if session._cancel_requested:
+                session._terminalize(SessionState.CANCELLED,
+                                     session.snapshot(), now,
+                                     interrupted=True)
+                self.counters["cancelled"] += 1
+                self._trace("server.cancel", session, now)
+                self._finished.append(session)
+                continue
+            session._state = SessionState.QUEUED
+            session._ready_since = now
+            self._queue.append(session)
+            self.counters["requeued"] += 1
+            self._trace("server.requeue", session, now,
+                        queue_depth=len(self._queue))
+
+    def _suspend(self, session: Session, now: float) -> bool:
+        """Checkpoint a running session to disk and tear its executor
+        down entirely, turning paused-in-memory preemption into
+        RESUMABLE-on-disk.  False = checkpoint failed; the caller falls
+        back to a plain pause."""
+        handle = session._handle
+        assert handle is not None
+        if handle.finished:
+            return False   # harvest will complete it next tick
+        path = self._ckpt_file(session)
+        try:
+            handle.checkpoint(path)
+        except Exception:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return False
+        try:
+            if not handle.finished:
+                handle.request_stop()
+            handle.result(timeout_s=self._grace_s)
+        except Exception:
+            pass   # the executor is being discarded either way
+        session._parked_snapshot = handle.snapshot()
+        session._handle = None
+        session._ckpt_path = path
+        session._run_s += now - (session._dispatched_at or now)
+        session._dispatched_at = None
+        session._ready_since = now
+        session._state = SessionState.RESUMABLE
+        for follower in session._followers:
+            follower._state = SessionState.RESUMABLE
+        session._preemptions += 1
+        self.counters["preemptions"] += 1
+        self.counters["suspends"] += 1
+        self._trace("server.suspend", session, now, path=path,
+                    version=session._parked_snapshot.version)
+        return True
+
+    def _finish_parked(self, session: Session, state: SessionState,
+                       now: float) -> None:
+        """Terminalize a suspended (checkpoint-on-disk) session without
+        relaunching it: the snapshot pinned at suspend time is its
+        answer, and every subscriber settles on it too."""
+        snapshot = session._parked_snapshot or session.snapshot()
+        resolved = state
+        if state is SessionState.COMPLETED and snapshot.version == 0:
+            resolved = SessionState.FAILED
+        if session in self._scheduled:
+            self._scheduled.remove(session)
+        for follower in list(session._followers):
+            f_state = (SessionState.CANCELLED
+                       if follower._cancel_requested else resolved)
+            follower._terminalize(
+                f_state, snapshot, now,
+                snr_db=self._snr_of(follower, snapshot),
+                interrupted=True)
+            f_key = {SessionState.COMPLETED: "completed",
+                     SessionState.CANCELLED: "cancelled",
+                     SessionState.FAILED: "failed"}.get(f_state)
+            if f_key:
+                self.counters[f_key] += 1
+            self.counters["detaches"] += 1
+            self._trace("server.detach", follower, now,
+                        state=f_state.value, primary=session.name,
+                        version=snapshot.version)
+            self._finished.append(follower)
+        session._followers = []
+        self._discard_ckpt(session)
+        session._terminalize(resolved, snapshot, now,
+                             snr_db=self._snr_of(session, snapshot),
+                             interrupted=True)
+        key = {SessionState.COMPLETED: "completed",
+               SessionState.CANCELLED: "cancelled",
+               SessionState.FAILED: "failed"}.get(resolved)
+        if key:
+            self.counters[key] += 1
+        kind = ("server.cancel" if resolved is SessionState.CANCELLED
+                else "server.complete")
+        self._trace(kind, session, now, state=resolved.value,
+                    version=snapshot.version,
+                    latency_s=round(now - session.submitted_at, 6))
+        self._finished.append(session)
+
     def _grant(self, session: Session, now: float) -> None:
-        """Give one slot to a ready session (launch or resume)."""
+        """Give one slot to a ready session (launch, resume, or
+        restore-from-checkpoint)."""
         if session.state is SessionState.PREEMPTED:
             assert session._handle is not None
             session._handle.resume()
@@ -587,10 +780,17 @@ class AnytimeServer:
             self.counters["resumes"] += 1
             self._trace("server.resume", session, now)
             return
-        self._queue.remove(session)
-        self._space.notify_all()
+        from_ckpt = session._ckpt_path
+        if from_ckpt is None:
+            self._queue.remove(session)
+            self._space.notify_all()
         try:
-            automaton = session.builder()
+            if from_ckpt is not None:
+                from ..core.automaton import AnytimeAutomaton
+                automaton = AnytimeAutomaton.restore(
+                    from_ckpt, builder=session.builder)
+            else:
+                automaton = session.builder()
             if self.coalesce and session.key is not None:
                 # A shared run must outlive the primary whenever a
                 # later subscriber still needs it, so keyed runs carry
@@ -610,8 +810,9 @@ class AnytimeServer:
                     stop=stop, faults=session.faults,
                     injector=self._injector, trace=self._sink)
         except Exception as exc:
-            # a broken builder fails only this request; subscribers get
-            # requeued under their own builders
+            # a broken builder (or unreadable checkpoint) fails only
+            # this request; subscribers get requeued under their own
+            # builders
             live = [f for f in session._followers
                     if not f._cancel_requested]
             for follower in list(session._followers):
@@ -621,6 +822,9 @@ class AnytimeServer:
             if live:
                 self._promote(session, live, now, into_queue=True)
             session._followers = []
+            if session in self._scheduled:
+                self._scheduled.remove(session)
+            self._discard_ckpt(session)
             session._terminalize(
                 SessionState.FAILED, session.snapshot(), now,
                 errors=(f"{type(exc).__name__}: {exc}",))
@@ -630,12 +834,20 @@ class AnytimeServer:
             return
         session._handle = handle
         session._state = SessionState.RUNNING
-        session._first_run_at = now
+        if session._first_run_at is None:
+            session._first_run_at = now
         session._dispatched_at = now
         for follower in session._followers:
             follower._state = SessionState.RUNNING
             if follower._first_run_at is None:
                 follower._first_run_at = now
+        if from_ckpt is not None:
+            # the run is back in memory; its on-disk state is consumed
+            self._discard_ckpt(session)
+            session._restores += 1
+            self.counters["restores"] += 1
+            self._trace("server.restore_ckpt", session, now)
+            return
         self.counters["admitted"] += 1
         self._scheduled.append(session)
         self._trace("server.admit", session, now,

@@ -11,7 +11,7 @@ approximation published by an atomic buffer write (Property 3).
 State machine::
 
     QUEUED ──admit──> RUNNING <──resume/preempt──> PREEMPTED
-      │                  │
+      │                  │  \──suspend──> RESUMABLE ──restore──> RUNNING
       │ cancel/shed      │ finish / deadline / target / cancel / fault
       v                  v
     CANCELLED|SHED    COMPLETED | CANCELLED | FAILED
@@ -19,6 +19,10 @@ State machine::
 ``SHED`` is deliberately distinct from ``CANCELLED``: a shed request was
 refused by admission control (the server's choice, under overload); a
 cancelled one was withdrawn (the client's choice, or server shutdown).
+``RESUMABLE`` only appears on servers with a ``resume_dir``: the run was
+checkpointed to disk (:mod:`repro.ckpt`) and its executor released; a
+later slot grant restores it from the checkpoint with no lost progress,
+and a would-be-shed submission parks in this state instead of dying.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ class SessionState(enum.Enum):
     QUEUED = "queued"          # admitted, waiting for a slot
     RUNNING = "running"        # holds an executor slot
     PREEMPTED = "preempted"    # launched, paused by the scheduler
+    RESUMABLE = "resumable"    # suspended to an on-disk checkpoint
     COMPLETED = "completed"    # finished (precise, SLO-stopped, degraded)
     CANCELLED = "cancelled"    # withdrawn by the client or shutdown
     SHED = "shed"              # refused by admission control
@@ -80,6 +85,8 @@ class ServeResult:
     coalesced: bool = False
     #: served straight from the recently-sealed-results memo
     memo_hit: bool = False
+    #: how many times the run was suspended to a checkpoint and restored
+    restores: int = 0
 
 
 @dataclass
@@ -120,6 +127,10 @@ class Session:
     _followers: "list[Session]" = field(default_factory=list)
     _coalesced: bool = False              # ever served as a follower
     _memo_hit: bool = False
+    # -- suspend-to-disk state (scheduler-owned) ------------------------
+    _ckpt_path: str | None = None         # checkpoint of a suspended run
+    _parked_snapshot: Snapshot | None = None  # pinned at suspend time
+    _restores: int = 0                    # restored-from-checkpoint count
 
     def __post_init__(self) -> None:
         self._deadline_at = self.slo.deadline_at(self.submitted_at)
@@ -147,6 +158,11 @@ class Session:
         handle = self._handle
         if handle is not None:
             return handle.snapshot()
+        parked = self._parked_snapshot
+        if parked is not None:
+            # suspended to disk: the newest sealed version at suspend
+            # time remains a valid approximation of this answer
+            return parked
         primary = self._primary
         if primary is not None:
             # attached follower: the shared run's output is this
@@ -225,6 +241,6 @@ class Session:
             interrupted=interrupted, degraded=degraded,
             preemptions=self._preemptions, errors=errors,
             run_result=run_result, coalesced=self._coalesced,
-            memo_hit=self._memo_hit)
+            memo_hit=self._memo_hit, restores=self._restores)
         self._primary = None
         self._done.set()

@@ -1,0 +1,450 @@
+"""Checkpoint/restore subsystem (``repro.ckpt``).
+
+A live anytime run quiesces at an inter-command boundary, serializes to
+a self-describing on-disk checkpoint, and restores on *any* executor
+with bit-exact continuation.  These tests cover the file format's
+structured failure modes, same-executor resume, the full cross-executor
+migration matrix (via the restore-differential harness), checkpointing
+under a batched command lease, the serving layer's suspend-and-resume
+path (park on queue-full, checkpoint on preempt, restore on grant), the
+scheduler's persisted runtime-accuracy profile, and fleet worker
+re-spawn with checkpoint migration after a SIGKILL.
+"""
+
+import os
+import signal
+import struct
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import get_app
+from repro.ckpt import (CheckpointError, FORMAT_VERSION, MAGIC,
+                        load_checkpoint, read_header, write_checkpoint)
+from repro.core.automaton import AnytimeAutomaton
+from repro.core.controller import VersionCountStop
+
+
+def values_equal(a, b):
+    if isinstance(a, dict):
+        return (set(a) == set(b)
+                and all(values_equal(a[k], b[k]) for k in a))
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(np.asarray(a), np.asarray(b))
+    return a == b
+
+
+def interrupted_checkpoint(record, image, path, src="simulated",
+                           **launch_kw):
+    """Run ``record``'s app on ``src``, interrupt it mid-flight, and
+    write a checkpoint to ``path``."""
+    automaton = record.build(image)
+    if src == "simulated":
+        result = automaton.run_simulated(stop=VersionCountStop(2),
+                                         checkpoint_at_stop=str(path))
+        assert result.stopped_early
+        return
+    handle = (automaton.launch_processes(**launch_kw)
+              if src == "process"
+              else automaton.launch_threaded(**launch_kw))
+    terminal = automaton.graph.buffers[automaton.terminal_buffer_name]
+    deadline = time.monotonic() + 60.0
+    while terminal.version < 2 and time.monotonic() < deadline:
+        time.sleep(0.002)
+    handle.checkpoint(str(path))
+    handle.request_stop()
+    handle.result()
+
+
+# -- file format ---------------------------------------------------------
+
+class TestCheckpointFormat:
+    @pytest.fixture()
+    def ckpt(self, tmp_path):
+        record = get_app("2dconv")
+        path = tmp_path / "run.rck"
+        interrupted_checkpoint(record, record.make_input(16, 0), path)
+        return path
+
+    def test_header_readable_without_payload(self, ckpt):
+        header = read_header(str(ckpt))
+        assert header["format_version"] == FORMAT_VERSION
+        assert header["executor"] == "simulated"
+        assert len(header["payload_sha256"]) == 64
+        assert header["payload_len"] > 0
+        assert header["summary"]["live_stages"]
+
+    def test_round_trip_load(self, ckpt):
+        header, payload = load_checkpoint(str(ckpt))
+        assert header["format_version"] == FORMAT_VERSION
+        assert isinstance(payload, dict)
+
+    def test_bad_magic_is_structured_error(self, tmp_path):
+        path = tmp_path / "bad.rck"
+        path.write_bytes(b"NOTACKPT" + b"\x00" * 64)
+        with pytest.raises(CheckpointError, match="magic"):
+            read_header(str(path))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_missing_file_is_structured_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_header(str(tmp_path / "absent.rck"))
+
+    def test_truncated_header_is_structured_error(self, ckpt):
+        raw = ckpt.read_bytes()
+        ckpt.write_bytes(raw[:len(MAGIC) + 2])
+        with pytest.raises(CheckpointError):
+            read_header(str(ckpt))
+
+    def test_truncated_payload_is_structured_error(self, ckpt):
+        raw = ckpt.read_bytes()
+        ckpt.write_bytes(raw[:-16])
+        # the header itself is intact ...
+        read_header(str(ckpt))
+        # ... but the payload cannot be trusted
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(ckpt))
+
+    def test_corrupted_payload_fails_digest_check(self, ckpt):
+        raw = bytearray(ckpt.read_bytes())
+        raw[-1] ^= 0xFF
+        ckpt.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="digest"):
+            load_checkpoint(str(ckpt))
+
+    def test_unsupported_format_version_rejected(self, tmp_path):
+        path = tmp_path / "future.rck"
+        header = (b'{"format_version": 99}')
+        path.write_bytes(MAGIC + struct.pack("<I", len(header))
+                         + header)
+        with pytest.raises(CheckpointError, match="format_version"):
+            read_header(str(path))
+
+    def test_restore_from_corrupt_file_never_continues(self, ckpt):
+        raw = bytearray(ckpt.read_bytes())
+        raw[-1] ^= 0xFF
+        ckpt.write_bytes(bytes(raw))
+        record = get_app("2dconv")
+        with pytest.raises(CheckpointError):
+            AnytimeAutomaton.restore(
+                str(ckpt),
+                builder=lambda: record.build(record.make_input(16, 0)))
+
+    def test_write_checkpoint_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "a.rck"
+        write_checkpoint(str(path), {"k": 1},
+                         header_extra={"name": "x"})
+        assert read_header(str(path))["name"] == "x"
+        assert [p.name for p in tmp_path.iterdir()] == ["a.rck"]
+
+
+# -- resume and migration ------------------------------------------------
+
+@pytest.mark.check
+class TestSameExecutorResume:
+    @pytest.mark.timeout(180)
+    @pytest.mark.parametrize("executor",
+                             ["simulated", "threaded", "process"])
+    def test_resume_is_bit_exact(self, executor, tmp_path):
+        record = get_app("2dconv")
+        image = record.make_input(32, 1)
+        tname = record.build(image).terminal_buffer_name
+        reference = record.build(image).run_simulated()
+        path = tmp_path / f"{executor}.rck"
+        interrupted_checkpoint(record, image, path, src=executor)
+        resumed = AnytimeAutomaton.restore(
+            str(path), builder=lambda: record.build(image))
+        runner = {"simulated": resumed.run_simulated,
+                  "threaded": lambda: resumed.run_threaded(
+                      timeout_s=120.0),
+                  "process": lambda: resumed.run_processes(
+                      timeout_s=120.0)}[executor]
+        result = runner()
+        assert result.completed
+        assert values_equal(result.final_values[tname],
+                            reference.final_values[tname])
+        finals = [r for r in result.timeline.for_buffer(tname)
+                  if r.final]
+        assert len(finals) == 1
+
+    @pytest.mark.timeout(120)
+    def test_simulated_resume_ladder_is_exact(self, tmp_path):
+        """A sim->sim resume replays the *identical* version ladder the
+        uninterrupted run would have published (determinism, not just
+        final-value agreement)."""
+        record = get_app("dwt53")
+        image = record.make_input(32, 2)
+        baseline = record.build(image)
+        tname = baseline.terminal_buffer_name
+        reference = baseline.run_simulated()
+        ref_ladder = [r.version
+                      for r in reference.timeline.for_buffer(tname)]
+        path = tmp_path / "sim.rck"
+        interrupted_checkpoint(record, image, path)
+        resumed = AnytimeAutomaton.restore(
+            str(path), builder=lambda: record.build(image))
+        result = resumed.run_simulated()
+        ladder = [r.version for r in result.timeline.for_buffer(tname)]
+        assert ladder == ref_ladder
+        assert values_equal(result.final_values[tname],
+                            reference.final_values[tname])
+
+
+@pytest.mark.check
+@pytest.mark.slow
+class TestCrossExecutorMigration:
+    """All six cross-executor (src, dst) pairs per app, via the
+    restore-differential harness (which additionally checks invariants,
+    gap-free ladders and source version counts on every leg)."""
+
+    CROSS_PAIRS = [(a, b)
+                   for a in ("simulated", "threaded", "process")
+                   for b in ("simulated", "threaded", "process")
+                   if a != b]
+
+    @pytest.mark.timeout(600)
+    @pytest.mark.parametrize("app", ["2dconv", "kmeans", "dwt53"])
+    def test_all_cross_pairs_bit_exact(self, app, tmp_path):
+        from repro.check import run_restore_differential
+
+        report = run_restore_differential(
+            app=app, size=32, seed=0, pairs=self.CROSS_PAIRS,
+            workdir=str(tmp_path), timeout_s=120.0)
+        assert report.ok, report.mismatches
+        assert len(report.legs) == len(self.CROSS_PAIRS)
+
+
+@pytest.mark.check
+class TestCheckpointUnderLease:
+    @pytest.mark.timeout(180)
+    @pytest.mark.parametrize("lease_k", [2, 8])
+    def test_leased_commands_drain_before_capture(self, lease_k,
+                                                  tmp_path):
+        """Checkpointing a process run that batches commands under a
+        lease (lease_k > 1) must quiesce the outstanding batch first:
+        the continuation is still bit-exact and publishes exactly one
+        final version."""
+        record = get_app("2dconv")
+        image = record.make_input(32, 3)
+        tname = record.build(image).terminal_buffer_name
+        reference = record.build(image).run_simulated()
+        path = tmp_path / "leased.rck"
+        interrupted_checkpoint(record, image, path, src="process",
+                               lease_k=lease_k)
+        resumed = AnytimeAutomaton.restore(
+            str(path), builder=lambda: record.build(image))
+        result = resumed.run_threaded(timeout_s=120.0)
+        assert result.completed
+        assert values_equal(result.final_values[tname],
+                            reference.final_values[tname])
+        finals = [r for r in result.timeline.for_buffer(tname)
+                  if r.final]
+        assert len(finals) == 1
+
+
+# -- serving-layer suspend-and-resume ------------------------------------
+
+@pytest.mark.serve
+@pytest.mark.timeout(180)
+class TestServerSuspendResume:
+    def test_overload_parks_and_resumes_instead_of_shedding(
+            self, tmp_path):
+        """With a resume_dir, a 2-slot server under 4x overload sheds
+        nothing: queue-full submissions park as RESUMABLE, preemption
+        suspends runs to disk, and every request finishes with the
+        bit-exact precise answer.  No checkpoint files survive."""
+        from repro.serve import SLO, AnytimeServer
+        from repro.serve.bench import calibrate_app
+        from repro.serve.fleet import value_digest
+
+        calib = calibrate_app(app="2dconv", size=24)
+        solo = calib["builder"]().run_threaded(timeout_s=60.0)
+        ref_digest = value_digest(
+            list(solo.final_values.values())[0])
+        with AnytimeServer(slots=2, queue_limit=2, quantum_s=0.01,
+                           resume_dir=str(tmp_path)) as server:
+            sessions = [server.submit(calib["builder"],
+                                      SLO(deadline_s=120.0),
+                                      metric=calib["metric"],
+                                      name=f"r{i}")
+                        for i in range(8)]
+            assert server.drain(timeout_s=150.0)
+            stats = server.stats()
+        for session in sessions:
+            result = session.result(timeout_s=0.0)
+            assert result.state.value == "completed", (
+                session.name, result.state, result.errors)
+            assert result.snapshot.final
+            assert value_digest(result.snapshot.value) == ref_digest
+        assert stats["shed"] == 0
+        assert stats["parked"] > 0
+        assert stats["requeued"] == stats["parked"]
+        assert stats["restores"] == stats["suspends"]
+        assert sum(s.result(0.0).restores for s in sessions) \
+            == stats["restores"]
+        assert not os.listdir(tmp_path)
+
+    def test_without_resume_dir_overload_still_sheds(self):
+        """The suspend path is opt-in: the same overload on a server
+        without a resume_dir keeps the classic shed behavior."""
+        from repro.serve import SLO, AnytimeServer
+        from repro.serve.bench import calibrate_app
+
+        calib = calibrate_app(app="2dconv", size=24)
+        with AnytimeServer(slots=1, queue_limit=1,
+                           quantum_s=0.01) as server:
+            sessions = [server.submit(calib["builder"],
+                                      SLO(deadline_s=120.0),
+                                      metric=calib["metric"],
+                                      name=f"r{i}", key=None)
+                        for i in range(6)]
+            assert server.drain(timeout_s=120.0)
+            stats = server.stats()
+        assert stats["shed"] > 0
+        assert stats["parked"] == 0
+        states = {s.result(0.0).state.value for s in sessions}
+        assert states <= {"completed", "shed"}
+
+
+# -- persisted runtime-accuracy profiles ---------------------------------
+
+class TestProfilePersistence:
+    @staticmethod
+    def profile():
+        from repro.metrics.profiles import RuntimeAccuracyProfile
+
+        p = RuntimeAccuracyProfile(label="test")
+        p.add(0.1, 5.0)
+        p.add(0.5, 18.0)
+        p.add(1.0, 25.0)
+        return p
+
+    def test_save_then_load_round_trips_curve(self, tmp_path):
+        from repro.metrics.profiles import RuntimeAccuracyProfile
+        from repro.serve.scheduler import MarginalGainPolicy
+
+        path = tmp_path / "profile.json"
+        saver = MarginalGainPolicy(self.profile(), baseline_wall_s=1.0,
+                                   profile_path=str(path))
+        assert saver.save_profile()
+        flat = RuntimeAccuracyProfile(label="flat")
+        flat.add(1.0, 1.0)
+        loader = MarginalGainPolicy(flat, baseline_wall_s=1.0,
+                                    profile_path=str(path))
+        assert loader.load_profile()
+        assert [(p.runtime, p.snr_db) for p in loader.profile.points] \
+            == [(p.runtime, p.snr_db) for p in self.profile().points]
+
+    def test_load_without_file_is_a_noop(self, tmp_path):
+        from repro.serve.scheduler import MarginalGainPolicy
+
+        policy = MarginalGainPolicy(
+            self.profile(), baseline_wall_s=1.0,
+            profile_path=str(tmp_path / "absent.json"))
+        before = list(policy.profile.points)
+        assert not policy.load_profile()
+        assert policy.profile.points == before
+        assert not MarginalGainPolicy(
+            self.profile(), baseline_wall_s=1.0).load_profile()
+
+    @pytest.mark.serve
+    @pytest.mark.timeout(60)
+    def test_server_lifecycle_persists_profile(self, tmp_path):
+        """start() adopts a previously saved curve; shutdown() writes
+        the active one back."""
+        from repro.serve import AnytimeServer
+        from repro.serve.scheduler import MarginalGainPolicy
+
+        path = tmp_path / "profile.json"
+        first = MarginalGainPolicy(self.profile(), baseline_wall_s=1.0,
+                                   profile_path=str(path))
+        with AnytimeServer(slots=1, policy=first):
+            pass
+        assert path.exists()
+        flat = self.profile()
+        flat.add(2.0, 26.0)        # a point the saved curve lacks
+        second = MarginalGainPolicy(flat, baseline_wall_s=1.0,
+                                    profile_path=str(path))
+        with AnytimeServer(slots=1, policy=second):
+            # start() replaced the constructor's curve with the saved one
+            assert len(second.profile.points) == 3
+
+
+# -- fleet re-spawn and checkpoint migration -----------------------------
+
+@pytest.mark.serve
+@pytest.mark.slow
+@pytest.mark.timeout(300)
+class TestFleetRespawnAndMigration:
+    def test_three_worker_fleet_returns_to_three_after_sigkill(
+            self, tmp_path):
+        from repro.serve.router import FleetRouter, summarize_fleet
+
+        config = {"slots": 1, "queue_limit": 6, "quantum_s": 0.02}
+        with FleetRouter(workers=3, worker_config=config,
+                         resume_dir=str(tmp_path)) as fleet:
+            requests = [fleet.submit("2dconv", size=96, seed=i,
+                                     slo={"deadline_s": 300.0})
+                        for i in range(9)]
+            time.sleep(0.5)
+            with fleet._lock:
+                victim = next((l for l in fleet._links if l.inflight),
+                              fleet._links[0])
+            os.kill(victim.process.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while (fleet.alive_workers() < 3
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            alive = fleet.alive_workers()
+            assert fleet.drain(timeout_s=240.0)
+            summary = summarize_fleet(requests)
+            stats = fleet.aggregate_stats()["router"]
+        assert alive == 3
+        assert stats["worker_deaths"] >= 1
+        assert stats["respawns"] >= 1
+        assert summary["failed"] == 0
+        assert summary["completed"] == 9
+
+    def test_orphans_migrate_from_dead_workers_checkpoints(
+            self, tmp_path):
+        """Kill a worker that provably holds suspend checkpoints
+        (frozen with SIGSTOP first, so none can be consumed between
+        the check and the kill): its orphaned requests restore on the
+        replacement from the last checkpoint instead of starting over,
+        and still finish with a valid answer."""
+        from repro.serve.router import FleetRouter, summarize_fleet
+
+        config = {"slots": 1, "queue_limit": 6, "quantum_s": 0.02}
+        with FleetRouter(workers=3, worker_config=config,
+                         resume_dir=str(tmp_path)) as fleet:
+            requests = [fleet.submit("2dconv", size=128, seed=i,
+                                     slo={"deadline_s": 300.0})
+                        for i in range(9)]
+            victim = None
+            deadline = time.monotonic() + 60.0
+            while victim is None and time.monotonic() < deadline:
+                with fleet._lock:
+                    candidates = [l for l in fleet._links if l.inflight]
+                for link in candidates:
+                    os.kill(link.process.pid, signal.SIGSTOP)
+                    workdir = tmp_path / f"w{link.index}"
+                    if (link.inflight and workdir.is_dir()
+                            and any(workdir.iterdir())):
+                        victim = link        # frozen, checkpoints pinned
+                        break
+                    os.kill(link.process.pid, signal.SIGCONT)
+                if victim is None:
+                    time.sleep(0.02)
+            assert victim is not None, "no worker suspended a run"
+            os.kill(victim.process.pid, signal.SIGKILL)
+            assert fleet.drain(timeout_s=240.0)
+            summary = summarize_fleet(requests)
+            stats = fleet.aggregate_stats()["router"]
+            alive = fleet.alive_workers()
+        assert alive == 3
+        assert stats["respawns"] >= 1
+        assert stats["migrated"] >= 1, stats
+        assert summary["failed"] == 0
+        assert summary["completed"] == 9

@@ -21,10 +21,11 @@ pytestmark = [pytest.mark.serve, pytest.mark.timeout(180)]
 SLO_OK = {"deadline_s": 60.0}
 
 
-def tiny_fleet(workers=2, **config):
+def tiny_fleet(workers=2, respawn=True, **config):
     config.setdefault("slots", 2)
     config.setdefault("queue_limit", 32)
-    return FleetRouter(workers=workers, worker_config=config)
+    return FleetRouter(workers=workers, worker_config=config,
+                       respawn=respawn)
 
 
 class TestFleetRoundTrip:
@@ -90,8 +91,12 @@ class TestFleetRoundTrip:
 
 
 class TestFailover:
+    """Pure failover mode (respawn=False): a dead worker is not
+    replaced, its in-flight specs re-dispatch to survivors.  Re-spawn
+    and checkpoint migration are covered in test_ckpt.py."""
+
     def test_dead_worker_requests_redispatch_to_survivors(self):
-        with tiny_fleet(workers=3) as fleet:
+        with tiny_fleet(workers=3, respawn=False) as fleet:
             requests = [fleet.submit("2dconv", size=24, seed=i % 3,
                                      slo=SLO_OK) for i in range(9)]
             time.sleep(0.05)
@@ -107,7 +112,7 @@ class TestFailover:
         assert survivors == 2
 
     def test_last_worker_death_fails_cleanly(self):
-        with tiny_fleet(workers=1) as fleet:
+        with tiny_fleet(workers=1, respawn=False) as fleet:
             requests = [fleet.submit("2dconv", size=24, seed=i,
                                      slo=SLO_OK) for i in range(4)]
             time.sleep(0.05)
@@ -120,7 +125,7 @@ class TestFailover:
                    for r in requests)
 
     def test_submit_after_total_death_fails_immediately(self):
-        with tiny_fleet(workers=1) as fleet:
+        with tiny_fleet(workers=1, respawn=False) as fleet:
             fleet._links[0].process.terminate()
             time.sleep(0.2)
             request = fleet.submit("dwt53", size=16, slo=SLO_OK)
