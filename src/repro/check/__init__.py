@@ -32,6 +32,12 @@ uphold those guarantees on the same automaton:
     run on executor A, checkpoints it (:mod:`repro.ckpt`), restores on
     executor B, and requires the continuation to be indistinguishable
     from a never-interrupted run.
+:mod:`repro.check.fleetdiff`
+    A transport differential for the serving fleet: the same
+    duplicate-heavy workload on AF_UNIX and TCP fleets must seal
+    bit-identical finals, and a SIGKILLed TCP worker's runs must
+    migrate in-band and still finish bit-exact with zero invariant
+    violations (``repro check --fleet``).
 :mod:`repro.check.fuzz`
     Property-based fuzzing of random automata (iterative / diffusive /
     synchronous mixes, every sampling permutation, fault-injection
@@ -48,6 +54,7 @@ from .differential import (ACCURACY_TOLERANCE_DB, DEFAULT_APPS,
                            DEFAULT_EXECUTORS, DifferentialReport,
                            RestoreReport, RunObservation,
                            run_differential, run_restore_differential)
+from .fleetdiff import FleetDifferentialReport, run_fleet_differential
 from .invariants import (CheckFailure, Checker, CheckReport, Violation,
                          check_events)
 from .selftest import (SELF_TEST_CASES, SelfTestCase, SelfTestOutcome,
@@ -58,6 +65,7 @@ __all__ = [
     "check_events",
     "run_differential", "DifferentialReport", "RunObservation",
     "run_restore_differential", "RestoreReport",
+    "run_fleet_differential", "FleetDifferentialReport",
     "ACCURACY_TOLERANCE_DB", "DEFAULT_APPS", "DEFAULT_EXECUTORS",
     "run_self_test", "SELF_TEST_CASES", "SelfTestCase",
     "SelfTestOutcome", "SelfTestReport",

@@ -21,7 +21,18 @@ Commands
     Drive a synthetic open-loop workload against an
     :class:`~repro.serve.AnytimeServer`: many concurrent requests with
     deadline/quality SLOs multiplexed over a bounded slot pool, with
-    admission control and quality-aware preemption.
+    admission control and quality-aware preemption.  ``--workers N``
+    serves through a forked fleet; ``--endpoints HOST:PORT,...``
+    serves through externally launched TCP workers.
+``serve-worker``
+    Run one fleet worker bound to a TCP listener
+    (``--listen HOST:PORT``) so a router on another host can reach it
+    via ``FleetRouter(endpoints=[...])`` / ``serve --endpoints``.
+``serve-front``
+    Stand up a fleet plus the asyncio front end
+    (:mod:`repro.serve.aiofront`): external clients speak the same
+    length-prefixed JSON frames over TCP, with per-connection
+    backpressure and graceful SIGTERM drain.
 ``check``
     Conformance checking (:mod:`repro.check`): run the differential
     harness across all executors (and under server preemption), the
@@ -254,10 +265,83 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-coalesce", action="store_true",
                        help="fleet mode: disable same-key request "
                             "coalescing on the workers")
+    serve.add_argument("--endpoints", type=str, default=None,
+                       metavar="HOST:PORT,...",
+                       help="serve through externally launched TCP "
+                            "workers (see `repro serve-worker`) "
+                            "instead of forking local ones")
     serve.add_argument("--trace", type=str, default=None, metavar="PATH",
                        help="write server + run events to PATH")
     serve.add_argument("--trace-format", choices=("jsonl", "chrome"),
                        default="chrome")
+
+    worker = sub.add_parser(
+        "serve-worker",
+        help="run one fleet worker on a TCP listener")
+    worker.add_argument("--listen", type=str, default="127.0.0.1:0",
+                        metavar="HOST:PORT",
+                        help="bind address (default 127.0.0.1:0 — an "
+                             "ephemeral port, printed on startup)")
+    worker.add_argument("--slots", type=int, default=2,
+                        help="concurrent executor slots (default 2)")
+    worker.add_argument("--queue-limit", type=int, default=8,
+                        help="admission queue bound (default 8)")
+    worker.add_argument("--executor", choices=("threaded", "process"),
+                        default="threaded",
+                        help="execution backend under the worker")
+    worker.add_argument("--quantum-s", type=float, default=0.02,
+                        help="slot tenure before preemption "
+                             "(default 0.02)")
+    worker.add_argument("--memo-ttl-s", type=float, default=5.0,
+                        help="worker-local memo TTL for sealed finals "
+                             "(default 5.0)")
+    worker.add_argument("--no-coalesce", action="store_true",
+                        help="disable same-key request coalescing")
+    worker.add_argument("--resume-dir", type=str, default=None,
+                        metavar="DIR",
+                        help="directory for suspend checkpoints "
+                             "(enables preempt-to-disk + migration)")
+    worker.add_argument("--check", action="store_true",
+                        help="attach an invariant Checker to every run "
+                             "and report violation counts in done "
+                             "messages")
+    worker.add_argument("--forever", action="store_true",
+                        help="keep accepting router connections after "
+                             "the first disconnects (default: serve "
+                             "one router, then exit)")
+
+    front = sub.add_parser(
+        "serve-front",
+        help="fleet + asyncio front end for external TCP clients")
+    front.add_argument("--host", type=str, default="127.0.0.1",
+                       help="front-end bind host (default 127.0.0.1)")
+    front.add_argument("--port", type=int, default=9700,
+                       help="front-end bind port (default 9700; 0 for "
+                            "ephemeral)")
+    front.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="forked local fleet workers (default 2; "
+                            "ignored with --endpoints)")
+    front.add_argument("--endpoints", type=str, default=None,
+                       metavar="HOST:PORT,...",
+                       help="route to externally launched TCP workers "
+                            "instead of forking local ones")
+    front.add_argument("--slots", type=int, default=2,
+                       help="slots per forked worker (default 2)")
+    front.add_argument("--queue-limit", type=int, default=8,
+                       help="admission queue bound per worker "
+                            "(default 8)")
+    front.add_argument("--executor", choices=("threaded", "process"),
+                       default="threaded",
+                       help="execution backend under forked workers")
+    front.add_argument("--memo-ttl-s", type=float, default=30.0,
+                       help="router-level fleet memo TTL (default 30)")
+    front.add_argument("--max-pending", type=int, default=8,
+                       help="per-connection in-flight bound before the "
+                            "front end stops reading frames "
+                            "(default 8)")
+    front.add_argument("--idle-timeout-s", type=float, default=60.0,
+                       help="close idle client connections after this "
+                            "many seconds (default 60)")
 
     check = sub.add_parser(
         "check", help="conformance checking (invariants, differential "
@@ -312,6 +396,12 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--lease-k", type=int, default=8,
                        help="restore mode: command lease size for the "
                             "process-executor legs (default 8)")
+    check.add_argument("--fleet", action="store_true",
+                       help="transport differential: the same "
+                            "duplicate-heavy workload on AF_UNIX and "
+                            "TCP fleets must seal identical digests, "
+                            "and a SIGKILLed TCP worker's runs must "
+                            "migrate in-band and finish bit-exact")
 
     ckpt = sub.add_parser(
         "ckpt", help="checkpoint utilities (inspect saved runs)")
@@ -546,19 +636,28 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
 
     from .serve.bench import calibrate_app
     from .serve.router import FleetRouter, summarize_fleet
+    from .serve.transport import parse_endpoint
+
+    endpoints = None
+    if getattr(args, "endpoints", None):
+        endpoints = [parse_endpoint(token.strip())
+                     for token in args.endpoints.split(",")
+                     if token.strip()]
+    workers = len(endpoints) if endpoints else args.workers
 
     print(f"calibrating {args.app} at size {args.size} ...")
     calib = calibrate_app(app=args.app, size=args.size,
                           seed=args.seed + 7)
     baseline = calib["baseline_wall_s"]
-    capacity = args.workers * args.slots / baseline
+    capacity = workers * args.slots / baseline
     rate = args.rate if args.rate is not None else 1.5 * capacity
     deadline_s = (args.deadline_s if args.deadline_s is not None
                   else 8.0 * baseline)
     slo = {"deadline_s": deadline_s, "target_db": args.target_snr}
     distinct = max(1, args.distinct)
+    kind = "TCP" if endpoints else "forked"
     print(f"solo run {baseline:.3f}s -> fleet capacity "
-          f"~{capacity:.1f} req/s over {args.workers} worker(s); "
+          f"~{capacity:.1f} req/s over {workers} {kind} worker(s); "
           f"offering {rate:.1f} req/s across {distinct} distinct "
           f"input(s), deadline {deadline_s:.3f}s")
 
@@ -566,7 +665,7 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     config = {"slots": args.slots, "queue_limit": args.queue_limit,
               "executor": args.executor, "quantum_s": args.quantum_s,
               "coalesce": not args.no_coalesce}
-    with FleetRouter(workers=args.workers,
+    with FleetRouter(workers=workers, endpoints=endpoints,
                      worker_config=config) as fleet:
         started = _time.monotonic()
         requests = []
@@ -616,8 +715,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import SLO, AnytimeServer, summarize, run_open_loop
     from .serve.bench import calibrate_app, _make_policy
 
-    if args.workers is not None:
-        if args.workers < 1:
+    if args.workers is not None or args.endpoints:
+        if args.workers is not None and args.workers < 1:
             print("error: --workers must be >= 1", file=sys.stderr)
             return 2
         return _cmd_serve_fleet(args)
@@ -686,6 +785,78 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"{summary['snr_at_interrupt_mean_db']:.1f} dB")
     if args.trace is not None:
         print(f"trace written to {args.trace} ({args.trace_format})")
+    return 0
+
+
+def _worker_config_from_args(args: argparse.Namespace) -> dict[str, Any]:
+    config: dict[str, Any] = {
+        "slots": args.slots, "queue_limit": args.queue_limit,
+        "executor": args.executor,
+    }
+    if getattr(args, "quantum_s", None) is not None:
+        config["quantum_s"] = args.quantum_s
+    if getattr(args, "memo_ttl_s", None) is not None:
+        config["memo_ttl_s"] = args.memo_ttl_s
+    if getattr(args, "no_coalesce", False):
+        config["coalesce"] = False
+    if getattr(args, "resume_dir", None):
+        config["resume_dir"] = args.resume_dir
+    if getattr(args, "check", False):
+        config["check"] = True
+    return config
+
+
+def _cmd_serve_worker(args: argparse.Namespace) -> int:
+    from .serve.transport import parse_endpoint, serve_worker_listener
+
+    try:
+        listen = parse_endpoint(args.listen)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = _worker_config_from_args(args)
+    knobs = ", ".join(f"{k}={v}" for k, v in sorted(config.items()))
+
+    def announce(host: str, port: int) -> None:
+        print(f"fleet worker listening on {host}:{port} ({knobs})")
+        print(f"route to it with: repro serve --endpoints {host}:{port}",
+              flush=True)
+
+    try:
+        serve_worker_listener(listen, config, once=not args.forever,
+                              announce=announce)
+    except KeyboardInterrupt:
+        pass
+    print("router disconnected; worker exiting")
+    return 0
+
+
+def _cmd_serve_front(args: argparse.Namespace) -> int:
+    from .serve.aiofront import serve_front
+    from .serve.router import FleetRouter
+    from .serve.transport import parse_endpoint
+
+    endpoints = None
+    if args.endpoints:
+        endpoints = [parse_endpoint(token.strip())
+                     for token in args.endpoints.split(",")
+                     if token.strip()]
+    config = {"slots": args.slots, "queue_limit": args.queue_limit,
+              "executor": args.executor}
+
+    def announce(host: str, port: int) -> None:
+        backing = (f"{len(endpoints)} TCP worker(s)" if endpoints
+                   else f"{args.workers} forked worker(s)")
+        print(f"anytime front end on {host}:{port} -> {backing}; "
+              f"SIGTERM drains gracefully", flush=True)
+
+    with FleetRouter(workers=args.workers, endpoints=endpoints,
+                     worker_config=config,
+                     fleet_memo_ttl_s=args.memo_ttl_s) as fleet:
+        serve_front(fleet, args.host, args.port, announce=announce,
+                    max_pending_per_conn=args.max_pending,
+                    idle_timeout_s=args.idle_timeout_s)
+    print("front end drained; fleet shut down")
     return 0
 
 
@@ -978,8 +1149,41 @@ def _cmd_check_restore(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_check_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from .check import run_fleet_differential
+
+    app = (args.apps[0] if args.apps else "dwt53")
+    if app not in APP_REGISTRY:
+        print(f"error: unknown app {app!r}; known: "
+              f"{sorted(APP_REGISTRY)}", file=sys.stderr)
+        return 2
+    print(f"{app}: fleet transport differential "
+          f"(AF_UNIX vs TCP + kill-one-worker migration)")
+    report = run_fleet_differential(
+        app=app, size=args.size, workdir=args.workdir,
+        timeout_s=args.timeout_s, progress=print)
+    print(report.summary())
+    for mismatch in report.mismatches:
+        print(f"    {mismatch['leg']}: {mismatch['kind']}")
+    for leg in report.legs:
+        bits = ", ".join(f"{k}={v}" for k, v in leg.items()
+                         if k not in ("leg", "digests"))
+        print(f"  [{leg['leg']}] {bits}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     import json
+
+    if args.fleet:
+        return _cmd_check_fleet(args)
 
     if args.restore:
         return _cmd_check_restore(args)
@@ -1068,6 +1272,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "serve-worker":
+        return _cmd_serve_worker(args)
+    if args.command == "serve-front":
+        return _cmd_serve_front(args)
     if args.command == "check":
         return _cmd_check(args)
     if args.command == "ckpt":

@@ -165,11 +165,19 @@ def run_serve_bench(app: str = "2dconv",
 def _run_fleet_leg(workers: int, worker_config: dict[str, Any],
                    specs: list[tuple[str, int, int]],
                    slo: dict[str, Any],
-                   drain_timeout_s: float) -> dict[str, Any]:
-    """One fleet workload: burst-submit ``specs``, drain, summarize."""
+                   drain_timeout_s: float,
+                   endpoints: list[tuple[str, int]] | None = None,
+                   ) -> dict[str, Any]:
+    """One fleet workload: burst-submit ``specs``, drain, summarize.
+
+    With ``endpoints`` the router connects to externally launched TCP
+    workers instead of forking its own; either way the summary gains a
+    ``digests`` map (seed → sorted final value digests) so transport
+    legs can be compared bit-exactly.
+    """
     from .router import FleetRouter, summarize_fleet
 
-    with FleetRouter(workers=workers,
+    with FleetRouter(workers=workers, endpoints=endpoints,
                      worker_config=worker_config) as fleet:
         started = _time.monotonic()
         requests = [fleet.submit(app, size=size, seed=seed, slo=slo)
@@ -180,6 +188,17 @@ def _run_fleet_leg(workers: int, worker_config: dict[str, Any],
         wall_s = _time.monotonic() - started
         summary = summarize_fleet(requests, wall_s=wall_s)
         summary["router"] = dict(fleet.counters)
+        digests: dict[str, set[str]] = {}
+        for request in requests:
+            if not request.done:
+                continue
+            out = request.result(timeout_s=0.0)
+            if out["state"] == "completed" and out.get("final") \
+                    and out.get("value_digest"):
+                digests.setdefault(str(request.seed), set()).add(
+                    out["value_digest"])
+        summary["digests"] = {seed: sorted(seen)
+                              for seed, seen in sorted(digests.items())}
     return summary
 
 
@@ -205,6 +224,13 @@ def run_fleet_bench(app: str = "2dconv",
     ``distinct`` unique specs (duplicate-heavy), run twice on a 2-worker
     fleet with coalescing on and off; with it on, duplicates share runs
     (``coalesced + memo_hits > 0``) and mean latency drops.
+
+    **Transport leg** — the duplicate-heavy workload again on a
+    2-worker localhost *TCP* fleet (the cross-host wire path:
+    connect + length-prefixed frames instead of fork + socketpair).
+    ``transport.digests_match`` asserts the TCP fleet sealed exactly
+    the same per-seed finals as the AF_UNIX coalescing leg, and the
+    relative goodput quantifies the TCP tax.
     """
     say = progress or (lambda _msg: None)
     say(f"calibrating {app} (size={size}) ...")
@@ -243,6 +269,30 @@ def run_fleet_bench(app: str = "2dconv",
             f"mean={leg['latency_mean_s']:.3f}s "
             f"goodput={leg['goodput_rps']:.2f} rps")
 
+    from .transport import spawn_local_tcp_worker
+    tcp_config = {**base_config, "coalesce": True, "memo_ttl_s": 5.0}
+    procs, endpoints = [], []
+    try:
+        for _ in range(2):
+            process, endpoint = spawn_local_tcp_worker(tcp_config)
+            procs.append(process)
+            endpoints.append(endpoint)
+        tcp_leg = _run_fleet_leg(2, tcp_config, dup_specs, slo,
+                                 drain_timeout_s, endpoints=endpoints)
+    finally:
+        for process in procs:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+    unix_leg = coalesce_legs["on"]
+    digests_match = tcp_leg["digests"] == unix_leg["digests"]
+    tcp_relative = (tcp_leg["goodput_rps"] / unix_leg["goodput_rps"]
+                    if unix_leg["goodput_rps"] > 0 else None)
+    say(f"transport=tcp: shared={tcp_leg['coalesced']} "
+        f"memo={tcp_leg['memo_hits']} "
+        f"goodput={tcp_leg['goodput_rps']:.2f} rps "
+        f"({'digests match unix' if digests_match else 'DIGEST MISMATCH'})")
+
     return {
         "bench": "fleet",
         "app": app,
@@ -257,6 +307,11 @@ def run_fleet_bench(app: str = "2dconv",
         "scaling": scaling,
         "scaling_ratio": scaling_ratio,
         "coalescing": coalesce_legs,
+        "transport": {
+            "tcp": tcp_leg,
+            "digests_match": digests_match,
+            "tcp_goodput_relative": tcp_relative,
+        },
     }
 
 

@@ -1,34 +1,45 @@
 """Fleet data plane: the wire protocol and the worker process.
 
 A serving fleet is a front-end :class:`~repro.serve.router.FleetRouter`
-plus N workers.  Each worker is a separate forked process running one
-:class:`~repro.serve.server.AnytimeServer` behind a stdlib socket,
-speaking a length-prefixed JSON protocol (4-byte big-endian length +
-UTF-8 JSON object).  Requests are *declarative* — ``(app, size, seed,
-SLO)`` — never closures, so the router can re-dispatch one verbatim to
-a different worker when its home worker dies: building the automaton
+plus N workers.  Each worker runs one
+:class:`~repro.serve.server.AnytimeServer` behind a stdlib socket —
+either a forked process on an ``AF_UNIX`` socketpair or a remote
+process reached over TCP (:mod:`repro.serve.transport`) — speaking a
+length-prefixed JSON protocol (4-byte big-endian length + UTF-8 JSON
+object).  Requests are *declarative* — ``(app, size, seed, SLO)`` —
+never closures, so the router can re-dispatch one verbatim to a
+different worker when its home worker dies: building the automaton
 from the spec is idempotent and the anytime model makes any re-run's
 sealed versions equally valid answers.
 
-Worker-bound ops: ``submit`` ``stats`` ``shutdown``.
+Worker-bound ops: ``submit`` ``stats`` ``shutdown`` plus the in-band
+checkpoint transfer ``ckpt_begin`` / ``ckpt_chunk`` / ``ckpt_end``
+(chunked base64 ``.rck`` bytes, sha256-verified, so migration never
+assumes a shared filesystem).
 Router-bound ops: ``ack`` (admission outcome + queue depth, the
 backpressure signal), ``done`` (terminal result, sent by the worker's
-completion pump), ``stats`` (reply), ``bye``.
+completion pump), ``stats`` (reply), ``ckpt_ack`` (transfer outcome),
+``error`` (structured protocol violation report), ``bye``.
 
 Results cross the wire as metrics plus a :func:`value_digest` of the
 sealed output — not the output array itself — so conformance tests can
 assert bit-identity between coalesced and solo answers without shipping
-megabytes of JSON.
+megabytes of JSON.  Frames larger than :data:`MAX_FRAME` are rejected
+with :class:`FrameError` before any allocation, so a corrupt or hostile
+4-byte header can never balloon memory.
 """
 
 from __future__ import annotations
 
+import base64
+import binascii
 import hashlib
 import json
 import math
 import os
 import socket
 import struct
+import tempfile
 import threading
 import time as _time
 from typing import Any
@@ -38,9 +49,25 @@ import numpy as np
 from .digest import input_digest, request_key
 
 __all__ = ["send_msg", "recv_msg", "spec_key", "value_digest",
-           "ckpt_filename", "worker_main", "WORKER_DEFAULTS"]
+           "ckpt_filename", "worker_main", "WORKER_DEFAULTS",
+           "MAX_FRAME", "FrameError", "CKPT_CHUNK_BYTES"]
 
 _LEN = struct.Struct(">I")
+
+#: upper bound on one frame's JSON payload; large enough for a
+#: base64-encoded checkpoint chunk with headroom, small enough that a
+#: corrupt length prefix cannot trigger an unbounded allocation
+MAX_FRAME = 16 * 1024 * 1024
+
+#: raw bytes per in-band checkpoint chunk (~341 KiB after base64)
+CKPT_CHUNK_BYTES = 256 * 1024
+
+
+class FrameError(RuntimeError):
+    """A peer violated the wire protocol (oversized or non-JSON frame).
+
+    Distinct from a clean EOF (``recv_msg`` → None): the connection is
+    unusable and must be closed, but the violation is reportable."""
 
 WORKER_DEFAULTS: dict[str, Any] = {
     "slots": 2,
@@ -53,6 +80,9 @@ WORKER_DEFAULTS: dict[str, Any] = {
     # checkpoint directory for suspend-and-resume serving; the router
     # gives each worker its own subdirectory when migration is enabled
     "resume_dir": None,
+    # attach a per-run invariant Checker (repro.check) to every
+    # submission and report its violation count in `done` messages
+    "check": False,
 }
 
 
@@ -80,16 +110,32 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
     return buf
 
 
-def recv_msg(sock: socket.socket) -> dict[str, Any] | None:
-    """Receive one message; None on a clean or torn-down connection."""
+def recv_msg(sock: socket.socket,
+             max_frame: int = MAX_FRAME) -> dict[str, Any] | None:
+    """Receive one message; None on a clean or torn-down connection.
+
+    Raises :class:`FrameError` on a protocol violation: a declared
+    length above ``max_frame`` (rejected *before* allocating) or a
+    payload that is not a JSON object.
+    """
     header = _recv_exact(sock, _LEN.size)
     if header is None:
         return None
     (length,) = _LEN.unpack(header)
+    if length > max_frame:
+        raise FrameError(f"declared frame length {length} exceeds "
+                         f"max_frame {max_frame}")
     payload = _recv_exact(sock, length)
     if payload is None:
         return None
-    return json.loads(payload.decode())
+    try:
+        msg = json.loads(payload.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise FrameError(f"frame payload is not JSON: {exc}") from exc
+    if not isinstance(msg, dict):
+        raise FrameError(f"frame payload is not a JSON object: "
+                         f"{type(msg).__name__}")
+    return msg
 
 
 # -- request/result identity --------------------------------------------
@@ -173,7 +219,157 @@ def _resuming_builder(path: str, builder: Any) -> Any:
     return build
 
 
-def _done_message(rid: int, result: Any) -> dict[str, Any]:
+class _CheckedRun:
+    """Trace sink + checker registry for one checked submission.
+
+    Each (re)build of the session's automaton — fresh, migrated, or
+    restored from a suspend checkpoint — gets its own
+    :class:`~repro.check.invariants.Checker` wired to the new graph;
+    events route to the newest one.  Only the last checker is closed
+    (earlier segments end mid-stream by design, so their end-of-trace
+    checks would be vacuously noisy), but live violations from every
+    segment count.
+    """
+
+    def __init__(self) -> None:
+        self.checkers: list[Any] = []
+
+    # TraceSink protocol -------------------------------------------------
+    def emit(self, event: Any) -> None:
+        if self.checkers:
+            self.checkers[-1].emit(event)
+
+    def close(self) -> None:
+        pass
+
+    def violation_count(self) -> int | None:
+        """Total violations across segments; None if nothing ever ran
+        (coalesced follower / memo answer — no run of its own)."""
+        if not self.checkers:
+            return None
+        try:
+            self.checkers[-1].close()
+        except Exception:
+            pass
+        return sum(len(c.violations) for c in self.checkers)
+
+
+def _checked_builder(builder: Any, hash_values: bool) -> tuple[Any, _CheckedRun]:
+    """Wrap ``builder`` so every automaton it yields gets a fresh
+    per-run Checker (seeded when the graph was restored mid-stream)."""
+    cell = _CheckedRun()
+
+    def build() -> Any:
+        from ..check import Checker
+
+        automaton = builder()
+        checker = Checker.for_graph(automaton.graph,
+                                    hash_values=hash_values)
+        if any(buf.snapshot().version > 0
+               for buf in automaton.graph.buffers.values()):
+            checker.seed_resumed(automaton.graph)
+        cell.checkers.append(checker)
+        return automaton
+
+    return build, cell
+
+
+class _CkptReceiver:
+    """Reassemble in-band checkpoint transfers (``ckpt_begin`` /
+    ``ckpt_chunk`` / ``ckpt_end``) into local ``.rck`` files.
+
+    Bytes are verified twice before a transfer is accepted: the running
+    sha256 must match the sender's declared digest, and the assembled
+    file must carry a valid ``RPROCKP1`` header (magic, format version,
+    and the header's own payload digest — :func:`repro.ckpt.read_header`).
+    """
+
+    def __init__(self, spool_dir: str | None) -> None:
+        self._spool_dir = spool_dir
+        self._open: dict[int, dict[str, Any]] = {}
+        self._ready: dict[int, str] = {}
+
+    def _spool(self) -> str:
+        if self._spool_dir is None:
+            self._spool_dir = tempfile.mkdtemp(prefix="fleet-xfer-")
+        os.makedirs(self._spool_dir, exist_ok=True)
+        return self._spool_dir
+
+    def begin(self, msg: dict[str, Any]) -> None:
+        xid = int(msg["xid"])
+        self.discard(xid)
+        path = os.path.join(self._spool(),
+                            f"xfer-{xid}-{ckpt_filename(msg['key'])}")
+        self._open[xid] = {
+            "path": path, "fh": open(path, "wb"),
+            "sha": hashlib.sha256(), "received": 0,
+            "size": int(msg["size"]), "declared": str(msg["sha256"]),
+        }
+
+    def chunk(self, msg: dict[str, Any]) -> None:
+        state = self._open.get(int(msg["xid"]))
+        if state is None:
+            return
+        data = base64.b64decode(msg["data"])
+        state["fh"].write(data)
+        state["sha"].update(data)
+        state["received"] += len(data)
+
+    def end(self, msg: dict[str, Any]) -> dict[str, Any]:
+        """Finish a transfer; returns the ``ckpt_ack`` reply body."""
+        xid = int(msg["xid"])
+        state = self._open.pop(xid, None)
+        if state is None:
+            return {"op": "ckpt_ack", "xid": xid, "ok": False,
+                    "error": "unknown transfer id"}
+        state["fh"].close()
+        error = None
+        if state["received"] != state["size"]:
+            error = (f"size mismatch: declared {state['size']}, "
+                     f"received {state['received']}")
+        elif state["sha"].hexdigest() != state["declared"]:
+            error = "sha256 mismatch"
+        else:
+            from ..ckpt import CheckpointError, read_header
+            try:
+                read_header(state["path"])
+            except (CheckpointError, OSError) as exc:
+                error = f"invalid checkpoint: {exc}"
+        if error is not None:
+            try:
+                os.unlink(state["path"])
+            except OSError:
+                pass
+            return {"op": "ckpt_ack", "xid": xid, "ok": False,
+                    "error": error}
+        self._ready[xid] = state["path"]
+        return {"op": "ckpt_ack", "xid": xid, "ok": True}
+
+    def take(self, xid: Any) -> str | None:
+        """Claim a verified transfer's local path (once)."""
+        if xid is None:
+            return None
+        return self._ready.pop(int(xid), None)
+
+    def discard(self, xid: int) -> None:
+        for table in (self._open, self._ready):
+            state = table.pop(xid, None)
+            if state is None:
+                continue
+            path = state["path"] if isinstance(state, dict) else state
+            if isinstance(state, dict):
+                try:
+                    state["fh"].close()
+                except OSError:
+                    pass
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
+def _done_message(rid: int, result: Any,
+                  violations: int | None = None) -> dict[str, Any]:
     snr = result.snr_db
     return {
         "op": "done", "rid": rid,
@@ -194,6 +390,9 @@ def _done_message(rid: int, result: Any) -> dict[str, Any]:
         "value_digest": (value_digest(result.snapshot.value)
                          if result.snapshot.value is not None else None),
         "errors": list(result.errors),
+        # per-run invariant violations when the worker runs with
+        # check=True; None when no run was attached (memo/follower)
+        "violations": violations,
     }
 
 
@@ -217,10 +416,13 @@ def worker_main(sock: socket.socket,
         memo_ttl_s=float(cfg["memo_ttl_s"]),
         resume_dir=cfg.get("resume_dir")).start()
     send_lock = threading.Lock()
-    pending: dict[int, Any] = {}
+    pending: dict[int, tuple[Any, _CheckedRun | None]] = {}
     pending_lock = threading.Lock()
     stop = threading.Event()
     calibrations: dict[tuple[str, int, int], tuple] = {}
+    receiver = _CkptReceiver(
+        os.path.join(cfg["resume_dir"], "incoming")
+        if cfg.get("resume_dir") else None)
 
     def calibration(app: str, size: int, seed: int) -> tuple:
         spec = (app, size, seed)
@@ -244,14 +446,17 @@ def worker_main(sock: socket.socket,
         while not stop.is_set():
             ripe = []
             with pending_lock:
-                for rid, session in list(pending.items()):
+                for rid, (session, cell) in list(pending.items()):
                     if session.done:
-                        ripe.append((rid, session))
+                        ripe.append((rid, session, cell))
                         del pending[rid]
-            for rid, session in ripe:
+            for rid, session, cell in ripe:
+                violations = (cell.violation_count()
+                              if cell is not None else None)
                 try:
                     send_msg(sock, _done_message(
-                        rid, session.result(timeout_s=0.0)), send_lock)
+                        rid, session.result(timeout_s=0.0),
+                        violations=violations), send_lock)
                 except OSError:
                     stop.set()
                     return
@@ -262,19 +467,36 @@ def worker_main(sock: socket.socket,
     pump_thread.start()
     try:
         while True:
-            msg = recv_msg(sock)
+            try:
+                msg = recv_msg(sock)
+            except FrameError as exc:
+                # protocol violation: report it in-band if the socket
+                # still writes, then close — never hang, never allocate
+                # for a corrupt header
+                try:
+                    send_msg(sock, {"op": "error",
+                                    "error": str(exc)}, send_lock)
+                except OSError:
+                    pass
+                return
             if msg is None:          # router went away
                 return
             op = msg.get("op")
             if op == "submit":
                 rid = int(msg["rid"])
+                cell = None
                 try:
                     builder, metric, key = calibration(
                         msg["app"], int(msg.get("size", 32)),
                         int(msg.get("seed", 0)))
-                    resume_from = msg.get("resume_from")
+                    resume_from = (receiver.take(msg.get("resume_xfer"))
+                                   or msg.get("resume_from"))
                     if resume_from:
                         builder = _resuming_builder(resume_from, builder)
+                    if msg.get("check", cfg.get("check")):
+                        builder, cell = _checked_builder(
+                            builder,
+                            hash_values=cfg["executor"] != "process")
                     slo_spec = msg.get("slo") or {}
                     slo = SLO(
                         deadline_s=slo_spec.get("deadline_s"),
@@ -283,7 +505,8 @@ def worker_main(sock: socket.socket,
                     session = server.submit(
                         builder, slo, metric=metric, name=f"r{rid}",
                         wait_s=float(msg.get("wait_s", 0.0)),
-                        key=key if cfg["coalesce"] else None)
+                        key=key if cfg["coalesce"] else None,
+                        trace=cell)
                 except Exception as exc:
                     send_msg(sock, {
                         "op": "done", "rid": rid, "state": "failed",
@@ -292,7 +515,7 @@ def worker_main(sock: socket.socket,
                     }, send_lock)
                     continue
                 with pending_lock:
-                    pending[rid] = session
+                    pending[rid] = (session, cell)
                 stats = server.stats()
                 send_msg(sock, {
                     "op": "ack", "rid": rid,
@@ -305,6 +528,24 @@ def worker_main(sock: socket.socket,
                 send_msg(sock, {"op": "stats",
                                 "rid": msg.get("rid"),
                                 "stats": server.stats()}, send_lock)
+            elif op == "ckpt_begin":
+                try:
+                    receiver.begin(msg)
+                except (KeyError, ValueError, OSError) as exc:
+                    send_msg(sock, {"op": "ckpt_ack",
+                                    "xid": msg.get("xid"), "ok": False,
+                                    "error": str(exc)}, send_lock)
+            elif op == "ckpt_chunk":
+                try:
+                    receiver.chunk(msg)
+                except (KeyError, ValueError, OSError,
+                        binascii.Error) as exc:
+                    receiver.discard(int(msg.get("xid", -1)))
+                    send_msg(sock, {"op": "ckpt_ack",
+                                    "xid": msg.get("xid"), "ok": False,
+                                    "error": str(exc)}, send_lock)
+            elif op == "ckpt_end":
+                send_msg(sock, receiver.end(msg), send_lock)
             elif op == "shutdown":
                 try:
                     send_msg(sock, {"op": "bye"}, send_lock)

@@ -285,7 +285,8 @@ class AnytimeServer:
                name: str | None = None,
                faults: FaultPolicy | dict[str, FaultPolicy] | None = None,
                wait_s: float = 0.0,
-               key: str | None = None) -> Session:
+               key: str | None = None,
+               trace: TraceSink | None = None) -> Session:
         """Submit one request; returns its :class:`Session` immediately.
 
         ``builder`` is a zero-argument callable producing a *fresh*
@@ -305,6 +306,11 @@ class AnytimeServer:
         own deadline/target with a pinned sealed snapshot.  A keyed
         request matching a fresh memoized final result completes
         immediately without running.
+
+        ``trace`` attaches a per-request sink (e.g. a conformance
+        :class:`~repro.check.invariants.Checker`) to this request's own
+        runs, overriding the server-wide sink; it sees nothing when the
+        request is answered by coalescing or the memo.
         """
         slo = slo or SLO()
         now = _time.monotonic()
@@ -314,6 +320,7 @@ class AnytimeServer:
             session = Session(
                 sid=sid, name=name or f"req-{sid}", builder=builder,
                 slo=slo, metric=metric, submitted_at=now, key=key,
+                trace=trace,
                 faults=faults if faults is not None
                 else self._default_faults)
             if not self._accepting:
@@ -800,15 +807,17 @@ class AnytimeServer:
             else:
                 stop = session.slo.stop_condition(
                     now - session.submitted_at, session.metric)
+            sink = session.trace if session.trace is not None \
+                else self._sink
             if self.executor == "process":
                 handle = automaton.launch_processes(
                     stop=stop, faults=session.faults,
-                    injector=self._injector, trace=self._sink,
+                    injector=self._injector, trace=sink,
                     grace_s=self._grace_s)
             else:
                 handle = automaton.launch_threaded(
                     stop=stop, faults=session.faults,
-                    injector=self._injector, trace=self._sink)
+                    injector=self._injector, trace=sink)
         except Exception as exc:
             # a broken builder (or unreadable checkpoint) fails only
             # this request; subscribers get requeued under their own

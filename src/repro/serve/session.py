@@ -107,6 +107,9 @@ class Session:
     faults: Any = None
     #: coalescing key (see :mod:`repro.serve.digest`); None = never share
     key: str | None = None
+    #: per-request trace sink; overrides the server-wide sink for this
+    #: request's own runs (a conformance Checker rides here)
+    trace: Any = None
 
     # -- scheduler-owned state ------------------------------------------
     _state: SessionState = SessionState.QUEUED

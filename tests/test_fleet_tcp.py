@@ -1,0 +1,256 @@
+"""TCP transport conformance for the serving fleet.
+
+Two layers:
+
+* **Wire-protocol negatives** — the length-prefixed JSON framing must
+  fail *closed*: a declared length beyond the bound is rejected before
+  any allocation, garbage payloads produce a structured in-band
+  ``error`` frame, and truncation at any byte boundary reads as clean
+  EOF.  A real TCP worker fed each of these must reply or exit — never
+  hang (every test runs under the watchdog with short socket
+  timeouts).
+
+* **Transport equivalence** — the same duplicate-heavy workload on an
+  AF_UNIX (fork) fleet and on a two-worker localhost TCP fleet must
+  seal bit-identical ``value_digest`` sets per seed: the anytime
+  guarantee cannot depend on which socket family carried the frames.
+"""
+
+import socket
+import struct
+
+import pytest
+
+from repro.serve.fleet import (FrameError, MAX_FRAME, recv_msg,
+                               send_msg)
+from repro.serve.router import FleetRouter, summarize_fleet
+from repro.serve.transport import (parse_endpoint,
+                                   spawn_local_tcp_worker)
+
+pytestmark = [pytest.mark.serve, pytest.mark.timeout(180)]
+
+SLO_OK = {"deadline_s": 60.0}
+_LEN = struct.Struct(">I")
+
+
+# -- frame bound / parse unit tests (no worker involved) ----------------
+
+class TestRecvMsgBound:
+    def _pair(self):
+        a, b = socket.socketpair()
+        a.settimeout(10.0)
+        b.settimeout(10.0)
+        return a, b
+
+    def test_oversized_declared_length_rejected_before_payload(self):
+        a, b = self._pair()
+        try:
+            # header only — no payload bytes exist; the bound must trip
+            # on the declared length alone, before any allocation
+            a.sendall(_LEN.pack(MAX_FRAME + 1))
+            with pytest.raises(FrameError, match="exceeds"):
+                recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_custom_max_frame_parameter(self):
+        a, b = self._pair()
+        try:
+            send_msg(a, {"op": "stats", "pad": "x" * 64})
+            with pytest.raises(FrameError, match="max_frame 16"):
+                recv_msg(b, max_frame=16)
+        finally:
+            a.close()
+            b.close()
+
+    def test_frame_within_custom_bound_passes(self):
+        a, b = self._pair()
+        try:
+            send_msg(a, {"op": "stats"})
+            assert recv_msg(b, max_frame=64) == {"op": "stats"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_garbage_payload_raises_frame_error(self):
+        a, b = self._pair()
+        try:
+            payload = b"this is not json"
+            a.sendall(_LEN.pack(len(payload)) + payload)
+            with pytest.raises(FrameError, match="not JSON"):
+                recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_json_raises_frame_error(self):
+        a, b = self._pair()
+        try:
+            payload = b"[1, 2, 3]"
+            a.sendall(_LEN.pack(len(payload)) + payload)
+            with pytest.raises(FrameError, match="not a JSON object"):
+                recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_length_prefix_is_clean_eof(self):
+        a, b = self._pair()
+        try:
+            a.sendall(b"\x00\x00")   # 2 of 4 header bytes
+            a.close()
+            assert recv_msg(b) is None
+        finally:
+            b.close()
+
+    def test_mid_frame_disconnect_is_clean_eof(self):
+        a, b = self._pair()
+        try:
+            a.sendall(_LEN.pack(100) + b"x" * 10)
+            a.close()
+            assert recv_msg(b) is None
+        finally:
+            b.close()
+
+
+# -- the same negatives against a live TCP worker -----------------------
+
+def _connect(endpoint):
+    sock = socket.create_connection(endpoint, timeout=10.0)
+    sock.settimeout(10.0)
+    return sock
+
+
+@pytest.fixture
+def tcp_worker():
+    process, endpoint = spawn_local_tcp_worker(
+        {"slots": 1, "queue_limit": 4})
+    yield process, endpoint
+    if process.is_alive():
+        process.terminate()
+    process.join(timeout=10.0)
+
+
+class TestWireNegativesAgainstWorker:
+    def test_stats_round_trip_sanity(self, tcp_worker):
+        process, endpoint = tcp_worker
+        sock = _connect(endpoint)
+        try:
+            send_msg(sock, {"op": "stats", "rid": 1})
+            reply = recv_msg(sock)
+            assert reply["op"] == "stats"
+            assert reply["stats"]["running"] == 0
+            send_msg(sock, {"op": "shutdown"})
+            assert recv_msg(sock) == {"op": "bye"}
+        finally:
+            sock.close()
+        process.join(timeout=10.0)
+        assert process.exitcode == 0
+
+    def test_oversized_length_gets_error_frame_then_eof(self, tcp_worker):
+        process, endpoint = tcp_worker
+        sock = _connect(endpoint)
+        try:
+            sock.sendall(_LEN.pack(MAX_FRAME + 1))
+            reply = recv_msg(sock)
+            assert reply["op"] == "error"
+            assert "exceeds" in reply["error"]
+            assert recv_msg(sock) is None   # worker closed after error
+        finally:
+            sock.close()
+        process.join(timeout=10.0)
+        assert process.exitcode == 0
+
+    def test_garbage_json_gets_error_frame_then_eof(self, tcp_worker):
+        process, endpoint = tcp_worker
+        sock = _connect(endpoint)
+        try:
+            payload = b"}{ not json at all"
+            sock.sendall(_LEN.pack(len(payload)) + payload)
+            reply = recv_msg(sock)
+            assert reply["op"] == "error"
+            assert "JSON" in reply["error"]
+            assert recv_msg(sock) is None
+        finally:
+            sock.close()
+        process.join(timeout=10.0)
+        assert process.exitcode == 0
+
+    def test_truncated_prefix_disconnect_exits_worker(self, tcp_worker):
+        process, endpoint = tcp_worker
+        sock = _connect(endpoint)
+        sock.sendall(b"\x00")        # 1 of 4 header bytes
+        sock.close()
+        process.join(timeout=10.0)   # clean EOF — worker must exit
+        assert process.exitcode == 0
+
+    def test_mid_frame_disconnect_exits_worker(self, tcp_worker):
+        process, endpoint = tcp_worker
+        sock = _connect(endpoint)
+        sock.sendall(_LEN.pack(4096) + b"y" * 100)
+        sock.close()
+        process.join(timeout=10.0)
+        assert process.exitcode == 0
+
+
+# -- transport equivalence: AF_UNIX vs TCP digests ----------------------
+
+def _digest_map(requests):
+    digests = {}
+    for request in requests:
+        out = request.result(timeout_s=0.0)
+        if out["state"] == "completed" and out.get("final"):
+            digests.setdefault(request.seed, set()).add(
+                out["value_digest"])
+    return digests
+
+
+class TestTransportEquivalence:
+    SPECS = [("dwt53", 16, seed) for seed in (0, 1, 2)] * 2
+
+    def _run(self, fleet):
+        requests = [fleet.submit(app, size=size, seed=seed, slo=SLO_OK)
+                    for app, size, seed in self.SPECS]
+        assert fleet.drain(timeout_s=90.0)
+        summary = summarize_fleet(requests)
+        assert summary["completed"] == len(self.SPECS)
+        assert summary["failed"] == 0
+        return _digest_map(requests)
+
+    def test_tcp_fleet_seals_identical_digests(self):
+        config = {"slots": 2, "queue_limit": 32}
+        with FleetRouter(workers=2, worker_config=config) as fleet:
+            unix_digests = self._run(fleet)
+
+        procs, endpoints = [], []
+        try:
+            for _ in range(2):
+                process, endpoint = spawn_local_tcp_worker(config)
+                procs.append(process)
+                endpoints.append(endpoint)
+            with FleetRouter(endpoints=endpoints,
+                             worker_config=config) as fleet:
+                tcp_digests = self._run(fleet)
+        finally:
+            for process in procs:
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=10.0)
+
+        assert set(unix_digests) == {0, 1, 2}
+        for seed, seen in unix_digests.items():
+            assert len(seen) == 1, (seed, seen)
+        assert unix_digests == tcp_digests
+
+
+class TestParseEndpoint:
+    def test_round_trip(self):
+        assert parse_endpoint("example.com:9701") == ("example.com",
+                                                      9701)
+
+    @pytest.mark.parametrize("bad", ["nohost", ":9", "h:", "h:x",
+                                     "9701"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_endpoint(bad)
